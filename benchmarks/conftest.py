@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark reproduces one table or figure from the paper's
+evaluation (Section VII) on the synthetic 26-application ensemble.
+The ensemble is generated once per session with the pinned seed so all
+benchmarks report against the same traces, exactly as the paper's case
+study reuses its four weeks of measurements.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.ensemble import case_study_ensemble
+
+CASE_STUDY_SEED = 2006
+
+# The paper's application QoS parameters (Section VII).
+U_LOW = 0.5
+U_HIGH = 0.66
+U_DEGR = 0.9
+M_DEGR_PERCENT = 3.0
+
+
+@pytest.fixture(scope="session")
+def ensemble():
+    """The 26-application, 4-week, 5-minute case-study ensemble."""
+    return case_study_ensemble(seed=CASE_STUDY_SEED, weeks=4)
+
+
+def print_series(title: str, rows: list[str]) -> None:
+    """Emit a benchmark's data series to stdout (shown with pytest -s)."""
+    banner = "=" * len(title)
+    print(f"\n{title}\n{banner}")
+    for row in rows:
+        print(row)

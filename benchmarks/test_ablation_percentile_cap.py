@@ -1,0 +1,82 @@
+"""Ablation: percentile capping vs M_degr/T_degr semantics (Section VIII).
+
+Related work caps each workload at a demand percentile (Urgaonkar et
+al.). The paper's criticism: a bare percentile budget "does not take
+into account the impact of sustained performance degradation on user
+experience as our M_degr and T_degr terms do". This benchmark measures
+the degraded-run-length profile of percentile capping on the case-study
+workloads, then shows R-Opus with T_degr=30 min bounds every run while
+keeping a comparable capacity saving.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.percentile_cap import degraded_run_profile
+from repro.core.cos import PoolCommitments
+from repro.core.qos import case_study_qos
+from repro.core.translation import QoSTranslator
+
+from conftest import M_DEGR_PERCENT, print_series
+
+PERCENTILE = 100.0 - M_DEGR_PERCENT  # cap at the 97th percentile
+THETA = 0.6
+T_DEGR_MINUTES = 30.0
+
+
+def test_percentile_cap_run_lengths(ensemble, benchmark):
+    def compute():
+        return [degraded_run_profile(trace, PERCENTILE) for trace in ensemble]
+
+    profiles = benchmark(compute)
+
+    rows = ["app     degraded%  runs  longest(min)  mean(min)"]
+    for profile in profiles:
+        rows.append(
+            f"{profile.workload}  {100 * profile.degraded_fraction:8.2f}"
+            f"  {profile.n_runs:4d}  {profile.longest_run_minutes:12.0f}"
+            f"  {profile.mean_run_minutes:9.1f}"
+        )
+    print_series(
+        f"Percentile capping at P{PERCENTILE:.0f}: degraded run lengths", rows
+    )
+
+    longest = np.array([profile.longest_run_minutes for profile in profiles])
+    # The baseline respects the 3% budget by construction ...
+    assert all(profile.degraded_fraction <= 0.03 + 1e-9 for profile in profiles)
+    # ... but lets degradation persist: at least a few applications see
+    # sustained outages beyond 30 minutes.
+    assert np.count_nonzero(longest > T_DEGR_MINUTES) >= 5, (
+        "expected sustained degraded runs under bare percentile capping"
+    )
+
+
+def test_ropus_t_degr_bounds_every_run(ensemble, benchmark):
+    translator = QoSTranslator(PoolCommitments.of(theta=THETA))
+    qos = case_study_qos(
+        m_degr_percent=M_DEGR_PERCENT, t_degr_minutes=T_DEGR_MINUTES
+    )
+
+    def compute():
+        return [translator.translate(trace, qos) for trace in ensemble]
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    slot_minutes = ensemble[0].calendar.slot_minutes
+    longest = np.array(
+        [result.longest_degraded_run_slots * slot_minutes for result in results]
+    )
+    reductions = np.array([result.cap_reduction for result in results])
+
+    print_series(
+        "R-Opus with T_degr=30 min",
+        [
+            f"longest degraded run across apps: {longest.max():.0f} min",
+            f"mean MaxCapReduction retained: {100 * reductions.mean():.1f}%",
+        ],
+    )
+
+    # Every run bounded by T_degr — the guarantee percentile capping lacks.
+    assert (longest <= T_DEGR_MINUTES + 1e-9).all()
+    # And the capacity saving is not destroyed by the constraint.
+    assert reductions.mean() > 0.05

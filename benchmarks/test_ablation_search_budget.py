@@ -1,0 +1,74 @@
+"""Ablation: placement quality vs genetic-search budget.
+
+The paper runs its GA for ~10 minutes per consolidation on 2006
+hardware and stops on score stagnation. This ablation measures how
+solution quality (servers used, consolidation score) responds to the
+generation budget on the case-study workloads — quantifying the
+diminishing returns that justify the stall-based termination criterion.
+"""
+
+import pytest
+
+from repro.core.cos import CoSCommitment, PoolCommitments
+from repro.core.qos import case_study_qos
+from repro.core.translation import QoSTranslator
+from repro.placement.consolidation import Consolidator
+from repro.placement.genetic import GeneticSearchConfig
+from repro.resources.pool import ResourcePool
+from repro.resources.server import homogeneous_servers
+
+from conftest import M_DEGR_PERCENT, print_series
+
+THETA = 0.6
+BUDGETS = [1, 10, 40, 120]
+
+
+@pytest.fixture(scope="module")
+def pairs(ensemble):
+    translator = QoSTranslator(PoolCommitments.of(theta=THETA))
+    qos = case_study_qos(m_degr_percent=M_DEGR_PERCENT)
+    return [translator.translate(trace, qos).pair for trace in ensemble]
+
+
+def run_with_budget(pairs, max_generations):
+    consolidator = Consolidator(
+        ResourcePool(homogeneous_servers(16, cpus=16)),
+        CoSCommitment(theta=THETA, deadline_minutes=60),
+        config=GeneticSearchConfig(
+            seed=2,
+            population_size=24,
+            max_generations=max_generations,
+            stall_generations=max_generations,
+        ),
+    )
+    return consolidator.consolidate(pairs, algorithm="genetic")
+
+
+def test_search_budget_sensitivity(pairs, benchmark):
+    def compute():
+        return {budget: run_with_budget(pairs, budget) for budget in BUDGETS}
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = ["generations  servers  C_requ   score"]
+    for budget in BUDGETS:
+        result = results[budget]
+        rows.append(
+            f"{budget:11d}  {result.servers_used:7d}  "
+            f"{result.sum_required:6.1f}  {result.score:6.2f}"
+        )
+    print_series("Genetic search budget ablation (theta=0.6)", rows)
+
+    scores = [results[budget].score for budget in BUDGETS]
+    servers = [results[budget].servers_used for budget in BUDGETS]
+
+    # More budget never hurts (the search keeps its best feasible ever,
+    # and is seeded identically).
+    assert all(a <= b + 1e-9 for a, b in zip(scores, scores[1:]))
+    assert all(a >= b for a, b in zip(servers, servers[1:]))
+
+    # Diminishing returns: the greedy/correlation seeds already deliver
+    # the bulk of the final quality — generations refine, they don't
+    # rescue. (This is what justifies stall-based termination.)
+    assert scores[0] >= 0.85 * scores[-1]
+    assert servers[0] <= servers[-1] + 1

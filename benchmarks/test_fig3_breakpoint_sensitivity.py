@@ -1,0 +1,62 @@
+"""Figure 3: sensitivity of breakpoint p and max allocation to theta.
+
+The paper plots, for (U_low, U_high) = (0.5, 0.66):
+
+* the breakpoint ``p`` (fraction of demand in CoS1), which decreases
+  linearly in theta and reaches 0 at theta = U_low/U_high ~ 0.7576;
+* the normalised maximum allocation ``D_new_max`` under a time-limited
+  degradation constraint, which decreases as theta grows — the paper
+  calls out that theta = 0.95 yields a max allocation about 20% below
+  theta = 0.6.
+"""
+
+import numpy as np
+
+from repro.core.partition import breakpoint_fraction
+
+from conftest import U_HIGH, U_LOW, print_series
+
+THETAS = np.round(np.arange(0.50, 1.001, 0.05), 2)
+
+
+def normalized_max_allocation(theta: float) -> float:
+    """D_new_max for a fixed D_min_degr, normalised (formula 10).
+
+    Under a binding time-limit, D_new_max is proportional to
+    ``1 / (p (1-theta) + theta)`` (formula 10 with D_min_degr fixed),
+    which is the trend line Figure 3 plots.
+    """
+    p = breakpoint_fraction(U_LOW, U_HIGH, theta)
+    return U_LOW / (U_HIGH * (p * (1.0 - theta) + theta))
+
+
+def test_fig3_breakpoint_and_max_allocation(benchmark):
+    def compute():
+        return [
+            (theta, breakpoint_fraction(U_LOW, U_HIGH, theta),
+             normalized_max_allocation(theta))
+            for theta in THETAS
+        ]
+
+    series = benchmark(compute)
+
+    rows = ["theta  breakpoint p  normalized D_new_max"]
+    for theta, p, cap in series:
+        rows.append(f"{theta:5.2f}  {p:12.4f}  {cap:20.4f}")
+    print_series("Figure 3: sensitivity of p and max allocation to theta", rows)
+
+    points = {theta: (p, cap) for theta, p, cap in series}
+
+    # p decreases monotonically and hits 0 at theta >= U_low/U_high.
+    ps = [p for _, p, _ in series]
+    assert all(a >= b - 1e-12 for a, b in zip(ps, ps[1:]))
+    assert points[0.75][0] > 0.0
+    assert points[0.8][0] == 0.0
+    assert points[0.95][0] == 0.0
+
+    # Max allocation decreases in theta; the paper's headline: theta=0.95
+    # is about 20% below theta=0.6.
+    caps = [cap for _, _, cap in series]
+    assert all(a >= b - 1e-12 for a, b in zip(caps, caps[1:]))
+    reduction = 1.0 - points[0.95][1] / points[0.6][1]
+    assert 0.10 <= reduction <= 0.30, f"got {reduction:.1%}, paper ~20%"

@@ -1,0 +1,61 @@
+"""Figure 6: top percentiles of CPU demand for the 26 applications.
+
+The paper normalises each application's demand to its own peak and plots
+the 97th-99.9th percentiles against the application number (spikiest
+first). The published features:
+
+* the leftmost two applications have a small percentage of points that
+  are very large relative to the rest (even the 99.5th percentile is far
+  below the peak);
+* the leftmost ~10 applications have their top 3% of demand 2-10x
+  higher than the remaining demands;
+* percentile curves rise with application number (the right side of the
+  figure is smooth, steady workloads).
+"""
+
+import numpy as np
+
+from repro.traces.ops import percentile_profile
+
+from conftest import print_series
+
+PERCENTILES = [99.9, 99.5, 99.0, 98.0, 97.0]
+
+
+def test_fig6_percentile_profiles(ensemble, benchmark):
+    def compute():
+        return [
+            percentile_profile(trace, PERCENTILES) for trace in ensemble
+        ]
+
+    profiles = benchmark(compute)
+
+    header = "app    " + "  ".join(f"p{p:<5}" for p in PERCENTILES)
+    rows = [header]
+    for trace, profile in zip(ensemble, profiles):
+        cells = "  ".join(f"{profile[p]:6.1f}" for p in PERCENTILES)
+        rows.append(f"{trace.name}  {cells}")
+    print_series(
+        "Figure 6: top percentiles of CPU demand (% of own peak)", rows
+    )
+
+    p97 = np.array([profile[97.0] for profile in profiles])
+
+    # Leftmost two apps: spike-dominated (97th percentile far below peak).
+    assert (p97[:2] < 50).all()
+
+    # Leftmost ten apps: top 3% of demand is 2-10x the rest, i.e. the
+    # 97th percentile is at most ~50% of peak.
+    assert (p97[:10] < 55).all()
+
+    # The right side of the figure is much smoother.
+    assert p97[-6:].mean() > 60
+
+    # Percentile curves are non-increasing in percentile order for every
+    # app (99.9 >= 99.5 >= ... >= 97).
+    for profile in profiles:
+        values = [profile[p] for p in PERCENTILES]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    # Overall left-to-right rising trend.
+    assert p97[:8].mean() < p97[-8:].mean()

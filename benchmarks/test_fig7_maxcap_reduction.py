@@ -1,0 +1,94 @@
+"""Figure 7: MaxCapReduction per application under T_degr constraints.
+
+For M_degr = 3%, (U_low, U_high, U_degr) = (0.5, 0.66, 0.9) and
+T_degr in {none, 2h, 1h, 30 min}, the paper reports the percentage
+reduction of each application's maximum allocation relative to the
+M_degr = 0 case, for theta = 0.95 (Figure 7a) and theta = 0.6
+(Figure 7b). Published shape:
+
+* many applications reach the 26.7% upper bound of formula 5;
+* tighter T_degr shrinks the reduction;
+* the T_degr effect is stronger for theta = 0.6 than for theta = 0.95
+  (higher theta keeps more of the reduction under time limits).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cos import PoolCommitments
+from repro.core.degradation import max_cap_reduction_bound
+from repro.core.qos import case_study_qos
+from repro.core.translation import QoSTranslator
+
+from conftest import M_DEGR_PERCENT, U_DEGR, U_HIGH, print_series
+
+T_DEGR_CASES = [None, 120.0, 60.0, 30.0]
+
+
+def reductions_for(ensemble, theta, t_degr):
+    translator = QoSTranslator(PoolCommitments.of(theta=theta))
+    qos = case_study_qos(m_degr_percent=M_DEGR_PERCENT, t_degr_minutes=t_degr)
+    return np.array(
+        [
+            translator.translate(trace, qos).cap_reduction
+            for trace in ensemble
+        ]
+    )
+
+
+@pytest.mark.parametrize("theta", [0.95, 0.6], ids=["fig7a", "fig7b"])
+def test_fig7_maxcap_reduction(ensemble, benchmark, theta):
+    def compute():
+        return {
+            t_degr: reductions_for(ensemble, theta, t_degr)
+            for t_degr in T_DEGR_CASES
+        }
+
+    by_case = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    labels = {None: "none", 120.0: "2h", 60.0: "1h", 30.0: "30min"}
+    rows = ["app     " + "  ".join(f"{labels[t]:>6}" for t in T_DEGR_CASES)]
+    for index, trace in enumerate(ensemble):
+        cells = "  ".join(
+            f"{100 * by_case[t][index]:6.1f}" for t in T_DEGR_CASES
+        )
+        rows.append(f"{trace.name}  {cells}")
+    print_series(
+        f"Figure 7 (theta={theta}): MaxCapReduction % per application", rows
+    )
+
+    bound = max_cap_reduction_bound(U_HIGH, U_DEGR)
+
+    # No reduction ever exceeds the formula-5 bound.
+    for reductions in by_case.values():
+        assert (reductions <= bound + 1e-9).all()
+
+    # Without a time limit, many applications reach the bound (paper:
+    # "many of the 26 applications have a 26.7% reduction").
+    at_bound = np.count_nonzero(by_case[None] >= bound - 0.01)
+    assert at_bound >= 8, f"only {at_bound} apps reach the 26.7% bound"
+
+    # Tighter T_degr gives equal-or-smaller reductions per app.
+    for tighter, looser in [(30.0, 60.0), (60.0, 120.0), (120.0, None)]:
+        assert (by_case[tighter] <= by_case[looser] + 1e-9).all()
+
+
+def test_fig7_theta_interaction(ensemble, benchmark):
+    """The T_degr penalty (reduction lost vs no-limit) is larger at
+    theta=0.6 than at theta=0.95 on average — the paper's observation
+    that higher theta values preserve more of the saving."""
+
+    def compute():
+        penalty = {}
+        for theta in (0.6, 0.95):
+            no_limit = reductions_for(ensemble, theta, None)
+            tight = reductions_for(ensemble, theta, 30.0)
+            penalty[theta] = float((no_limit - tight).mean())
+        return penalty
+
+    penalty = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_series(
+        "Figure 7 interaction: mean reduction lost to T_degr=30min",
+        [f"theta={theta}: {100 * lost:.2f}%" for theta, lost in penalty.items()],
+    )
+    assert penalty[0.6] >= penalty[0.95] - 1e-9

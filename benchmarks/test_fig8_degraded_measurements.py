@@ -1,0 +1,73 @@
+"""Figure 8: percentage of measurements with degraded performance.
+
+With M_degr = 3%, up to 3% of measurements may sit in the degraded band
+(U_high, U_degr]. The paper shows the *achieved* percentage per
+application under T_degr in {none, 2h, 1h, 30 min}:
+
+* always within the 3% budget;
+* the T_degr = 30 min constraint collapses the degraded percentage well
+  below the budget — under ~0.5% for theta = 0.95 and under ~1.5% for
+  theta = 0.6 (Figures 8a/8b).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cos import PoolCommitments
+from repro.core.qos import case_study_qos
+from repro.core.translation import QoSTranslator
+
+from conftest import M_DEGR_PERCENT, print_series
+
+T_DEGR_CASES = [None, 120.0, 60.0, 30.0]
+
+
+def degraded_fractions(ensemble, theta, t_degr):
+    translator = QoSTranslator(PoolCommitments.of(theta=theta))
+    qos = case_study_qos(m_degr_percent=M_DEGR_PERCENT, t_degr_minutes=t_degr)
+    return np.array(
+        [
+            translator.translate(trace, qos).degraded_fraction
+            for trace in ensemble
+        ]
+    )
+
+
+@pytest.mark.parametrize("theta", [0.95, 0.6], ids=["fig8a", "fig8b"])
+def test_fig8_degraded_percentage(ensemble, benchmark, theta):
+    def compute():
+        return {
+            t_degr: degraded_fractions(ensemble, theta, t_degr)
+            for t_degr in T_DEGR_CASES
+        }
+
+    by_case = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    labels = {None: "none", 120.0: "2h", 60.0: "1h", 30.0: "30min"}
+    rows = ["app     " + "  ".join(f"{labels[t]:>6}" for t in T_DEGR_CASES)]
+    for index, trace in enumerate(ensemble):
+        cells = "  ".join(
+            f"{100 * by_case[t][index]:6.2f}" for t in T_DEGR_CASES
+        )
+        rows.append(f"{trace.name}  {cells}")
+    print_series(
+        f"Figure 8 (theta={theta}): % of measurements degraded", rows
+    )
+
+    budget = M_DEGR_PERCENT / 100.0
+
+    # Every case stays within the 3% budget.
+    for fractions in by_case.values():
+        assert (fractions <= budget + 1e-9).all()
+
+    # Tighter T_degr never increases the degraded percentage.
+    for tighter, looser in [(30.0, 60.0), (60.0, 120.0), (120.0, None)]:
+        assert (by_case[tighter] <= by_case[looser] + 1e-9).all()
+
+    # The 30-minute limit collapses degradation well below the budget
+    # (paper: < 0.5% at theta=0.95, < 1.5% at theta=0.6).
+    ceiling = 0.005 if theta == 0.95 else 0.015
+    worst = float(by_case[30.0].max())
+    assert worst <= ceiling + 0.005, (
+        f"worst degraded fraction {worst:.4f} above the expected band"
+    )

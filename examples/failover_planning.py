@@ -1,0 +1,84 @@
+"""Failover planning: can the pool ride out a server failure?
+
+The R-Opus answer to "do we need a spare server?" (Section VI-C): run
+normal mode under strict QoS, then test every single-server failure with
+the *relaxed* failure-mode QoS on the surviving servers. If every
+failure is absorbable, the pool needs no spare — applications run
+slightly degraded until the server is repaired.
+
+Run with::
+
+    python examples/failover_planning.py [--theta 0.6]
+"""
+
+import argparse
+
+from repro import (
+    GeneticSearchConfig,
+    PoolCommitments,
+    QoSPolicy,
+    ROpus,
+    ResourcePool,
+    case_study_ensemble,
+    case_study_qos,
+    homogeneous_servers,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--theta", type=float, default=0.6)
+    parser.add_argument("--weeks", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=2006)
+    args = parser.parse_args()
+
+    demands = case_study_ensemble(seed=args.seed, weeks=args.weeks)
+    framework = ROpus(
+        PoolCommitments.of(theta=args.theta, deadline_minutes=60),
+        ResourcePool(homogeneous_servers(14, cpus=16)),
+        search_config=GeneticSearchConfig(seed=1),
+    )
+    policy = QoSPolicy(
+        # Normal mode: no degradation tolerated.
+        normal=case_study_qos(m_degr_percent=0),
+        # Failure mode: 3% of measurements may degrade, but never for
+        # more than 30 contiguous minutes.
+        failure=case_study_qos(m_degr_percent=3, t_degr_minutes=30),
+    )
+
+    print("Consolidating under strict normal-mode QoS...")
+    plan = framework.plan(demands, policy, relax_all_on_failure=True)
+    print(
+        f"normal mode: {plan.servers_used} servers, "
+        f"C_requ={plan.consolidation.sum_required:.0f} CPUs\n"
+    )
+
+    report = plan.failure_report
+    assert report is not None
+    print("Single-failure what-ifs (relaxed failure-mode QoS):")
+    for case in report.cases:
+        if case.feasible:
+            assert case.result is not None
+            print(
+                f"  lose {case.failed_server}: OK on "
+                f"{case.servers_used} surviving servers "
+                f"(displaced: {', '.join(case.affected_workloads)})"
+            )
+        else:
+            print(f"  lose {case.failed_server}: NOT ABSORBABLE")
+
+    print()
+    if report.spare_server_needed:
+        print(
+            "Verdict: at least one failure cannot be absorbed — budget a "
+            "spare server (or relax the failure-mode QoS further)."
+        )
+    else:
+        print(
+            "Verdict: no spare server needed. Any single failure is "
+            "absorbed by the survivors at failure-mode QoS until repair."
+        )
+
+
+if __name__ == "__main__":
+    main()

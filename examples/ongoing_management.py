@@ -1,0 +1,91 @@
+"""Ongoing capacity management across the paper's Figure 1 timescales.
+
+One planning run answers "how do we place the workloads today?". A pool
+is operated as a loop:
+
+* medium term — re-plan on a sliding window of recent history, watching
+  how many workloads each re-plan would migrate;
+* long term — extrapolate demand growth to find the procurement
+  deadline: the horizon at which the current pool stops sufficing.
+
+Run with::
+
+    python examples/ongoing_management.py
+"""
+
+from repro import (
+    GeneticSearchConfig,
+    PoolCommitments,
+    QoSPolicy,
+    ROpus,
+    ResourcePool,
+    case_study_ensemble,
+    case_study_qos,
+    homogeneous_servers,
+)
+from repro.core.manager import CapacityManager
+from repro.workloads.forecast import estimate_weekly_growth
+
+
+def main() -> None:
+    demands = case_study_ensemble(seed=2006, weeks=4)
+    framework = ROpus(
+        PoolCommitments.of(theta=0.9),
+        ResourcePool(homogeneous_servers(14, cpus=16)),
+        search_config=GeneticSearchConfig(seed=5),
+    )
+    manager = CapacityManager(framework)
+    policy = QoSPolicy(normal=case_study_qos(m_degr_percent=3))
+
+    # --- Medium term: weekly re-planning on a 2-week window.
+    print("Medium term: sliding 2-week window, re-planned weekly")
+    print("----------------------------------------------------")
+    rolling = manager.rolling_plan(
+        demands, policy, window_weeks=2, step_weeks=1
+    )
+    for step in rolling.steps:
+        print(
+            f"  weeks {step.start_week}-{step.end_week}: "
+            f"{step.result.servers_used} servers, "
+            f"C_requ={step.result.sum_required:.0f}, "
+            f"{step.n_migrations} migrations"
+        )
+    print(
+        f"  total migrations across "
+        f"{len(rolling.steps) - 1} re-plans: {rolling.total_migrations}\n"
+    )
+
+    # --- Long term: growth-driven outlook.
+    print("Long term: capacity outlook under fitted demand growth")
+    print("------------------------------------------------------")
+    fitted = {
+        demand.name: estimate_weekly_growth(demand).weekly_growth
+        for demand in demands[:3]
+    }
+    for name, growth in fitted.items():
+        print(f"  fitted weekly growth for {name}: {growth:.4f}")
+    # The synthetic ensemble is stationary; assume 5%/week organic growth
+    # (the kind of figure a business unit would communicate).
+    growth = {demand.name: 1.05 for demand in demands}
+    outlook = manager.capacity_outlook(
+        demands, policy, horizon_weeks=24, step_weeks=4, growth_by_name=growth
+    )
+    for step in outlook.steps:
+        if step.feasible:
+            print(
+                f"  +{step.weeks_ahead:2d} weeks: {step.servers_used} "
+                f"servers, C_requ={step.sum_required:.0f}"
+            )
+        else:
+            print(f"  +{step.weeks_ahead:2d} weeks: POOL EXHAUSTED")
+    if outlook.weeks_until_exhausted is not None:
+        print(
+            f"\n  procurement must deliver before week "
+            f"{outlook.weeks_until_exhausted}."
+        )
+    else:
+        print("\n  the pool rides out the studied horizon.")
+
+
+if __name__ == "__main__":
+    main()

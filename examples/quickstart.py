@@ -1,0 +1,94 @@
+"""Quickstart: plan capacity for a handful of workloads.
+
+Builds six synthetic application workloads, declares one QoS policy,
+and runs the full R-Opus pipeline: QoS translation onto two classes of
+service, consolidation onto a pool of 16-way servers, and single-failure
+what-if planning.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    GeneticSearchConfig,
+    PoolCommitments,
+    QoSPolicy,
+    ROpus,
+    ResourcePool,
+    WorkloadGenerator,
+    WorkloadSpec,
+    TraceCalendar,
+    case_study_qos,
+    homogeneous_servers,
+)
+
+
+def main() -> None:
+    # --- 1. Workload demands: two weeks of 5-minute CPU observations.
+    calendar = TraceCalendar(weeks=2, slot_minutes=5)
+    generator = WorkloadGenerator(seed=42)
+    specs = [
+        WorkloadSpec(name="web-frontend", peak_cpus=3.0, noise_sigma=0.3),
+        WorkloadSpec(name="order-entry", peak_cpus=4.0, spike_rate_per_week=3.0,
+                     spike_magnitude=2.5, ceiling_cpus=7.0),
+        WorkloadSpec(name="reporting", peak_cpus=2.0, noise_sigma=0.4),
+        WorkloadSpec(name="search", peak_cpus=2.5, spike_rate_per_week=1.0,
+                     spike_magnitude=2.0, ceiling_cpus=6.0),
+        WorkloadSpec(name="billing", peak_cpus=1.5),
+        WorkloadSpec(name="auth", peak_cpus=1.0, noise_sigma=0.1),
+    ]
+    demands = generator.generate_many(specs, calendar)
+
+    # --- 2. The pool: four 16-way servers, CoS2 offered at theta = 0.9.
+    framework = ROpus(
+        PoolCommitments.of(theta=0.9, deadline_minutes=60),
+        ResourcePool(homogeneous_servers(4, cpus=16)),
+        search_config=GeneticSearchConfig(seed=7),
+    )
+
+    # --- 3. QoS policy: strict in normal mode, 3% degradation for at
+    # most 30 contiguous minutes while a failed server is repaired.
+    policy = QoSPolicy(
+        normal=case_study_qos(m_degr_percent=0),
+        failure=case_study_qos(m_degr_percent=3, t_degr_minutes=30),
+    )
+
+    # --- 4. Plan.
+    plan = framework.plan(demands, policy)
+
+    print("Plan summary")
+    print("------------")
+    for key, value in plan.summary().items():
+        print(f"  {key}: {value}")
+
+    print("\nPer-workload translation")
+    print("------------------------")
+    for name, result in plan.translations.items():
+        print(
+            f"  {name:13} D_max={result.d_max:5.2f}  "
+            f"cap={result.d_new_max:5.2f}  p={result.breakpoint:.3f}  "
+            f"max alloc={result.max_allocation:5.2f} CPUs"
+        )
+
+    print("\nPlacement")
+    print("---------")
+    for server, names in sorted(plan.consolidation.assignment.items()):
+        required = plan.consolidation.required_by_server[server]
+        print(f"  {server}: required {required:5.2f} CPUs  <- {', '.join(names)}")
+
+    if plan.failure_report is not None:
+        print("\nFailure what-ifs")
+        print("----------------")
+        for case in plan.failure_report.cases:
+            status = "absorbable" if case.feasible else "NEEDS SPARE"
+            print(
+                f"  lose {case.failed_server}: {status} "
+                f"({len(case.affected_workloads)} workloads displaced)"
+            )
+        need = "yes" if plan.failure_report.spare_server_needed else "no"
+        print(f"  spare server needed: {need}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim for environments whose pip/setuptools cannot build PEP 660
+editable wheels (no `wheel` package available offline)."""
+
+from setuptools import setup
+
+setup()

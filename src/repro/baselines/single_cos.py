@@ -1,0 +1,49 @@
+"""All-guaranteed baseline: every allocation in CoS1.
+
+If all demand is associated with the guaranteed class, each server must
+reserve the *sum of peak allocations* of its workloads — no statistical
+multiplexing is possible, and (as Section VII notes) the case study
+would need roughly twice as many servers. This baseline quantifies the
+value of having the second class of service at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.qos import ApplicationQoS
+from repro.traces.allocation import AllocationTrace, CoSAllocationPair
+from repro.traces.trace import DemandTrace
+
+
+def single_cos_pair(
+    demand: DemandTrace, qos: ApplicationQoS
+) -> CoSAllocationPair:
+    """Translate a workload with all demand in the guaranteed class.
+
+    The ``M_degr`` percentile cap still applies (it is a property of the
+    application QoS requirement, not of the CoS split), but the entire
+    capped allocation is guaranteed, so placement degenerates to peak-
+    based packing.
+    """
+    from repro.core.degradation import new_max_demand
+
+    cap = new_max_demand(demand, qos)
+    capped = np.minimum(demand.values, cap)
+    burst_factor = qos.acceptable.burst_factor
+    calendar = demand.calendar
+    return CoSAllocationPair(
+        demand.name,
+        AllocationTrace(
+            f"{demand.name}.cos1",
+            capped * burst_factor,
+            calendar,
+            demand.attribute,
+        ),
+        AllocationTrace(
+            f"{demand.name}.cos2",
+            np.zeros(calendar.n_observations),
+            calendar,
+            demand.attribute,
+        ),
+    )

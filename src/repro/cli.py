@@ -1,0 +1,315 @@
+"""Command-line interface: ``ropus`` / ``python -m repro``.
+
+Subcommands
+-----------
+``generate``
+    Write the synthetic case-study trace ensemble to CSV or JSON.
+``translate``
+    Run the QoS translation over an ensemble and print per-workload
+    breakpoints, demand caps and capacity reductions.
+``plan``
+    Run the full pipeline (translate, consolidate, failure what-ifs)
+    and print the plan summary.
+``table1``
+    Reproduce the paper's Table I sweep (M_degr x theta x T_degr).
+``validate``
+    Screen an ensemble for trace-quality problems.
+``outlook``
+    Long-term capacity outlook: when does the pool run out?
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.cos import PoolCommitments
+from repro.core.framework import ROpus
+from repro.core.qos import QoSPolicy, case_study_qos
+from repro.core.translation import QoSTranslator
+from repro.placement.genetic import GeneticSearchConfig
+from repro.resources.pool import ResourcePool
+from repro.resources.server import homogeneous_servers
+from repro.traces.io import load_traces_csv, save_traces_csv, save_traces_json
+from repro.util.tables import format_table
+from repro.workloads.ensemble import case_study_ensemble
+
+
+def _add_common_qos_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--theta", type=float, default=0.95,
+        help="CoS2 resource access probability (default 0.95)",
+    )
+    parser.add_argument(
+        "--m-degr", type=float, default=3.0,
+        help="percent of measurements allowed degraded (default 3)",
+    )
+    parser.add_argument(
+        "--t-degr", type=float, default=None,
+        help="max contiguous degraded minutes (default none)",
+    )
+    parser.add_argument(
+        "--traces", type=str, default=None,
+        help="CSV trace file (default: built-in synthetic ensemble)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2006,
+        help="seed for the synthetic ensemble (default 2006)",
+    )
+
+
+def _load_demands(args: argparse.Namespace):
+    if args.traces:
+        return load_traces_csv(args.traces)
+    return case_study_ensemble(seed=args.seed)
+
+
+def _qos(args: argparse.Namespace):
+    return case_study_qos(
+        m_degr_percent=args.m_degr, t_degr_minutes=args.t_degr
+    )
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    demands = case_study_ensemble(seed=args.seed, weeks=args.weeks)
+    if args.output.endswith(".json"):
+        save_traces_json(demands, args.output)
+    else:
+        save_traces_csv(demands, args.output)
+    print(
+        f"wrote {len(demands)} traces x {len(demands[0])} observations "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def cmd_translate(args: argparse.Namespace) -> int:
+    demands = _load_demands(args)
+    translator = QoSTranslator(PoolCommitments.of(theta=args.theta))
+    qos = _qos(args)
+    rows = []
+    for demand in demands:
+        result = translator.translate(demand, qos)
+        rows.append(
+            [
+                demand.name,
+                result.d_max,
+                result.d_new_max,
+                100.0 * result.cap_reduction,
+                result.breakpoint,
+                100.0 * result.degraded_fraction,
+            ]
+        )
+    print(
+        format_table(
+            ["workload", "D_max", "D_new_max", "reduction %", "p", "degraded %"],
+            rows,
+            title=(
+                f"QoS translation (theta={args.theta}, M_degr={args.m_degr}%, "
+                f"T_degr={args.t_degr or 'none'})"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    demands = _load_demands(args)
+    pool = ResourcePool(homogeneous_servers(args.servers, cpus=args.cpus))
+    framework = ROpus(
+        PoolCommitments.of(theta=args.theta),
+        pool,
+        search_config=GeneticSearchConfig(seed=args.seed),
+    )
+    policy = QoSPolicy(
+        normal=_qos(args),
+        failure=case_study_qos(m_degr_percent=3.0, t_degr_minutes=30.0),
+    )
+    plan = framework.plan(demands, policy, plan_failures=not args.no_failures)
+    for key, value in plan.summary().items():
+        print(f"{key}: {value}")
+    print()
+    rows = [
+        [server, ", ".join(names), plan.consolidation.required_by_server[server]]
+        for server, names in sorted(plan.consolidation.assignment.items())
+    ]
+    print(format_table(["server", "workloads", "required CPU"], rows))
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from repro.metrics.capacity import capacity_case
+    from repro.metrics.report import render_capacity_table
+
+    demands = _load_demands(args)
+    cases = [
+        ("1", 0.0, 0.60, None),
+        ("2", 3.0, 0.60, 30.0),
+        ("3", 3.0, 0.60, None),
+        ("4", 0.0, 0.95, None),
+        ("5", 3.0, 0.95, 30.0),
+        ("6", 3.0, 0.95, None),
+    ]
+    rows = []
+    for label, m_degr, theta, t_degr in cases:
+        framework = ROpus(
+            PoolCommitments.of(theta=theta, deadline_minutes=60),
+            ResourcePool(homogeneous_servers(args.servers, cpus=args.cpus)),
+            search_config=GeneticSearchConfig(seed=args.seed),
+        )
+        policy = QoSPolicy(
+            normal=case_study_qos(m_degr_percent=m_degr, t_degr_minutes=t_degr)
+        )
+        plan = framework.plan(demands, policy, plan_failures=False)
+        rows.append(
+            capacity_case(label, m_degr, theta, t_degr, plan.consolidation)
+        )
+    print(
+        render_capacity_table(
+            rows,
+            title="Impact of M_degr, T_degr and theta on resource sharing",
+        )
+    )
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.traces.validation import validate_ensemble
+
+    demands = _load_demands(args)
+    reports = validate_ensemble(demands)
+    dirty = 0
+    for name, report in sorted(reports.items()):
+        if report.clean:
+            continue
+        dirty += 1
+        for issue in report.issues:
+            location = (
+                f" [slots {issue.start}:{issue.stop}]"
+                if issue.start is not None
+                else ""
+            )
+            print(f"{name}: {issue.kind.value}: {issue.message}{location}")
+    print(f"{len(reports) - dirty}/{len(reports)} traces clean")
+    return 0 if dirty == 0 else 1
+
+
+def cmd_outlook(args: argparse.Namespace) -> int:
+    from repro.core.manager import CapacityManager
+
+    demands = _load_demands(args)
+    framework = ROpus(
+        PoolCommitments.of(theta=args.theta),
+        ResourcePool(homogeneous_servers(args.servers, cpus=args.cpus)),
+        search_config=GeneticSearchConfig(seed=args.seed),
+    )
+    manager = CapacityManager(framework)
+    policy = QoSPolicy(normal=_qos(args))
+    growth = None
+    if args.growth is not None:
+        growth = {demand.name: args.growth for demand in demands}
+    outlook = manager.capacity_outlook(
+        demands,
+        policy,
+        horizon_weeks=args.horizon,
+        step_weeks=args.step,
+        growth_by_name=growth,
+    )
+    rows = []
+    for step in outlook.steps:
+        rows.append(
+            [
+                step.weeks_ahead,
+                step.feasible,
+                step.servers_used if step.servers_used is not None else "-",
+                step.sum_required if step.sum_required is not None else "-",
+            ]
+        )
+    print(
+        format_table(
+            ["weeks ahead", "feasible", "servers", "C_requ"],
+            rows,
+            title="Capacity outlook",
+        )
+    )
+    if outlook.weeks_until_exhausted is None:
+        print("pool sufficient through the studied horizon")
+    else:
+        print(
+            f"pool exhausted {outlook.weeks_until_exhausted} weeks out — "
+            "start procurement"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ropus",
+        description="R-Opus capacity management for shared resource pools",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="generate the synthetic case-study ensemble"
+    )
+    generate.add_argument("output", help="output path (.csv or .json)")
+    generate.add_argument("--seed", type=int, default=2006)
+    generate.add_argument("--weeks", type=int, default=4)
+    generate.set_defaults(handler=cmd_generate)
+
+    translate = subparsers.add_parser(
+        "translate", help="run the QoS translation over an ensemble"
+    )
+    _add_common_qos_arguments(translate)
+    translate.set_defaults(handler=cmd_translate)
+
+    plan = subparsers.add_parser(
+        "plan", help="run the full planning pipeline"
+    )
+    _add_common_qos_arguments(plan)
+    plan.add_argument("--servers", type=int, default=12)
+    plan.add_argument("--cpus", type=int, default=16)
+    plan.add_argument("--no-failures", action="store_true")
+    plan.set_defaults(handler=cmd_plan)
+
+    table1 = subparsers.add_parser(
+        "table1", help="reproduce the paper's Table I sweep"
+    )
+    _add_common_qos_arguments(table1)
+    table1.add_argument("--servers", type=int, default=14)
+    table1.add_argument("--cpus", type=int, default=16)
+    table1.set_defaults(handler=cmd_table1)
+
+    validate = subparsers.add_parser(
+        "validate", help="screen an ensemble for trace-quality problems"
+    )
+    _add_common_qos_arguments(validate)
+    validate.set_defaults(handler=cmd_validate)
+
+    outlook = subparsers.add_parser(
+        "outlook", help="long-term capacity outlook under demand growth"
+    )
+    _add_common_qos_arguments(outlook)
+    outlook.add_argument("--servers", type=int, default=12)
+    outlook.add_argument("--cpus", type=int, default=16)
+    outlook.add_argument("--horizon", type=int, default=24)
+    outlook.add_argument("--step", type=int, default=4)
+    outlook.add_argument(
+        "--growth", type=float, default=None,
+        help="weekly growth multiplier for all workloads "
+             "(default: fitted per workload)",
+    )
+    outlook.set_defaults(handler=cmd_outlook)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Resource-pool class-of-service commitments (Section IV).
+
+The pool operator offers two classes of service:
+
+* **CoS1** is guaranteed: the placement service keeps the per-server sum
+  of peak CoS1 allocations within server capacity, so CoS1 requests are
+  always granted.
+* **CoS2** is statistically multiplexed: a unit of requested capacity is
+  available with at least the *resource access probability* ``theta``,
+  and requests not satisfied immediately must be satisfied within a
+  deadline of ``s`` slots.
+
+The commitment governs the degree of overbooking: a lower ``theta`` lets
+the operator pack more aggressively at the price of more application
+demand having to ride in CoS1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import CommitmentError
+from repro.traces.calendar import TraceCalendar
+
+GUARANTEED_COS = "CoS1"
+MULTIPLEXED_COS = "CoS2"
+
+
+@dataclass(frozen=True)
+class CoSCommitment:
+    """The CoS2 commitment: access probability plus satisfaction deadline.
+
+    Parameters
+    ----------
+    theta:
+        Minimum resource access probability for CoS2, in ``(0, 1]``.
+        ``theta=1`` makes CoS2 as strong as CoS1.
+    deadline_minutes:
+        Demands not satisfied on request must be satisfied within this
+        many minutes (the paper's case study uses 60).
+    """
+
+    theta: float
+    deadline_minutes: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.theta <= 1.0:
+            raise CommitmentError(f"theta must be in (0, 1], got {self.theta}")
+        if self.deadline_minutes < 0:
+            raise CommitmentError(
+                f"deadline must be >= 0 minutes, got {self.deadline_minutes}"
+            )
+
+    def deadline_slots(self, calendar: TraceCalendar) -> int:
+        """The deadline ``s`` expressed in whole observation slots."""
+        return calendar.slots_for_duration(self.deadline_minutes)
+
+
+@dataclass(frozen=True)
+class PoolCommitments:
+    """The pool's complete resource-access QoS offering.
+
+    CoS1 needs no parameters (it is guaranteed by construction); the pool
+    is therefore fully described by its CoS2 commitment.
+    """
+
+    cos2: CoSCommitment
+
+    @property
+    def theta(self) -> float:
+        return self.cos2.theta
+
+    @classmethod
+    def of(cls, theta: float, deadline_minutes: float = 60.0) -> "PoolCommitments":
+        """Shorthand constructor: ``PoolCommitments.of(0.95)``."""
+        return cls(CoSCommitment(theta=theta, deadline_minutes=deadline_minutes))

@@ -1,0 +1,176 @@
+"""Per-period degraded-epoch budget (the paper's footnote 2 extension).
+
+Section III notes: "An additional constraint on the number of degraded
+epochs per time period, e.g., per day or week, is a useful enhancement."
+A user who sees three separate slowdowns in one afternoon complains even
+if each was short; this module bounds the *count* of degraded epochs
+(maximal contiguous degraded runs) within each fixed period of the
+trace.
+
+Enforcement parallels the ``T_degr`` analysis: while some period
+contains more than the budgeted number of epochs, the *cheapest whole
+epoch* — the one whose largest demand is smallest — is eliminated by
+raising ``D_new_max`` until that epoch's peak observation performs
+acceptably. Eliminating whole epochs (rather than splitting them, as the
+``T_degr`` promotion does) guarantees the per-period count decreases.
+Each step strictly raises the cap, so the loop terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.time_limited import DEGRADED_TOLERANCE, expected_utilization
+from repro.exceptions import TranslationError
+from repro.traces.ops import contiguous_runs_above
+
+
+@dataclass(frozen=True)
+class EpochBudgetResult:
+    """Outcome of the per-period epoch-budget enforcement.
+
+    Attributes
+    ----------
+    d_new_max:
+        The final demand cap; >= the input cap.
+    iterations:
+        Number of epoch-elimination steps performed.
+    worst_period_epochs:
+        Largest per-period epoch count remaining under the final cap.
+    """
+
+    d_new_max: float
+    iterations: int
+    worst_period_epochs: int
+
+
+def count_epochs_per_period(
+    degraded_mask: np.ndarray, period_slots: int
+) -> list[int]:
+    """Number of degraded epochs intersecting each period.
+
+    An epoch spanning a period boundary counts toward every period it
+    touches — from the user's point of view both days had a slowdown.
+    """
+    if period_slots < 1:
+        raise TranslationError(
+            f"period_slots must be >= 1, got {period_slots}"
+        )
+    n = degraded_mask.shape[0]
+    n_periods = (n + period_slots - 1) // period_slots
+    counts = [0] * n_periods
+    for run in contiguous_runs_above(degraded_mask.astype(float), 0.5):
+        first_period = run.start // period_slots
+        last_period = (run.stop - 1) // period_slots
+        for period in range(first_period, last_period + 1):
+            counts[period] += 1
+    return counts
+
+
+def enforce_epoch_budget(
+    demand_values: np.ndarray,
+    initial_cap: float,
+    breakpoint_fraction: float,
+    theta: float,
+    u_low: float,
+    u_high: float,
+    max_epochs_per_period: int,
+    period_slots: int,
+) -> EpochBudgetResult:
+    """Raise ``D_new_max`` until no period exceeds its epoch budget.
+
+    Parameters mirror
+    :func:`~repro.core.time_limited.enforce_time_limited_degradation`,
+    plus the budget itself: at most ``max_epochs_per_period`` degraded
+    epochs may intersect any window of ``period_slots`` observations
+    (aligned to the start of the trace — pass the calendar's
+    ``slots_per_day`` for a daily budget).
+    """
+    values = np.asarray(demand_values, dtype=float)
+    if initial_cap < 0:
+        raise TranslationError(f"initial cap must be >= 0, got {initial_cap}")
+    if max_epochs_per_period < 0:
+        raise TranslationError(
+            f"max_epochs_per_period must be >= 0, got {max_epochs_per_period}"
+        )
+    if period_slots < 1:
+        raise TranslationError(f"period_slots must be >= 1, got {period_slots}")
+
+    # Promoting an epoch's peak demand D to acceptable performance needs
+    # cap >= D * u_low / (u_high * (p(1-theta)+theta)) — the same
+    # promotion factor as formula 10 of the T_degr analysis.
+    promotion_factor = u_low / (
+        u_high * (breakpoint_fraction * (1.0 - theta) + theta)
+    )
+
+    cap = float(initial_cap)
+    iterations = 0
+    max_iterations = values.shape[0] + 1
+
+    while True:
+        utilization = expected_utilization(
+            values, cap, breakpoint_fraction, theta, u_low
+        )
+        degraded = (utilization > u_high + DEGRADED_TOLERANCE) & (values > 0)
+        victim_peak = _cheapest_epoch_in_overfull_period(
+            values, degraded, max_epochs_per_period, period_slots
+        )
+        if victim_peak is None:
+            break
+        new_cap = victim_peak * promotion_factor
+        if new_cap <= cap:
+            new_cap = np.nextafter(cap, np.inf)
+        cap = new_cap
+        iterations += 1
+        if iterations > max_iterations:
+            raise TranslationError(
+                "epoch-budget enforcement failed to converge"
+            )
+
+    final_utilization = expected_utilization(
+        values, cap, breakpoint_fraction, theta, u_low
+    )
+    final_degraded = (
+        final_utilization > u_high + DEGRADED_TOLERANCE
+    ) & (values > 0)
+    counts = count_epochs_per_period(final_degraded, period_slots)
+    return EpochBudgetResult(
+        d_new_max=cap,
+        iterations=iterations,
+        worst_period_epochs=max(counts) if counts else 0,
+    )
+
+
+def _cheapest_epoch_in_overfull_period(
+    values: np.ndarray,
+    degraded_mask: np.ndarray,
+    max_epochs_per_period: int,
+    period_slots: int,
+) -> float | None:
+    """Peak demand of the cheapest epoch in the first over-budget period.
+
+    Among the epochs intersecting that period, returns the smallest
+    per-epoch *maximum* demand — eliminating that epoch entirely needs
+    the smallest cap increase.
+    """
+    counts = count_epochs_per_period(degraded_mask, period_slots)
+    overfull = next(
+        (
+            period
+            for period, count in enumerate(counts)
+            if count > max_epochs_per_period
+        ),
+        None,
+    )
+    if overfull is None:
+        return None
+    period_start = overfull * period_slots
+    period_stop = period_start + period_slots
+    epoch_peaks = [
+        float(values[run.start : run.stop].max())
+        for run in contiguous_runs_above(degraded_mask.astype(float), 0.5)
+        if run.start < period_stop and run.stop > period_start
+    ]
+    return min(epoch_peaks)

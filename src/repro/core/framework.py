@@ -1,0 +1,174 @@
+"""The R-Opus facade: translate, place, and plan for failures.
+
+:class:`ROpus` wires the framework's pieces together the way Figure 2 of
+the paper draws them:
+
+1. the pool operator supplies :class:`~repro.core.cos.PoolCommitments`
+   and a :class:`~repro.resources.pool.ResourcePool`;
+2. each application owner supplies a
+   :class:`~repro.core.qos.QoSPolicy` (normal- and failure-mode QoS);
+3. the QoS translation maps demands onto the two CoS;
+4. the workload placement service consolidates the translated workloads
+   onto few servers, and the failure planner reports whether a spare
+   server is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.core.cos import PoolCommitments
+from repro.core.qos import ApplicationQoS, QoSPolicy
+from repro.core.translation import QoSTranslator, TranslationResult
+from repro.exceptions import ConfigurationError
+from repro.placement.consolidation import ConsolidationResult, Consolidator
+from repro.placement.failure import FailurePlanner, FailureReport
+from repro.placement.genetic import GeneticSearchConfig
+from repro.resources.pool import ResourcePool
+from repro.traces.trace import DemandTrace
+
+PolicyMap = Union[Mapping[str, QoSPolicy], QoSPolicy]
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Everything the capacity manager needs from one planning run."""
+
+    translations: Mapping[str, TranslationResult]
+    consolidation: ConsolidationResult
+    failure_report: Optional[FailureReport]
+
+    @property
+    def servers_used(self) -> int:
+        return self.consolidation.servers_used
+
+    @property
+    def spare_server_needed(self) -> Optional[bool]:
+        """Whether failures require a spare (``None`` if not analysed)."""
+        if self.failure_report is None:
+            return None
+        return self.failure_report.spare_server_needed
+
+    def summary(self) -> dict[str, object]:
+        """A compact report of the headline planning quantities."""
+        return {
+            "workloads": len(self.translations),
+            "servers_used": self.servers_used,
+            "sum_required": self.consolidation.sum_required,
+            "sum_peak_allocations": self.consolidation.sum_peak_allocations,
+            "sharing_savings": self.consolidation.sharing_savings(),
+            "spare_server_needed": self.spare_server_needed,
+        }
+
+
+class ROpus:
+    """The composite framework, end to end.
+
+    >>> from repro.core.cos import PoolCommitments
+    >>> from repro.core.qos import QoSPolicy, case_study_qos
+    >>> from repro.resources.pool import ResourcePool
+    >>> from repro.resources.server import homogeneous_servers
+    >>> framework = ROpus(
+    ...     PoolCommitments.of(theta=0.95),
+    ...     ResourcePool(homogeneous_servers(4)),
+    ... )  # then framework.plan(demands, QoSPolicy(case_study_qos()))
+    """
+
+    def __init__(
+        self,
+        commitments: PoolCommitments,
+        pool: ResourcePool,
+        *,
+        search_config: GeneticSearchConfig | None = None,
+        tolerance: float = 0.01,
+        attribute: str = "cpu",
+    ):
+        self.commitments = commitments
+        self.pool = pool
+        self.search_config = search_config
+        self.tolerance = tolerance
+        self.attribute = attribute
+        self.translator = QoSTranslator(commitments)
+
+    def translate(
+        self,
+        demands: Sequence[DemandTrace],
+        policies: PolicyMap,
+        *,
+        failure_mode: bool = False,
+    ) -> dict[str, TranslationResult]:
+        """Run the QoS translation for every workload in one mode."""
+        results: dict[str, TranslationResult] = {}
+        for demand in demands:
+            if demand.name in results:
+                raise ConfigurationError(
+                    f"duplicate workload name {demand.name!r}"
+                )
+            qos = self._qos_for(policies, demand.name, failure_mode)
+            results[demand.name] = self.translator.translate(demand, qos)
+        return results
+
+    def plan(
+        self,
+        demands: Sequence[DemandTrace],
+        policies: PolicyMap,
+        *,
+        plan_failures: bool = True,
+        relax_all_on_failure: bool = True,
+        algorithm: str = "genetic",
+        previous: "ConsolidationResult | None" = None,
+    ) -> CapacityPlan:
+        """Translate, consolidate, and (optionally) analyse failures.
+
+        ``previous`` seeds the placement search with an earlier plan so
+        re-planning favours low-migration solutions (see
+        :meth:`~repro.placement.consolidation.Consolidator.consolidate`).
+        """
+        translations = self.translate(demands, policies)
+        pairs = [result.pair for result in translations.values()]
+        consolidator = Consolidator(
+            self.pool,
+            self.commitments.cos2,
+            config=self.search_config,
+            tolerance=self.tolerance,
+            attribute=self.attribute,
+        )
+        consolidation = consolidator.consolidate(
+            pairs, algorithm=algorithm, previous=previous
+        )
+
+        failure_report: FailureReport | None = None
+        if plan_failures:
+            planner = FailurePlanner(
+                self.translator,
+                config=self.search_config,
+                tolerance=self.tolerance,
+                attribute=self.attribute,
+            )
+            failure_report = planner.plan(
+                demands,
+                policies,
+                self.pool,
+                consolidation,
+                relax_all=relax_all_on_failure,
+                algorithm=algorithm,
+            )
+        return CapacityPlan(
+            translations=translations,
+            consolidation=consolidation,
+            failure_report=failure_report,
+        )
+
+    def _qos_for(
+        self, policies: PolicyMap, name: str, failure_mode: bool
+    ) -> ApplicationQoS:
+        if isinstance(policies, QoSPolicy):
+            return policies.mode(failure_mode)
+        try:
+            policy = policies[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no QoS policy given for workload {name!r}"
+            ) from None
+        return policy.mode(failure_mode)

@@ -1,0 +1,236 @@
+"""End-to-end QoS translation (Section V assembled).
+
+The :class:`QoSTranslator` turns an application's demand trace plus its
+QoS requirement into per-CoS allocation traces for the workload manager,
+guaranteeing the application QoS as long as the pool honours its CoS
+commitments. The pipeline is:
+
+1. compute the breakpoint ``p`` from the acceptable band and the pool's
+   CoS2 access probability (formula 1);
+2. compute the demand cap ``D_new_max`` from the ``M_degr`` relaxation
+   (formulas 2-3);
+3. raise the cap as needed to honour the ``T_degr`` contiguous-
+   degradation limit (formulas 6-11);
+4. split each observation's (capped) demand at ``p x D_new_max`` between
+   CoS1 and CoS2 and scale by the burst factor ``1 / U_low`` to obtain
+   allocation requirements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.cos import PoolCommitments
+from repro.core.degradation import new_max_demand, realized_cap_reduction
+from repro.core.epoch_limited import EpochBudgetResult, enforce_epoch_budget
+from repro.core.partition import breakpoint_fraction, partition_demand
+from repro.core.qos import ApplicationQoS
+from repro.core.time_limited import (
+    DEGRADED_TOLERANCE,
+    TimeLimitedResult,
+    enforce_time_limited_degradation,
+    expected_utilization,
+)
+from repro.exceptions import TranslationError
+from repro.resources.container import ResourceContainer
+from repro.traces.allocation import AllocationTrace, CoSAllocationPair
+from repro.traces.ops import longest_run_above
+from repro.traces.trace import DemandTrace
+
+
+@dataclass(frozen=True)
+class TranslationResult:
+    """A translated workload plus the diagnostics the paper reports.
+
+    Attributes
+    ----------
+    pair:
+        Per-CoS allocation traces for the workload manager.
+    breakpoint:
+        The CoS1 fraction ``p`` (formula 1).
+    d_max / d_new_max:
+        Raw peak demand and the final demand cap.
+    cap_reduction:
+        ``(D_max - D_new_max) / D_max`` (formula 4; the Figure 7 y-axis).
+    degraded_fraction:
+        Fraction of observations degraded under the worst-case model (the
+        Figure 8 y-axis).
+    longest_degraded_run_slots:
+        Longest remaining contiguous degraded stretch.
+    time_limited:
+        Details of the ``T_degr`` iteration, when it ran.
+    epoch_budget:
+        Details of the per-day epoch-budget iteration, when it ran.
+    """
+
+    pair: CoSAllocationPair
+    breakpoint: float
+    d_max: float
+    d_new_max: float
+    cap_reduction: float
+    degraded_fraction: float
+    longest_degraded_run_slots: int
+    time_limited: Optional[TimeLimitedResult] = None
+    epoch_budget: Optional[EpochBudgetResult] = None
+
+    @property
+    def max_allocation(self) -> float:
+        """The workload's maximum total allocation (C_peak contribution)."""
+        return self.pair.peak_allocation()
+
+
+class QoSTranslator:
+    """Maps application demands onto the pool's two classes of service."""
+
+    def __init__(self, commitments: PoolCommitments):
+        self.commitments = commitments
+
+    def translate(
+        self, demand: DemandTrace, qos: ApplicationQoS
+    ) -> TranslationResult:
+        """Translate one workload's demand trace under one QoS mode."""
+        theta = self.commitments.theta
+        p = breakpoint_fraction(qos.u_low, qos.u_high, theta)
+
+        cap = new_max_demand(demand, qos)
+        time_limited: TimeLimitedResult | None = None
+        if qos.t_degr_minutes is not None and qos.m_degr_percent > 0:
+            max_run_slots = demand.calendar.slots_for_duration(
+                qos.t_degr_minutes
+            )
+            time_limited = enforce_time_limited_degradation(
+                demand.values,
+                initial_cap=cap,
+                breakpoint_fraction=p,
+                theta=theta,
+                u_low=qos.u_low,
+                u_high=qos.u_high,
+                max_run_slots=max_run_slots,
+            )
+            cap = time_limited.d_new_max
+
+        epoch_budget: EpochBudgetResult | None = None
+        if qos.epochs_per_day is not None and qos.m_degr_percent > 0:
+            epoch_budget = enforce_epoch_budget(
+                demand.values,
+                initial_cap=cap,
+                breakpoint_fraction=p,
+                theta=theta,
+                u_low=qos.u_low,
+                u_high=qos.u_high,
+                max_epochs_per_period=qos.epochs_per_day,
+                period_slots=demand.calendar.slots_per_day,
+            )
+            cap = epoch_budget.d_new_max
+
+        cos1_demand, cos2_demand = partition_demand(
+            demand.values, cap, p * cap
+        )
+        burst_factor = qos.acceptable.burst_factor
+        pair = CoSAllocationPair(
+            demand.name,
+            AllocationTrace(
+                f"{demand.name}.cos1",
+                cos1_demand * burst_factor,
+                demand.calendar,
+                demand.attribute,
+            ),
+            AllocationTrace(
+                f"{demand.name}.cos2",
+                cos2_demand * burst_factor,
+                demand.calendar,
+                demand.attribute,
+            ),
+        )
+
+        utilization = expected_utilization(
+            demand.values, cap, p, theta, qos.u_low
+        )
+        degraded_mask = (
+            utilization > qos.u_high + DEGRADED_TOLERANCE
+        ) & (demand.values > 0)
+        degraded_fraction = (
+            float(np.count_nonzero(degraded_mask)) / len(demand)
+            if len(demand)
+            else 0.0
+        )
+        self._check_degradation_budget(demand, qos, utilization, degraded_fraction)
+
+        return TranslationResult(
+            pair=pair,
+            breakpoint=p,
+            d_max=demand.peak(),
+            d_new_max=cap,
+            cap_reduction=realized_cap_reduction(demand, cap),
+            degraded_fraction=degraded_fraction,
+            longest_degraded_run_slots=longest_run_above(
+                degraded_mask.astype(float), 0.5
+            ),
+            time_limited=time_limited,
+            epoch_budget=epoch_budget,
+        )
+
+    def translate_container(
+        self, container: ResourceContainer, qos: ApplicationQoS
+    ) -> ResourceContainer:
+        """Attach translated allocation traces to a container."""
+        result = self.translate(container.demand, qos)
+        return container.with_allocation(result.pair)
+
+    def translate_many(
+        self,
+        demands: Sequence[DemandTrace],
+        qos_by_name: Mapping[str, ApplicationQoS] | ApplicationQoS,
+    ) -> dict[str, TranslationResult]:
+        """Translate an ensemble; accepts one shared QoS or a per-name map."""
+        results: dict[str, TranslationResult] = {}
+        for demand in demands:
+            if isinstance(qos_by_name, ApplicationQoS):
+                qos = qos_by_name
+            else:
+                try:
+                    qos = qos_by_name[demand.name]
+                except KeyError:
+                    raise TranslationError(
+                        f"no QoS requirement given for workload {demand.name!r}"
+                    ) from None
+            if demand.name in results:
+                raise TranslationError(
+                    f"duplicate workload name {demand.name!r}"
+                )
+            results[demand.name] = self.translate(demand, qos)
+        return results
+
+    def _check_degradation_budget(
+        self,
+        demand: DemandTrace,
+        qos: ApplicationQoS,
+        utilization: np.ndarray,
+        degraded_fraction: float,
+    ) -> None:
+        """Verify the translation's own guarantees on the input trace.
+
+        By construction the worst-case utilization never exceeds
+        ``U_degr`` and the degraded percentage stays within ``M_degr``;
+        violations indicate an internal inconsistency and raise rather
+        than silently producing an unsound plan.
+        """
+        tolerance = 1e-9
+        budget = qos.m_degr_percent / 100.0
+        if degraded_fraction > budget + tolerance:
+            raise TranslationError(
+                f"internal error: workload {demand.name!r} has "
+                f"{degraded_fraction:.4%} degraded observations, budget is "
+                f"{budget:.4%}"
+            )
+        ceiling = qos.u_degr if qos.u_degr is not None else qos.u_high
+        positive = demand.values > 0
+        if positive.any() and float(utilization[positive].max()) > ceiling + 1e-6:
+            raise TranslationError(
+                f"internal error: workload {demand.name!r} worst-case "
+                f"utilization {float(utilization[positive].max()):.4f} exceeds "
+                f"ceiling {ceiling}"
+            )

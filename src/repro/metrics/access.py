@@ -1,0 +1,82 @@
+"""Resource access probability measurement (Section IV).
+
+The paper defines the measured theta for an attribute with capacity
+limit ``L`` as::
+
+    theta = min_w min_t  sum_x min(A_wxt, L) / sum_x A_wxt
+
+where ``A_wxt`` is the aggregate allocation requested in week ``w``, day
+``x``, slot-of-day ``t``: the *minimum* resource access probability
+received in any week for any of the ``T`` slots per day. Time-of-day
+slots are compared across the days of a week to capture the diurnal
+nature of interactive enterprise workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import CapacityError, TraceError
+from repro.traces.allocation import AllocationTrace
+from repro.traces.calendar import TraceCalendar
+
+
+def theta_by_slot(
+    allocation: AllocationTrace, capacity: float
+) -> np.ndarray:
+    """Per-(week, slot-of-day) access ratios, shape ``(weeks, T)``.
+
+    Slots whose seven-day aggregate request is zero count as fully
+    satisfied (ratio 1): no demand was denied.
+    """
+    if capacity <= 0:
+        raise CapacityError(f"capacity must be > 0, got {capacity}")
+    calendar = allocation.calendar
+    requested = calendar.slot_of_day_view(allocation.values)
+    satisfied = np.minimum(requested, capacity)
+    weekly_requested = requested.sum(axis=1)
+    weekly_satisfied = satisfied.sum(axis=1)
+    ratios = np.ones_like(weekly_requested)
+    positive = weekly_requested > 0
+    ratios[positive] = weekly_satisfied[positive] / weekly_requested[positive]
+    return ratios
+
+
+def measure_theta(allocation: AllocationTrace, capacity: float) -> float:
+    """The paper's theta: the worst (week, slot-of-day) access ratio."""
+    ratios = theta_by_slot(allocation, capacity)
+    return float(ratios.min()) if ratios.size else 1.0
+
+
+def required_capacity_for_theta(
+    allocation: AllocationTrace,
+    theta: float,
+    capacity_limit: float,
+    tolerance: float = 0.01,
+) -> float | None:
+    """Smallest capacity achieving ``theta`` for one allocation series.
+
+    This is the single-CoS special case of the required-capacity search:
+    monotone in capacity, so a binary search applies. Returns ``None``
+    when even ``capacity_limit`` cannot reach ``theta``.
+    """
+    if not 0 < theta <= 1:
+        raise TraceError(f"theta must be in (0, 1], got {theta}")
+    if capacity_limit <= 0:
+        raise CapacityError(
+            f"capacity_limit must be > 0, got {capacity_limit}"
+        )
+    if tolerance <= 0:
+        raise CapacityError(f"tolerance must be > 0, got {tolerance}")
+    if measure_theta(allocation, capacity_limit) < theta:
+        return None
+    low, high = tolerance, float(capacity_limit)
+    if measure_theta(allocation, low) >= theta:
+        return low
+    while high - low > tolerance:
+        mid = (low + high) / 2.0
+        if measure_theta(allocation, mid) >= theta:
+            high = mid
+        else:
+            low = mid
+    return high

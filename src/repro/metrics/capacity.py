@@ -1,0 +1,58 @@
+"""Capacity economics summaries — the columns of the paper's Table I."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.placement.consolidation import ConsolidationResult
+
+
+@dataclass(frozen=True)
+class CapacityCase:
+    """One row of a Table I-style comparison.
+
+    Attributes mirror the paper's columns: the degradation budget
+    ``M_degr`` (percent), the CoS2 access probability ``theta``, the
+    contiguous-degradation limit ``T_degr`` (minutes, ``None`` for no
+    limit), the number of servers the placement used, and the summed
+    required (``C_requ``) and peak (``C_peak``) CPU capacities.
+    """
+
+    label: str
+    m_degr_percent: float
+    theta: float
+    t_degr_minutes: Optional[float]
+    servers_used: int
+    sum_required: float
+    sum_peak_allocations: float
+
+    @property
+    def sharing_savings(self) -> float:
+        if self.sum_peak_allocations == 0:
+            return 0.0
+        return 1.0 - self.sum_required / self.sum_peak_allocations
+
+    def t_degr_label(self) -> str:
+        if self.t_degr_minutes is None:
+            return "none"
+        return f"{self.t_degr_minutes:g} min"
+
+
+def capacity_case(
+    label: str,
+    m_degr_percent: float,
+    theta: float,
+    t_degr_minutes: Optional[float],
+    result: ConsolidationResult,
+) -> CapacityCase:
+    """Build a comparison row from a consolidation result."""
+    return CapacityCase(
+        label=label,
+        m_degr_percent=m_degr_percent,
+        theta=theta,
+        t_degr_minutes=t_degr_minutes,
+        servers_used=result.servers_used,
+        sum_required=result.sum_required,
+        sum_peak_allocations=result.sum_peak_allocations,
+    )

@@ -1,0 +1,120 @@
+"""Per-server utilization analysis of a consolidation plan.
+
+The consolidation objective only sees one number per server (required
+capacity over limit); operators want the time dimension back: how hot is
+each server across the day, how much of the requested allocation rides
+the guaranteed class, and how close do the aggregate requests come to
+the capacity limit. These summaries feed capacity reviews and the
+medium-term re-planning decisions of :mod:`repro.core.manager`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import PlacementError
+from repro.placement.consolidation import ConsolidationResult
+from repro.resources.pool import ResourcePool
+from repro.traces.allocation import CoSAllocationPair, aggregate_pairs
+
+
+@dataclass(frozen=True)
+class ServerUtilizationSummary:
+    """Requested-allocation statistics for one used server."""
+
+    server: str
+    capacity_limit: float
+    required_capacity: float
+    peak_requested: float
+    mean_requested: float
+    p95_requested: float
+    cos1_share: float
+    slots_above_limit: int
+
+    @property
+    def mean_utilization_of_limit(self) -> float:
+        return self.mean_requested / self.capacity_limit
+
+    @property
+    def peak_utilization_of_limit(self) -> float:
+        return self.peak_requested / self.capacity_limit
+
+
+def server_utilization(
+    pairs: Sequence[CoSAllocationPair],
+    server_name: str,
+    capacity_limit: float,
+    required_capacity: float,
+) -> ServerUtilizationSummary:
+    """Summarise the aggregate allocation requests against one server."""
+    if capacity_limit <= 0:
+        raise PlacementError(
+            f"capacity_limit must be > 0, got {capacity_limit}"
+        )
+    aggregate = aggregate_pairs(list(pairs), name=server_name)
+    total = aggregate.cos1.values + aggregate.cos2.values
+    cos1_volume = float(aggregate.cos1.values.sum())
+    total_volume = float(total.sum())
+    return ServerUtilizationSummary(
+        server=server_name,
+        capacity_limit=float(capacity_limit),
+        required_capacity=float(required_capacity),
+        peak_requested=float(total.max()),
+        mean_requested=float(total.mean()),
+        p95_requested=float(np.percentile(total, 95)),
+        cos1_share=(cos1_volume / total_volume) if total_volume > 0 else 0.0,
+        slots_above_limit=int(np.count_nonzero(total > capacity_limit)),
+    )
+
+
+def consolidation_utilization(
+    result: ConsolidationResult,
+    pairs_by_name: Mapping[str, CoSAllocationPair],
+    pool: ResourcePool,
+    attribute: str = "cpu",
+) -> dict[str, ServerUtilizationSummary]:
+    """Per-server utilization summaries for a whole plan.
+
+    ``pairs_by_name`` maps workload names to their translated allocation
+    pairs (e.g. ``{name: plan.translations[name].pair ...}``).
+    """
+    summaries: dict[str, ServerUtilizationSummary] = {}
+    for server_name, workload_names in result.assignment.items():
+        missing = [
+            name for name in workload_names if name not in pairs_by_name
+        ]
+        if missing:
+            raise PlacementError(
+                f"no allocation pairs for workloads {missing} on "
+                f"{server_name!r}"
+            )
+        server = pool[server_name]
+        summaries[server_name] = server_utilization(
+            [pairs_by_name[name] for name in workload_names],
+            server_name,
+            server.capacity_of(attribute),
+            result.required_by_server[server_name],
+        )
+    return summaries
+
+
+def pool_balance(
+    summaries: Mapping[str, ServerUtilizationSummary],
+) -> float:
+    """Imbalance of mean utilization across used servers.
+
+    Returns the coefficient of variation (std/mean) of the per-server
+    mean utilizations: 0 for a perfectly balanced plan. A very high
+    value flags a straggler server the next re-plan should fold in.
+    """
+    if not summaries:
+        return 0.0
+    means = np.array(
+        [summary.mean_utilization_of_limit for summary in summaries.values()]
+    )
+    if means.mean() == 0:
+        return 0.0
+    return float(means.std() / means.mean())

@@ -1,0 +1,53 @@
+"""Workload placement service (Section VI).
+
+Components:
+
+* :mod:`repro.placement.simulator` — replay aggregate per-CoS allocation
+  traces against one server's capacity and measure the resource access
+  CoS statistics (theta and the satisfaction deadline);
+* :mod:`repro.placement.required_capacity` — binary search for the
+  smallest capacity satisfying the commitments;
+* :mod:`repro.placement.objective` — the consolidation score;
+* :mod:`repro.placement.genetic` — the genetic optimizing search;
+* :mod:`repro.placement.greedy` / :mod:`repro.placement.binpack` —
+  baseline placement algorithms;
+* :mod:`repro.placement.consolidation` — the end-to-end consolidation
+  exercise;
+* :mod:`repro.placement.failure` — single-failure what-if planning.
+"""
+
+from repro.placement.consolidation import ConsolidationResult, Consolidator
+from repro.placement.correlation import (
+    allocation_correlation_matrix,
+    correlation_aware_seed,
+)
+from repro.placement.failure import FailurePlanner, FailureReport
+from repro.placement.genetic import GeneticPlacementSearch, GeneticSearchConfig
+from repro.placement.greedy import best_fit_decreasing, first_fit_decreasing
+from repro.placement.multi_attribute import (
+    MultiAttributeConsolidator,
+    MultiAttributeEvaluator,
+)
+from repro.placement.objective import assignment_score, server_score
+from repro.placement.required_capacity import required_capacity
+from repro.placement.simulator import AccessReport, SingleServerSimulator
+
+__all__ = [
+    "AccessReport",
+    "ConsolidationResult",
+    "Consolidator",
+    "FailurePlanner",
+    "FailureReport",
+    "GeneticPlacementSearch",
+    "GeneticSearchConfig",
+    "MultiAttributeConsolidator",
+    "MultiAttributeEvaluator",
+    "SingleServerSimulator",
+    "allocation_correlation_matrix",
+    "assignment_score",
+    "best_fit_decreasing",
+    "correlation_aware_seed",
+    "first_fit_decreasing",
+    "required_capacity",
+    "server_score",
+]

@@ -1,0 +1,173 @@
+"""Scalar bin-packing baseline (the ILP stand-in from related work).
+
+The authors' earlier consolidation work packed workloads by *peak*
+demand with an Integer Linear Programming bin-packing formulation and
+found it computationally impractical for ongoing management
+(Section VIII). This module reproduces that comparator:
+
+* items are per-workload peak allocations (a scalar — no statistical
+  multiplexing, no time structure);
+* :func:`pack_first_fit_decreasing` is the classic 11/9-approximation;
+* :func:`pack_branch_and_bound` is an exact solver practical for small
+  instances, standing in for the ILP.
+
+Because peak-based packing must reserve every workload's peak
+simultaneously, it needs substantially more servers than the
+trace-driven R-Opus placement — which is precisely the comparison the
+ablation benchmark draws.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import InfeasiblePlacementError, PlacementError
+
+
+@dataclass(frozen=True)
+class PackingResult:
+    """A scalar bin-packing solution."""
+
+    bins: tuple[tuple[int, ...], ...]
+    capacity: float
+    optimal: bool
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.bins)
+
+
+def _validate(sizes: Sequence[float], capacity: float) -> list[float]:
+    if capacity <= 0:
+        raise PlacementError(f"bin capacity must be > 0, got {capacity}")
+    values = [float(size) for size in sizes]
+    for index, size in enumerate(values):
+        if size < 0:
+            raise PlacementError(f"item {index} has negative size {size}")
+        if size > capacity:
+            raise InfeasiblePlacementError(
+                f"item {index} (size {size}) exceeds bin capacity {capacity}"
+            )
+    return values
+
+
+def lower_bound(sizes: Sequence[float], capacity: float) -> int:
+    """The volume lower bound ``ceil(sum(sizes) / capacity)``."""
+    values = _validate(sizes, capacity)
+    if not values:
+        return 0
+    total = sum(values)
+    bound = math.ceil(total / capacity - 1e-9)
+    return max(bound, 1 if total > 0 else 0)
+
+
+def pack_first_fit_decreasing(
+    sizes: Sequence[float], capacity: float
+) -> PackingResult:
+    """First-fit decreasing packing of scalar items."""
+    values = _validate(sizes, capacity)
+    order = sorted(range(len(values)), key=lambda index: -values[index])
+    bins: list[list[int]] = []
+    remaining: list[float] = []
+    for index in order:
+        size = values[index]
+        for bin_index, slack in enumerate(remaining):
+            if size <= slack + 1e-9:
+                bins[bin_index].append(index)
+                remaining[bin_index] = slack - size
+                break
+        else:
+            bins.append([index])
+            remaining.append(capacity - size)
+    return PackingResult(
+        bins=tuple(tuple(sorted(group)) for group in bins),
+        capacity=capacity,
+        optimal=len(bins) == lower_bound(values, capacity),
+    )
+
+
+def pack_branch_and_bound(
+    sizes: Sequence[float],
+    capacity: float,
+    max_nodes: int = 200_000,
+) -> PackingResult:
+    """Exact bin packing by depth-first branch and bound.
+
+    Items are considered largest-first; each is tried in every open bin
+    with room (skipping bins with identical slack) and then in a new
+    bin. The search prunes on the volume lower bound and an incumbent
+    from first-fit decreasing. ``max_nodes`` caps the exploration — when
+    exhausted the incumbent is returned with ``optimal=False``, which is
+    exactly the impracticality the paper reports for ILP solutions on
+    larger instances.
+    """
+    values = _validate(sizes, capacity)
+    if not values:
+        return PackingResult(bins=(), capacity=capacity, optimal=True)
+    incumbent = pack_first_fit_decreasing(values, capacity)
+    best_bins = [list(group) for group in incumbent.bins]
+    best_count = incumbent.n_bins
+    floor = lower_bound(values, capacity)
+    if best_count == floor:
+        return PackingResult(
+            bins=incumbent.bins, capacity=capacity, optimal=True
+        )
+
+    order = sorted(range(len(values)), key=lambda index: -values[index])
+    nodes_left = max_nodes
+    proven = True
+
+    current_bins: list[list[int]] = []
+    current_slack: list[float] = []
+
+    def recurse(position: int) -> None:
+        nonlocal best_count, best_bins, nodes_left, proven
+        if nodes_left <= 0:
+            proven = False
+            return
+        nodes_left -= 1
+        if len(current_bins) >= best_count:
+            return
+        if position == len(order):
+            best_count = len(current_bins)
+            best_bins = [list(group) for group in current_bins]
+            return
+        # Volume bound on the remainder.
+        remaining_volume = sum(values[order[index]] for index in range(position, len(order)))
+        slack_volume = sum(current_slack)
+        extra_needed = math.ceil(
+            max(0.0, remaining_volume - slack_volume) / capacity - 1e-9
+        )
+        if len(current_bins) + extra_needed >= best_count:
+            return
+        item = order[position]
+        size = values[item]
+        seen_slacks: set[float] = set()
+        for bin_index in range(len(current_bins)):
+            slack = current_slack[bin_index]
+            if size > slack + 1e-9:
+                continue
+            slack_key = round(slack, 9)
+            if slack_key in seen_slacks:
+                continue
+            seen_slacks.add(slack_key)
+            current_bins[bin_index].append(item)
+            current_slack[bin_index] -= size
+            recurse(position + 1)
+            current_slack[bin_index] += size
+            current_bins[bin_index].pop()
+        if len(current_bins) + 1 < best_count:
+            current_bins.append([item])
+            current_slack.append(capacity - size)
+            recurse(position + 1)
+            current_bins.pop()
+            current_slack.pop()
+
+    recurse(0)
+    return PackingResult(
+        bins=tuple(tuple(sorted(group)) for group in best_bins),
+        capacity=capacity,
+        optimal=proven or best_count == floor,
+    )

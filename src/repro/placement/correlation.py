@@ -1,0 +1,113 @@
+"""Correlation-aware placement seeding (flagged in Section VIII).
+
+The paper's related-work discussion notes that "heuristic search
+approaches that also take into account correlations in resource demands
+among workloads may also be worth exploring". Two workloads whose peaks
+coincide pack badly; anti-correlated workloads (a day-shift web tier and
+a nightly batch job) share a server almost for free.
+
+This module provides:
+
+* :func:`allocation_correlation_matrix` — pairwise Pearson correlation
+  of total allocation request series;
+* :func:`correlation_aware_seed` — a greedy assignment that orders
+  workloads by peak and places each on the used server whose current
+  occupants it is *least* correlated with (among feasible servers),
+  opening a new server only when none fits.
+
+The seed plugs into the genetic search via ``extra_seeds``; the ablation
+benchmark measures what the correlation signal buys over plain
+first-fit ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InfeasiblePlacementError
+from repro.placement.evaluation import PlacementEvaluator
+from repro.resources.pool import ResourcePool
+
+Assignment = tuple[int, ...]
+
+
+def allocation_correlation_matrix(evaluator: PlacementEvaluator) -> np.ndarray:
+    """Pairwise Pearson correlations of total allocation series.
+
+    Constant series (zero variance) correlate 0 with everything: they
+    neither help nor hurt coincident peaks.
+    """
+    totals = evaluator._cos1 + evaluator._cos2
+    n = totals.shape[0]
+    centered = totals - totals.mean(axis=1, keepdims=True)
+    norms = np.linalg.norm(centered, axis=1)
+    matrix = np.zeros((n, n))
+    for row in range(n):
+        if norms[row] == 0:
+            continue
+        for column in range(row + 1, n):
+            if norms[column] == 0:
+                continue
+            value = float(
+                centered[row] @ centered[column] / (norms[row] * norms[column])
+            )
+            matrix[row, column] = value
+            matrix[column, row] = value
+    np.fill_diagonal(matrix, 1.0)
+    return matrix
+
+
+def correlation_aware_seed(
+    evaluator: PlacementEvaluator,
+    pool: ResourcePool,
+    attribute: str = "cpu",
+) -> Assignment:
+    """Greedy placement preferring the least-correlated feasible server."""
+    servers = list(pool.servers)
+    correlation = allocation_correlation_matrix(evaluator)
+    order = np.argsort(-evaluator.peak_allocations(), kind="stable")
+    groups: dict[int, list[int]] = {}
+    assignment = [-1] * evaluator.n_workloads
+
+    for workload_index in (int(index) for index in order):
+        best_server = None
+        best_score = np.inf
+        for server_index in sorted(groups):
+            candidate = groups[server_index] + [workload_index]
+            evaluation = evaluator.evaluate_group(
+                candidate, servers[server_index], attribute
+            )
+            if not evaluation.fits:
+                continue
+            occupants = groups[server_index]
+            mean_correlation = float(
+                np.mean([correlation[workload_index, other] for other in occupants])
+            )
+            if mean_correlation < best_score:
+                best_score = mean_correlation
+                best_server = server_index
+        if best_server is None:
+            best_server = _open_server(
+                evaluator, servers, groups, workload_index, attribute
+            )
+        groups.setdefault(best_server, []).append(workload_index)
+        assignment[workload_index] = best_server
+    return tuple(assignment)
+
+
+def _open_server(
+    evaluator: PlacementEvaluator,
+    servers,
+    groups: dict[int, list[int]],
+    workload_index: int,
+    attribute: str,
+) -> int:
+    for server_index, server in enumerate(servers):
+        if server_index in groups:
+            continue
+        if evaluator.evaluate_group([workload_index], server, attribute).fits:
+            return server_index
+    raise InfeasiblePlacementError(
+        f"workload {evaluator.names[workload_index]!r} fits on no "
+        "remaining server"
+    )

@@ -1,0 +1,146 @@
+"""Shared assignment evaluation with caching.
+
+Every placement algorithm (genetic, greedy, bin-packing comparisons)
+needs the same primitive: "what is the required capacity of this subset
+of workloads on this server?". The :class:`PlacementEvaluator` owns the
+stacked allocation matrices, runs the simulator + binary search, and
+memoises results by (server capacity profile, workload subset) — the
+genetic search re-visits the same server contents constantly, so the
+cache is what makes the search affordable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.cos import CoSCommitment
+from repro.exceptions import PlacementError
+from repro.placement.required_capacity import (
+    DEFAULT_TOLERANCE,
+    RequiredCapacityResult,
+    required_capacity,
+)
+from repro.placement.simulator import SingleServerSimulator
+from repro.resources.server import ServerSpec
+from repro.traces.allocation import CoSAllocationPair
+from repro.traces.calendar import TraceCalendar
+
+
+@dataclass(frozen=True)
+class ServerEvaluation:
+    """Required capacity of one workload subset on one server."""
+
+    fits: bool
+    required: float
+    utilization: float
+
+    @property
+    def feasible(self) -> bool:
+        return self.fits
+
+
+class PlacementEvaluator:
+    """Evaluates workload subsets against server capacities, with memoing."""
+
+    def __init__(
+        self,
+        pairs: Sequence[CoSAllocationPair],
+        commitment: CoSCommitment,
+        tolerance: float = DEFAULT_TOLERANCE,
+    ):
+        if not pairs:
+            raise PlacementError("need at least one workload to place")
+        names = [pair.name for pair in pairs]
+        if len(set(names)) != len(names):
+            raise PlacementError("workload names must be unique")
+        self.pairs = list(pairs)
+        self.names = names
+        self.commitment = commitment
+        self.tolerance = tolerance
+        self.calendar: TraceCalendar = pairs[0].calendar
+        for pair in pairs:
+            self.calendar.require_compatible(pair.calendar)
+        self._cos1 = np.vstack([pair.cos1.values for pair in self.pairs])
+        self._cos2 = np.vstack([pair.cos2.values for pair in self.pairs])
+        self._cache: dict[tuple[float, frozenset[int]], ServerEvaluation] = {}
+
+    @property
+    def n_workloads(self) -> int:
+        return len(self.pairs)
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise PlacementError(f"unknown workload {name!r}") from None
+
+    def peak_allocations(self) -> np.ndarray:
+        """Per-workload peak total allocation (the C_peak contributions)."""
+        return (self._cos1 + self._cos2).max(axis=1)
+
+    def evaluate_group(
+        self,
+        indices: Sequence[int],
+        server: ServerSpec,
+        attribute: str = "cpu",
+    ) -> ServerEvaluation:
+        """Required capacity of the workloads ``indices`` on ``server``."""
+        key = (server.capacity_of(attribute), frozenset(indices))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        evaluation = self._evaluate_uncached(list(indices), server, attribute)
+        self._cache[key] = evaluation
+        return evaluation
+
+    def search_result(
+        self,
+        indices: Sequence[int],
+        server: ServerSpec,
+        attribute: str = "cpu",
+    ) -> RequiredCapacityResult:
+        """Full (uncached) search result, including the access report."""
+        simulator = self._simulator_for(list(indices))
+        return required_capacity(
+            [],
+            capacity_limit=server.capacity_of(attribute),
+            commitment=self.commitment,
+            tolerance=self.tolerance,
+            simulator=simulator,
+        )
+
+    def _evaluate_uncached(
+        self, indices: list[int], server: ServerSpec, attribute: str
+    ) -> ServerEvaluation:
+        if not indices:
+            return ServerEvaluation(fits=True, required=0.0, utilization=0.0)
+        limit = server.capacity_of(attribute)
+        result = required_capacity(
+            [],
+            capacity_limit=limit,
+            commitment=self.commitment,
+            tolerance=self.tolerance,
+            simulator=self._simulator_for(indices),
+        )
+        if not result.fits:
+            return ServerEvaluation(
+                fits=False, required=float("inf"), utilization=float("inf")
+            )
+        return ServerEvaluation(
+            fits=True,
+            required=result.required_capacity,
+            utilization=min(1.0, result.required_capacity / limit),
+        )
+
+    def _simulator_for(self, indices: list[int]) -> SingleServerSimulator:
+        if not indices:
+            raise PlacementError("cannot build a simulator for no workloads")
+        rows = np.asarray(sorted(indices), dtype=int)
+        if rows.size and (rows[0] < 0 or rows[-1] >= self.n_workloads):
+            raise PlacementError(f"workload indices out of range: {indices}")
+        cos1 = self._cos1[rows].sum(axis=0)
+        cos2 = self._cos2[rows].sum(axis=0)
+        return SingleServerSimulator(cos1, cos2, self.calendar)

@@ -1,0 +1,249 @@
+"""Failure-mode planning (Section VI-C).
+
+Starting from a normal-mode consolidation, the planner removes one
+server at a time, switches the affected applications (those that were
+hosted on the failed server) to their failure-mode QoS requirements, and
+re-runs the consolidation on the surviving servers. If every single-
+server failure can be absorbed, the pool needs no spare server — the
+applications ride out the repair window at their (typically relaxed)
+failure-mode QoS.
+
+The planner deliberately re-translates only the affected applications by
+default; pass ``relax_all=True`` to apply failure-mode QoS to every
+application during the what-if (the cheaper, pool-wide degraded posture
+used in the paper's case-study discussion of Table I).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.qos import QoSPolicy
+from repro.exceptions import PlacementError
+from repro.placement.consolidation import ConsolidationResult, Consolidator
+from repro.placement.genetic import GeneticSearchConfig
+from repro.traces.trace import DemandTrace
+
+
+@dataclass(frozen=True)
+class FailureCase:
+    """Outcome of one failure what-if (one or more servers down).
+
+    ``failed_server`` names the failed server for the single-failure
+    sweep; for multi-failure what-ifs it joins the failed servers with
+    ``"+"``.
+    """
+
+    failed_server: str
+    feasible: bool
+    affected_workloads: tuple[str, ...]
+    result: ConsolidationResult | None
+
+    @property
+    def servers_used(self) -> int | None:
+        return self.result.servers_used if self.result is not None else None
+
+    @property
+    def failed_servers(self) -> tuple[str, ...]:
+        return tuple(self.failed_server.split("+"))
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """All single-failure what-ifs for one normal-mode plan."""
+
+    cases: tuple[FailureCase, ...]
+
+    @property
+    def spare_server_needed(self) -> bool:
+        """True when at least one failure cannot be absorbed in place."""
+        return any(not case.feasible for case in self.cases)
+
+    @property
+    def all_supported(self) -> bool:
+        return not self.spare_server_needed
+
+    def case_for(self, server_name: str) -> FailureCase:
+        for case in self.cases:
+            if case.failed_server == server_name:
+                return case
+        raise PlacementError(f"no failure case for server {server_name!r}")
+
+
+class FailurePlanner:
+    """Evaluates whether single-server failures can be absorbed."""
+
+    def __init__(
+        self,
+        translator,
+        *,
+        config: GeneticSearchConfig | None = None,
+        tolerance: float = 0.01,
+        attribute: str = "cpu",
+    ):
+        self.translator = translator
+        self.config = config
+        self.tolerance = tolerance
+        self.attribute = attribute
+
+    def plan(
+        self,
+        demands: Sequence[DemandTrace],
+        policies: Mapping[str, QoSPolicy] | QoSPolicy,
+        pool,
+        normal_result: ConsolidationResult,
+        *,
+        relax_all: bool = False,
+        algorithm: str = "genetic",
+    ) -> FailureReport:
+        """Run the what-if for every server used by the normal plan.
+
+        Parameters
+        ----------
+        demands:
+            The full workload ensemble (demand traces).
+        policies:
+            Per-workload :class:`~repro.core.qos.QoSPolicy` (or one
+            shared policy) providing normal- and failure-mode QoS.
+        pool:
+            The pool the normal plan was computed for.
+        normal_result:
+            The normal-mode consolidation to perturb.
+        relax_all:
+            Apply failure-mode QoS to every application during the
+            what-if instead of only those hosted on the failed server.
+        """
+        demand_by_name = {demand.name: demand for demand in demands}
+        missing = [
+            name
+            for names in normal_result.assignment.values()
+            for name in names
+            if name not in demand_by_name
+        ]
+        if missing:
+            raise PlacementError(
+                f"normal plan references unknown workloads: {missing}"
+            )
+
+        cases = []
+        for failed_server, hosted in normal_result.assignment.items():
+            cases.append(
+                self._evaluate_failure(
+                    (failed_server,),
+                    set(hosted),
+                    demand_by_name,
+                    policies,
+                    pool,
+                    relax_all=relax_all,
+                    algorithm=algorithm,
+                )
+            )
+        return FailureReport(cases=tuple(cases))
+
+    def plan_multi(
+        self,
+        demands: Sequence[DemandTrace],
+        policies: Mapping[str, QoSPolicy] | QoSPolicy,
+        pool,
+        normal_result: ConsolidationResult,
+        *,
+        concurrent_failures: int = 2,
+        relax_all: bool = False,
+        algorithm: str = "genetic",
+    ) -> FailureReport:
+        """What-if every combination of ``concurrent_failures`` servers.
+
+        The paper notes the single-failure scenario "can be extended to
+        multiple node failures" (Section III); this sweep evaluates every
+        combination of used servers failing together. The number of
+        cases grows combinatorially, so it is practical for the small
+        ``concurrent_failures`` values operators actually plan for.
+        """
+        if concurrent_failures < 1:
+            raise PlacementError(
+                f"concurrent_failures must be >= 1, got {concurrent_failures}"
+            )
+        used_servers = list(normal_result.assignment)
+        if concurrent_failures > len(used_servers):
+            raise PlacementError(
+                f"cannot fail {concurrent_failures} of "
+                f"{len(used_servers)} used servers"
+            )
+        demand_by_name = {demand.name: demand for demand in demands}
+        cases = []
+        for combo in itertools.combinations(used_servers, concurrent_failures):
+            affected = {
+                name
+                for server in combo
+                for name in normal_result.assignment[server]
+            }
+            cases.append(
+                self._evaluate_failure(
+                    combo,
+                    affected,
+                    demand_by_name,
+                    policies,
+                    pool,
+                    relax_all=relax_all,
+                    algorithm=algorithm,
+                )
+            )
+        return FailureReport(cases=tuple(cases))
+
+    def _evaluate_failure(
+        self,
+        failed_servers: tuple[str, ...],
+        affected: set[str],
+        demand_by_name: Mapping[str, DemandTrace],
+        policies: Mapping[str, QoSPolicy] | QoSPolicy,
+        pool,
+        *,
+        relax_all: bool,
+        algorithm: str,
+    ) -> FailureCase:
+        label = "+".join(failed_servers)
+        surviving = pool.without(*failed_servers)
+        pairs = []
+        for name, demand in demand_by_name.items():
+            policy = self._policy_for(policies, name)
+            failure_mode = relax_all or name in affected
+            qos = policy.mode(failure_mode=failure_mode)
+            pairs.append(self.translator.translate(demand, qos).pair)
+
+        consolidator = Consolidator(
+            surviving,
+            self.translator.commitments.cos2,
+            config=self.config,
+            tolerance=self.tolerance,
+            attribute=self.attribute,
+        )
+        try:
+            result = consolidator.consolidate(pairs, algorithm=algorithm)
+        except PlacementError:
+            return FailureCase(
+                failed_server=label,
+                feasible=False,
+                affected_workloads=tuple(sorted(affected)),
+                result=None,
+            )
+        return FailureCase(
+            failed_server=label,
+            feasible=True,
+            affected_workloads=tuple(sorted(affected)),
+            result=result,
+        )
+
+    @staticmethod
+    def _policy_for(
+        policies: Mapping[str, QoSPolicy] | QoSPolicy, name: str
+    ) -> QoSPolicy:
+        if isinstance(policies, QoSPolicy):
+            return policies
+        try:
+            return policies[name]
+        except KeyError:
+            raise PlacementError(
+                f"no QoS policy given for workload {name!r}"
+            ) from None

@@ -1,0 +1,319 @@
+"""Genetic optimizing search over workload assignments (Section VI-B).
+
+The search evolves assignments (one server index per workload) toward a
+small number of hot servers:
+
+* **fitness** is the consolidation score — ``+1`` per empty server,
+  ``f(U) = U^(2Z)`` per feasible used server, ``-N`` per over-booked
+  server;
+* **mutation** picks a used server with probability weighted by
+  ``1 - f(U)`` — poorly utilised servers are the likeliest to have their
+  workloads migrated away, so each mutation step tends to reduce the
+  number of servers in use by one;
+* **cross-over** mates two parents by taking each workload's server from
+  one parent or the other at random.
+
+The search tracks the best *feasible* assignment ever seen and returns
+it; when seeded with a feasible initial assignment (the consolidator uses
+a greedy first fit) the result can only improve on the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import PlacementError
+from repro.placement.evaluation import PlacementEvaluator, ServerEvaluation
+from repro.placement.objective import server_score
+from repro.resources.pool import ResourcePool
+from repro.util.rng import RngLike, derive_rng
+
+Assignment = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class GeneticSearchConfig:
+    """Tuning knobs for the genetic search."""
+
+    population_size: int = 24
+    max_generations: int = 80
+    stall_generations: int = 12
+    elite_count: int = 2
+    crossover_probability: float = 0.6
+    mutation_probability: float = 0.8
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise PlacementError(
+                f"population_size must be >= 2, got {self.population_size}"
+            )
+        if self.max_generations < 1:
+            raise PlacementError(
+                f"max_generations must be >= 1, got {self.max_generations}"
+            )
+        if self.stall_generations < 1:
+            raise PlacementError(
+                f"stall_generations must be >= 1, got {self.stall_generations}"
+            )
+        if not 0 <= self.elite_count < self.population_size:
+            raise PlacementError(
+                "elite_count must be in [0, population_size)"
+            )
+        if not 0.0 <= self.crossover_probability <= 1.0:
+            raise PlacementError("crossover_probability must be in [0, 1]")
+        if not 0.0 <= self.mutation_probability <= 1.0:
+            raise PlacementError("mutation_probability must be in [0, 1]")
+
+
+@dataclass
+class EvaluatedAssignment:
+    """An assignment plus its score and per-server evaluations."""
+
+    assignment: Assignment
+    score: float
+    evaluations: dict[int, ServerEvaluation]
+    feasible: bool
+
+    def servers_used(self) -> set[int]:
+        return set(self.assignment)
+
+
+@dataclass
+class GeneticSearchResult:
+    """Outcome of one search run."""
+
+    best: EvaluatedAssignment
+    generations_run: int
+    evaluations_performed: int
+    history: list[float] = field(default_factory=list)
+
+
+class GeneticPlacementSearch:
+    """Evolves workload-to-server assignments for one pool."""
+
+    def __init__(
+        self,
+        evaluator: PlacementEvaluator,
+        pool: ResourcePool,
+        config: GeneticSearchConfig | None = None,
+        attribute: str = "cpu",
+    ):
+        if len(pool) == 0:
+            raise PlacementError("the pool must contain at least one server")
+        self.evaluator = evaluator
+        self.pool = pool
+        self.servers = list(pool.servers)
+        self.config = config or GeneticSearchConfig()
+        self.attribute = attribute
+        self._evaluations = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        initial: Assignment | Sequence[int],
+        extra_seeds: Sequence[Assignment] = (),
+    ) -> GeneticSearchResult:
+        """Search from an initial assignment; returns the best feasible one.
+
+        ``extra_seeds`` adds further starting points to the population
+        (e.g. several greedy solutions), guaranteeing the result is at
+        least as good as the best seed. Raises :class:`PlacementError`
+        when neither a seed nor any evolved assignment is feasible.
+        """
+        rng = derive_rng(self.config.seed)
+        seed_assignment = self._validate_assignment(tuple(initial))
+        population = [self.evaluate(seed_assignment)]
+        for extra in extra_seeds:
+            if len(population) >= self.config.population_size:
+                break
+            population.append(self.evaluate(self._validate_assignment(tuple(extra))))
+        while len(population) < self.config.population_size:
+            population.append(
+                self.evaluate(self._mutate(seed_assignment, rng))
+            )
+
+        best_feasible = self._best_feasible(population)
+        history: list[float] = []
+        stall = 0
+        generation = 0
+        for generation in range(1, self.config.max_generations + 1):
+            population = self._next_generation(population, rng)
+            history.append(max(member.score for member in population))
+            candidate = self._best_feasible(population)
+            if candidate is not None and (
+                best_feasible is None or candidate.score > best_feasible.score
+            ):
+                best_feasible = candidate
+                stall = 0
+            else:
+                stall += 1
+            if stall >= self.config.stall_generations:
+                break
+
+        if best_feasible is None:
+            raise PlacementError(
+                "genetic search found no feasible assignment; the pool "
+                "cannot satisfy the CoS commitments for these workloads"
+            )
+        return GeneticSearchResult(
+            best=best_feasible,
+            generations_run=generation,
+            evaluations_performed=self._evaluations,
+            history=history,
+        )
+
+    def evaluate(self, assignment: Assignment) -> EvaluatedAssignment:
+        """Score one assignment (cached per server-content subset)."""
+        assignment = self._validate_assignment(assignment)
+        groups: dict[int, list[int]] = {}
+        for workload_index, server_index in enumerate(assignment):
+            groups.setdefault(server_index, []).append(workload_index)
+        evaluations: dict[int, ServerEvaluation] = {}
+        score = 0.0
+        feasible = True
+        for server_index, server in enumerate(self.servers):
+            indices = groups.get(server_index, [])
+            if not indices:
+                score += 1.0
+                continue
+            evaluation = self.evaluator.evaluate_group(
+                indices, server, self.attribute
+            )
+            self._evaluations += 1
+            evaluations[server_index] = evaluation
+            required = evaluation.required if evaluation.fits else None
+            score += server_score(server, len(indices), required, self.attribute)
+            feasible = feasible and evaluation.fits
+        return EvaluatedAssignment(
+            assignment=assignment,
+            score=score,
+            evaluations=evaluations,
+            feasible=feasible,
+        )
+
+    # ------------------------------------------------------------------
+    # Evolution operators
+    # ------------------------------------------------------------------
+    def _next_generation(
+        self, population: list[EvaluatedAssignment], rng: np.random.Generator
+    ) -> list[EvaluatedAssignment]:
+        population = sorted(population, key=lambda member: member.score, reverse=True)
+        next_population = population[: self.config.elite_count]
+        while len(next_population) < self.config.population_size:
+            parent_a = self._tournament(population, rng)
+            if rng.random() < self.config.crossover_probability:
+                parent_b = self._tournament(population, rng)
+                child = self._crossover(
+                    parent_a.assignment, parent_b.assignment, rng
+                )
+            else:
+                child = parent_a.assignment
+            if rng.random() < self.config.mutation_probability:
+                child = self._mutate(child, rng)
+            next_population.append(self.evaluate(child))
+        return next_population
+
+    def _tournament(
+        self,
+        population: list[EvaluatedAssignment],
+        rng: np.random.Generator,
+        size: int = 3,
+    ) -> EvaluatedAssignment:
+        contenders = rng.integers(0, len(population), size=size)
+        return max(
+            (population[int(index)] for index in contenders),
+            key=lambda member: member.score,
+        )
+
+    def _crossover(
+        self, parent_a: Assignment, parent_b: Assignment, rng: np.random.Generator
+    ) -> Assignment:
+        """Take each workload's server from one parent or the other."""
+        take_from_a = rng.random(len(parent_a)) < 0.5
+        return tuple(
+            parent_a[index] if take_from_a[index] else parent_b[index]
+            for index in range(len(parent_a))
+        )
+
+    def _mutate(self, assignment: Assignment, rng: np.random.Generator) -> Assignment:
+        """Empty a poorly utilised server onto the other used servers.
+
+        The victim server is drawn with probability proportional to
+        ``1 - f(U)`` across used servers (the paper's mutation bias); its
+        workloads are scattered over the remaining used servers, or a
+        random server when none remain.
+        """
+        used = sorted(set(assignment))
+        if not used:
+            return assignment
+        weights = np.array(
+            [
+                1.0 - self._utilization_value(assignment, server_index)
+                for server_index in used
+            ]
+        )
+        weights = np.clip(weights, 1e-6, None)
+        victim = int(rng.choice(used, p=weights / weights.sum()))
+        targets = [server_index for server_index in used if server_index != victim]
+        if not targets:
+            targets = [
+                index for index in range(len(self.servers)) if index != victim
+            ]
+        if not targets:
+            return assignment
+        mutated = list(assignment)
+        for workload_index, server_index in enumerate(assignment):
+            if server_index == victim:
+                mutated[workload_index] = int(
+                    targets[int(rng.integers(0, len(targets)))]
+                )
+        return tuple(mutated)
+
+    def _utilization_value(self, assignment: Assignment, server_index: int) -> float:
+        indices = [
+            workload_index
+            for workload_index, assigned in enumerate(assignment)
+            if assigned == server_index
+        ]
+        if not indices:
+            return 1.0
+        evaluation = self.evaluator.evaluate_group(
+            indices, self.servers[server_index], self.attribute
+        )
+        if not evaluation.fits:
+            return 0.0
+        return float(
+            min(1.0, evaluation.utilization)
+            ** (2 * self.servers[server_index].cpus)
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _best_feasible(
+        self, population: list[EvaluatedAssignment]
+    ) -> EvaluatedAssignment | None:
+        feasible = [member for member in population if member.feasible]
+        if not feasible:
+            return None
+        return max(feasible, key=lambda member: member.score)
+
+    def _validate_assignment(self, assignment: Assignment) -> Assignment:
+        if len(assignment) != self.evaluator.n_workloads:
+            raise PlacementError(
+                f"assignment covers {len(assignment)} workloads, expected "
+                f"{self.evaluator.n_workloads}"
+            )
+        for server_index in assignment:
+            if not 0 <= server_index < len(self.servers):
+                raise PlacementError(
+                    f"server index {server_index} out of range "
+                    f"[0, {len(self.servers)})"
+                )
+        return tuple(int(server_index) for server_index in assignment)

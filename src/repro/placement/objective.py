@@ -1,0 +1,74 @@
+"""The consolidation objective (Section VI-B).
+
+An assignment's score is a sum over the pool's servers:
+
+* ``+1`` for a server that hosts no workloads (freed capacity is the
+  whole point of consolidation);
+* ``f(U) = U^(2Z)`` for a used server with required capacity
+  ``R <= L``, where ``U = R / L`` and ``Z`` is the server's CPU count —
+  the square exaggerates high utilizations in a least-squares sense and
+  the ``Z`` exponent demands that bigger servers run hotter (motivated by
+  the ``1 / (1 - U^Z)`` open-network response-time estimate);
+* ``-N`` for an over-booked server (``R > L``), where ``N`` is the
+  number of workloads assigned to it — infeasible servers are penalised
+  in proportion to how much work would suffer.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import PlacementError
+from repro.resources.server import ServerSpec
+
+
+def utilization_value(utilization: float, cpus: int) -> float:
+    """``f(U) = U^(2Z)`` for one used, feasible server."""
+    if not 0.0 <= utilization <= 1.0:
+        raise PlacementError(
+            f"utilization must be in [0, 1], got {utilization}"
+        )
+    if cpus < 1:
+        raise PlacementError(f"cpus must be >= 1, got {cpus}")
+    return float(utilization ** (2 * cpus))
+
+
+def server_score(
+    server: ServerSpec,
+    n_workloads: int,
+    required: float | None,
+    attribute: str = "cpu",
+) -> float:
+    """Score one server's contribution to the assignment.
+
+    ``required`` is the server's required capacity from the simulator
+    (``None`` or ``inf`` means the workloads do not fit at any capacity
+    up to the limit).
+    """
+    if n_workloads < 0:
+        raise PlacementError(f"n_workloads must be >= 0, got {n_workloads}")
+    if n_workloads == 0:
+        return 1.0
+    limit = server.capacity_of(attribute)
+    if required is None or required > limit or required != required:
+        return -float(n_workloads)
+    return utilization_value(min(1.0, required / limit), server.cpus)
+
+
+def assignment_score(
+    servers: Sequence[ServerSpec],
+    workload_counts: Sequence[int],
+    required_capacities: Sequence[float | None],
+    attribute: str = "cpu",
+) -> float:
+    """Total score of an assignment across the pool."""
+    if not len(servers) == len(workload_counts) == len(required_capacities):
+        raise PlacementError(
+            "servers, workload_counts and required_capacities must align"
+        )
+    return sum(
+        server_score(server, count, required, attribute)
+        for server, count, required in zip(
+            servers, workload_counts, required_capacities
+        )
+    )

@@ -1,0 +1,105 @@
+"""Required-capacity search (Section VI-A).
+
+Given a set of workloads tentatively assigned to a server, find the
+smallest capacity value that satisfies the pool's CoS commitments — the
+server's *required capacity* ``R``. The paper uses a binary search, which
+is sound because commitment satisfaction is monotone in capacity: more
+capacity can only raise the measured theta and shorten deferrals.
+
+Preconditions mirror the paper: if the sum of peak CoS1 allocations
+exceeds the capacity limit the workloads do not fit at all; otherwise the
+search brackets between that CoS1 peak (the floor any valid capacity must
+reach) and the attribute's capacity limit ``L``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.cos import CoSCommitment
+from repro.exceptions import SimulationError
+from repro.placement.simulator import AccessReport, SingleServerSimulator
+from repro.traces.allocation import CoSAllocationPair
+
+DEFAULT_TOLERANCE = 0.01
+
+
+@dataclass(frozen=True)
+class RequiredCapacityResult:
+    """Outcome of the required-capacity search for one server."""
+
+    fits: bool
+    required_capacity: float
+    report: Optional[AccessReport]
+
+
+def required_capacity(
+    pairs: Sequence[CoSAllocationPair],
+    capacity_limit: float,
+    commitment: CoSCommitment,
+    tolerance: float = DEFAULT_TOLERANCE,
+    simulator: SingleServerSimulator | None = None,
+) -> RequiredCapacityResult:
+    """Binary-search the smallest capacity satisfying the commitments.
+
+    Parameters
+    ----------
+    pairs:
+        The workloads assigned to the server (ignored when ``simulator``
+        is supplied prebuilt).
+    capacity_limit:
+        The attribute's capacity limit ``L``; the search never reports a
+        required capacity above it.
+    commitment:
+        The pool's CoS2 commitment (theta and deadline).
+    tolerance:
+        Absolute capacity resolution of the search; the returned value
+        satisfies the commitments and is within ``tolerance`` of the true
+        minimum.
+
+    Returns a result with ``fits=False`` when even the full limit cannot
+    satisfy the commitments (or CoS1 peaks alone exceed the limit).
+    """
+    if capacity_limit <= 0:
+        raise SimulationError(
+            f"capacity_limit must be > 0, got {capacity_limit}"
+        )
+    if tolerance <= 0:
+        raise SimulationError(f"tolerance must be > 0, got {tolerance}")
+    if simulator is None:
+        simulator = SingleServerSimulator.from_pairs(list(pairs))
+    calendar = simulator.calendar
+
+    if simulator.cos1_peak > capacity_limit + 1e-9:
+        return RequiredCapacityResult(
+            fits=False, required_capacity=float("inf"), report=None
+        )
+
+    report_at_limit = simulator.evaluate(capacity_limit)
+    if not report_at_limit.satisfies(commitment, calendar):
+        return RequiredCapacityResult(
+            fits=False, required_capacity=float("inf"), report=report_at_limit
+        )
+
+    # Bracket: `high` always satisfies; `low` is a floor that may not.
+    low = max(simulator.cos1_peak, tolerance)
+    high = float(capacity_limit)
+    best_report = report_at_limit
+    if low < high:
+        report_at_low = simulator.evaluate(low)
+        if report_at_low.satisfies(commitment, calendar):
+            return RequiredCapacityResult(
+                fits=True, required_capacity=low, report=report_at_low
+            )
+        while high - low > tolerance:
+            mid = (low + high) / 2.0
+            report = simulator.evaluate(mid)
+            if report.satisfies(commitment, calendar):
+                high = mid
+                best_report = report
+            else:
+                low = mid
+    return RequiredCapacityResult(
+        fits=True, required_capacity=high, report=best_report
+    )

@@ -1,0 +1,65 @@
+"""Resource containers: the unit of workload placement.
+
+The paper assumes each resource container (virtual machine, workload
+group) hosts exactly one application workload. A
+:class:`ResourceContainer` therefore binds a workload name to its demand
+trace and, once the QoS translation has run, to its per-CoS allocation
+requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+from repro.traces.allocation import CoSAllocationPair
+from repro.traces.trace import DemandTrace
+
+
+@dataclass(frozen=True)
+class ResourceContainer:
+    """One application workload and its capacity requirements.
+
+    Parameters
+    ----------
+    name:
+        Container identifier; by convention equal to the workload name.
+    demand:
+        The workload's historical demand trace.
+    allocation:
+        The per-CoS allocation requirement produced by the QoS
+        translation. ``None`` until the container has been translated.
+    """
+
+    name: str
+    demand: DemandTrace
+    allocation: Optional[CoSAllocationPair] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("container name must not be empty")
+        if self.allocation is not None:
+            self.demand.calendar.require_compatible(self.allocation.calendar)
+
+    @property
+    def is_translated(self) -> bool:
+        """True once the QoS translation has attached allocation traces."""
+        return self.allocation is not None
+
+    def require_allocation(self) -> CoSAllocationPair:
+        """The allocation pair, raising if translation has not run."""
+        if self.allocation is None:
+            raise ConfigurationError(
+                f"container {self.name!r} has no allocation; run the QoS "
+                "translation first"
+            )
+        return self.allocation
+
+    def with_allocation(self, allocation: CoSAllocationPair) -> "ResourceContainer":
+        """A copy of this container carrying the translated allocation."""
+        return ResourceContainer(self.name, self.demand, allocation)
+
+    def __repr__(self) -> str:
+        state = "translated" if self.is_translated else "untranslated"
+        return f"ResourceContainer(name={self.name!r}, {state})"

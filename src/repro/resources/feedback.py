@@ -1,0 +1,153 @@
+"""Closed-loop workload-manager simulation (Section II's control loop).
+
+The trace-based analysis elsewhere in the library treats allocation as a
+function of the *same interval's* demand — an oracle. A real workload
+manager is reactive: it measures utilization over the previous interval
+and sets the next interval's allocation to ``burst_factor x measured
+demand``. The burst factor exists precisely because the measured mean
+hides bursts: with headroom ``1/U_low`` the application absorbs the
+demand it will see before the controller reacts.
+
+This module simulates that loop so the burst-factor choice can be
+validated empirically, as the paper's stress-testing methodology
+(Section III) does in a controlled environment: run the workload
+against a candidate burst factor, observe the utilization-of-allocation
+distribution and the episodes where demand outran the lagging
+allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.traces.ops import longest_run_above
+from repro.traces.trace import DemandTrace
+
+
+@dataclass(frozen=True)
+class ClosedLoopResult:
+    """Outcome of one closed-loop run.
+
+    Attributes
+    ----------
+    allocations:
+        The allocation the controller granted per interval.
+    served:
+        Demand actually served: ``min(demand, allocation)`` — with a
+        reactive controller, demand above the lagging allocation is
+        clipped (the application saturates and queues).
+    utilization:
+        Served demand over allocation per interval.
+    saturated_fraction:
+        Fraction of intervals where raw demand exceeded the allocation.
+    longest_saturated_run:
+        Longest stretch of consecutive saturated intervals.
+    mean_utilization:
+        Mean utilization of allocation over active intervals.
+    """
+
+    allocations: np.ndarray
+    served: np.ndarray
+    utilization: np.ndarray
+    saturated_fraction: float
+    longest_saturated_run: int
+    mean_utilization: float
+
+
+def simulate_closed_loop(
+    demand: DemandTrace,
+    burst_factor: float,
+    *,
+    initial_allocation: float | None = None,
+    allocation_floor: float = 0.01,
+    allocation_ceiling: float | None = None,
+) -> ClosedLoopResult:
+    """Run the reactive burst-factor controller against a demand trace.
+
+    Each interval ``t`` the controller grants
+    ``allocation[t] = burst_factor x served[t-1]`` (clamped to the floor
+    and optional ceiling), where ``served[t-1]`` is what the workload
+    could actually consume under the previous allocation — the
+    controller only ever sees measured utilization, never true demand.
+    """
+    if burst_factor <= 0:
+        raise SimulationError(f"burst_factor must be > 0, got {burst_factor}")
+    if allocation_floor <= 0:
+        raise SimulationError(
+            f"allocation_floor must be > 0, got {allocation_floor}"
+        )
+    if allocation_ceiling is not None and allocation_ceiling < allocation_floor:
+        raise SimulationError(
+            "allocation_ceiling must be >= allocation_floor"
+        )
+
+    values = demand.values
+    n = values.shape[0]
+    allocations = np.empty(n)
+    served = np.empty(n)
+
+    if initial_allocation is None:
+        initial_allocation = max(
+            allocation_floor, float(values[0]) * burst_factor
+        )
+    current = max(allocation_floor, float(initial_allocation))
+    if allocation_ceiling is not None:
+        current = min(current, allocation_ceiling)
+
+    for index in range(n):
+        allocations[index] = current
+        served[index] = min(values[index], current)
+        target = max(allocation_floor, served[index] * burst_factor)
+        if allocation_ceiling is not None:
+            target = min(target, allocation_ceiling)
+        current = target
+
+    with np.errstate(invalid="ignore"):
+        utilization = np.where(allocations > 0, served / allocations, 0.0)
+    saturated = values > allocations + 1e-12
+    active = values > 0
+    mean_utilization = (
+        float(utilization[active].mean()) if active.any() else 0.0
+    )
+    return ClosedLoopResult(
+        allocations=allocations,
+        served=served,
+        utilization=utilization,
+        saturated_fraction=float(np.count_nonzero(saturated)) / n if n else 0.0,
+        longest_saturated_run=longest_run_above(saturated.astype(float), 0.5),
+        mean_utilization=mean_utilization,
+    )
+
+
+def calibrate_burst_factor(
+    demand: DemandTrace,
+    *,
+    max_saturated_fraction: float = 0.02,
+    candidates: np.ndarray | None = None,
+) -> float:
+    """Find the smallest burst factor keeping saturation acceptably rare.
+
+    This is the programmatic analogue of the paper's stress-testing
+    exercise: sweep the burst factor and pick the smallest value whose
+    closed-loop run saturates (demand outruns the lagging allocation) in
+    at most ``max_saturated_fraction`` of intervals. Returns the largest
+    candidate if none qualifies.
+    """
+    if not 0 <= max_saturated_fraction < 1:
+        raise SimulationError(
+            "max_saturated_fraction must be in [0, 1), got "
+            f"{max_saturated_fraction}"
+        )
+    if candidates is None:
+        candidates = np.arange(1.0, 4.01, 0.25)
+    candidates = np.sort(np.asarray(candidates, dtype=float))
+    if candidates.size == 0 or candidates[0] <= 0:
+        raise SimulationError("candidates must be positive and non-empty")
+    for candidate in candidates:
+        result = simulate_closed_loop(demand, float(candidate))
+        if result.saturated_fraction <= max_saturated_fraction:
+            return float(candidate)
+    return float(candidates[-1])

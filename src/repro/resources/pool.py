@@ -1,0 +1,78 @@
+"""Resource pool: the server inventory a placement operates over."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.exceptions import CapacityError
+from repro.resources.server import ServerSpec
+
+
+class ResourcePool:
+    """An ordered collection of uniquely named servers.
+
+    The pool is the unit the workload placement service consolidates onto
+    and the failure planner perturbs (removing one server at a time).
+
+    >>> from repro.resources.server import homogeneous_servers
+    >>> pool = ResourcePool(homogeneous_servers(3))
+    >>> len(pool)
+    3
+    >>> len(pool.without("server-01"))
+    2
+    """
+
+    def __init__(self, servers: Iterable[ServerSpec]):
+        self._servers = list(servers)
+        names = [server.name for server in self._servers]
+        if len(set(names)) != len(names):
+            duplicates = sorted(
+                {name for name in names if names.count(name) > 1}
+            )
+            raise CapacityError(f"duplicate server names in pool: {duplicates}")
+
+    @property
+    def servers(self) -> tuple[ServerSpec, ...]:
+        return tuple(self._servers)
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def __iter__(self) -> Iterator[ServerSpec]:
+        return iter(self._servers)
+
+    def __contains__(self, name: object) -> bool:
+        return any(server.name == name for server in self._servers)
+
+    def __getitem__(self, name: str) -> ServerSpec:
+        for server in self._servers:
+            if server.name == name:
+                return server
+        raise KeyError(f"no server named {name!r} in pool")
+
+    def __repr__(self) -> str:
+        return f"ResourcePool({[server.name for server in self._servers]})"
+
+    def names(self) -> list[str]:
+        return [server.name for server in self._servers]
+
+    def total_cpus(self) -> int:
+        return sum(server.cpus for server in self._servers)
+
+    def total_capacity(self, attribute: str = "cpu") -> float:
+        """Summed capacity limit across all servers for one attribute."""
+        return sum(server.capacity_of(attribute) for server in self._servers)
+
+    def without(self, *names: str) -> "ResourcePool":
+        """A new pool with the named servers removed (failure what-ifs)."""
+        missing = [name for name in names if name not in self]
+        if missing:
+            raise CapacityError(f"cannot remove unknown servers: {missing}")
+        removed = set(names)
+        return ResourcePool(
+            server for server in self._servers if server.name not in removed
+        )
+
+    def with_added(self, *servers: ServerSpec) -> "ResourcePool":
+        """A new pool with extra servers appended (spare-server what-ifs)."""
+        return ResourcePool(list(self._servers) + list(servers))

@@ -1,0 +1,89 @@
+"""Server model: capacity limits per attribute plus CPU count.
+
+The placement objective (Section VI-B) needs the number of CPUs ``Z`` of a
+server — ``f(U) = U^(2Z)`` lets servers with more CPUs run at higher
+utilization — and the capacity limit ``L`` per capacity attribute for the
+required-capacity search. The paper's case study uses homogeneous 16-way
+servers, but the model is parametric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.exceptions import CapacityError
+
+CPU_ATTRIBUTE = "cpu"
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """One server in the pool.
+
+    Parameters
+    ----------
+    name:
+        Unique server identifier within a pool.
+    cpus:
+        Number of CPUs (``Z``); drives the utilization term of the
+        placement objective.
+    attributes:
+        Capacity limit per attribute. If the ``cpu`` attribute is omitted
+        it defaults to ``cpus`` (each CPU contributes one unit of CPU
+        capacity).
+
+    >>> ServerSpec("s0", cpus=16).capacity_of("cpu")
+    16.0
+    """
+
+    name: str
+    cpus: int
+    attributes: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CapacityError("server name must not be empty")
+        if self.cpus < 1:
+            raise CapacityError(f"server {self.name!r}: cpus must be >= 1, got {self.cpus}")
+        merged = dict(self.attributes)
+        merged.setdefault(CPU_ATTRIBUTE, float(self.cpus))
+        for attribute, limit in merged.items():
+            if limit <= 0:
+                raise CapacityError(
+                    f"server {self.name!r}: capacity of {attribute!r} must be "
+                    f"> 0, got {limit}"
+                )
+        object.__setattr__(self, "attributes", MappingProxyType(merged))
+
+    def capacity_of(self, attribute: str) -> float:
+        """Capacity limit ``L`` for one attribute."""
+        try:
+            return float(self.attributes[attribute])
+        except KeyError:
+            raise CapacityError(
+                f"server {self.name!r} has no capacity attribute {attribute!r}"
+            ) from None
+
+    def has_attribute(self, attribute: str) -> bool:
+        return attribute in self.attributes
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.cpus, tuple(sorted(self.attributes.items()))))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ServerSpec):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.cpus == other.cpus
+            and dict(self.attributes) == dict(other.attributes)
+        )
+
+
+def homogeneous_servers(count: int, cpus: int = 16, prefix: str = "server") -> list[ServerSpec]:
+    """Build ``count`` identical servers, named ``prefix-00`` onward."""
+    if count < 0:
+        raise CapacityError(f"count must be >= 0, got {count}")
+    return [ServerSpec(f"{prefix}-{index:02d}", cpus=cpus) for index in range(count)]

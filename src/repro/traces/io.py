@@ -1,0 +1,138 @@
+"""Serialization for traces and ensembles.
+
+Two formats are supported:
+
+* **CSV** — one column per workload, one row per observation, with a
+  two-line header carrying the calendar (weeks, slot_minutes). Convenient
+  for inspecting traces in a spreadsheet and for importing real
+  measurement data.
+* **JSON** — a single document embedding the calendar, attribute and all
+  series. Used by the examples to cache generated ensembles.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Sequence, Union
+
+from repro.exceptions import TraceError
+from repro.traces.calendar import TraceCalendar
+from repro.traces.trace import DemandTrace
+
+PathLike = Union[str, Path]
+
+_CSV_MAGIC = "# ropus-traces"
+
+
+def save_traces_csv(traces: Sequence[DemandTrace], path: PathLike) -> None:
+    """Write an ensemble of traces sharing one calendar to a CSV file."""
+    if not traces:
+        raise TraceError("cannot save an empty collection of traces")
+    calendar = traces[0].calendar
+    attribute = traces[0].attribute
+    for trace in traces:
+        calendar.require_compatible(trace.calendar)
+        if trace.attribute != attribute:
+            raise TraceError(
+                f"trace {trace.name!r} attribute {trace.attribute!r} differs "
+                f"from {attribute!r}"
+            )
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [_CSV_MAGIC, calendar.weeks, calendar.slot_minutes, attribute]
+        )
+        writer.writerow([trace.name for trace in traces])
+        columns = [trace.values for trace in traces]
+        for row_index in range(calendar.n_observations):
+            writer.writerow(
+                [repr(float(column[row_index])) for column in columns]
+            )
+
+
+def load_traces_csv(path: PathLike) -> list[DemandTrace]:
+    """Read back an ensemble written by :func:`save_traces_csv`."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            magic_row = next(reader)
+            names = next(reader)
+        except StopIteration as exc:
+            raise TraceError(f"{path}: truncated trace CSV") from exc
+        if not magic_row or magic_row[0] != _CSV_MAGIC:
+            raise TraceError(f"{path}: not an R-Opus trace CSV")
+        try:
+            weeks = int(magic_row[1])
+            slot_minutes = int(magic_row[2])
+            attribute = magic_row[3]
+        except (IndexError, ValueError) as exc:
+            raise TraceError(f"{path}: malformed trace CSV header") from exc
+        calendar = TraceCalendar(weeks=weeks, slot_minutes=slot_minutes)
+        columns: list[list[float]] = [[] for _ in names]
+        for row in reader:
+            if len(row) != len(names):
+                raise TraceError(
+                    f"{path}: row has {len(row)} cells, expected {len(names)}"
+                )
+            for column, cell in zip(columns, row):
+                column.append(float(cell))
+    return [
+        DemandTrace(name, column, calendar, attribute)
+        for name, column in zip(names, columns)
+    ]
+
+
+def traces_to_json(traces: Sequence[DemandTrace]) -> str:
+    """Serialize an ensemble of traces to a JSON string."""
+    if not traces:
+        raise TraceError("cannot serialize an empty collection of traces")
+    calendar = traces[0].calendar
+    for trace in traces:
+        calendar.require_compatible(trace.calendar)
+    document = {
+        "format": "ropus-traces-v1",
+        "calendar": {"weeks": calendar.weeks, "slot_minutes": calendar.slot_minutes},
+        "traces": [
+            {
+                "name": trace.name,
+                "attribute": trace.attribute,
+                "values": [float(value) for value in trace.values],
+            }
+            for trace in traces
+        ],
+    }
+    return json.dumps(document)
+
+
+def traces_from_json(text: str) -> list[DemandTrace]:
+    """Deserialize an ensemble produced by :func:`traces_to_json`."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"invalid trace JSON: {exc}") from exc
+    if document.get("format") != "ropus-traces-v1":
+        raise TraceError("not an R-Opus trace JSON document")
+    calendar_spec = document["calendar"]
+    calendar = TraceCalendar(
+        weeks=int(calendar_spec["weeks"]),
+        slot_minutes=int(calendar_spec["slot_minutes"]),
+    )
+    return [
+        DemandTrace(
+            entry["name"],
+            entry["values"],
+            calendar,
+            entry.get("attribute", "cpu"),
+        )
+        for entry in document["traces"]
+    ]
+
+
+def save_traces_json(traces: Sequence[DemandTrace], path: PathLike) -> None:
+    Path(path).write_text(traces_to_json(traces))
+
+
+def load_traces_json(path: PathLike) -> list[DemandTrace]:
+    return traces_from_json(Path(path).read_text())

@@ -1,0 +1,22 @@
+"""Shared utilities: seeded randomness, validation, and table rendering."""
+
+from repro.util.rng import SeedSequenceFactory, derive_rng
+from repro.util.tables import format_table
+from repro.util.validation import (
+    require_fraction,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+__all__ = [
+    "SeedSequenceFactory",
+    "derive_rng",
+    "format_table",
+    "require_fraction",
+    "require_in_range",
+    "require_non_negative",
+    "require_positive",
+    "require_probability",
+]

@@ -1,0 +1,79 @@
+"""Plain-text table rendering for reports and benchmark output.
+
+The benchmark harness prints the same rows the paper's Table I reports;
+this module renders them without third-party dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``. Columns are right-aligned for numbers and left-aligned for
+    text, following the first data row's types.
+
+    >>> print(format_table(["name", "n"], [["a", 1], ["bb", 22]]))
+    name |  n
+    -----+---
+    a    |  1
+    bb   | 22
+    """
+    rendered_rows = [
+        [_render_cell(cell, float_format) for cell in row] for row in rows
+    ]
+    header_cells = [str(header) for header in headers]
+    if any(len(row) != len(header_cells) for row in rendered_rows):
+        raise ValueError("all rows must have the same number of cells as headers")
+
+    widths = [len(cell) for cell in header_cells]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    numeric = _numeric_columns(rows, len(header_cells))
+
+    def fmt(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if numeric[index]:
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return " | ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(header_cells))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(fmt(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def _render_cell(cell: Any, float_format: str) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return float_format.format(cell)
+    return str(cell)
+
+
+def _numeric_columns(rows: Sequence[Sequence[Any]], n_columns: int) -> list[bool]:
+    numeric = [True] * n_columns
+    for row in rows:
+        for index, cell in enumerate(row):
+            if not isinstance(cell, (int, float)) or isinstance(cell, bool):
+                numeric[index] = False
+    if not rows:
+        return [False] * n_columns
+    return numeric

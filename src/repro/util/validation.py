@@ -1,0 +1,81 @@
+"""Argument-validation helpers used across the library.
+
+Each helper validates one scalar and returns it unchanged so call sites can
+validate inline::
+
+    self.theta = require_probability(theta, "theta")
+
+All helpers raise :class:`ValueError` with a message naming the offending
+parameter; higher layers wrap these in domain exceptions where useful.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import SupportsFloat
+
+
+def _as_float(value: SupportsFloat, name: str) -> float:
+    try:
+        result = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{name} must be a real number, got {value!r}") from exc
+    if math.isnan(result):
+        raise ValueError(f"{name} must not be NaN")
+    return result
+
+
+def require_positive(value: SupportsFloat, name: str) -> float:
+    """Return ``value`` as float, requiring it to be strictly positive."""
+    result = _as_float(value, name)
+    if result <= 0:
+        raise ValueError(f"{name} must be > 0, got {result}")
+    return result
+
+
+def require_non_negative(value: SupportsFloat, name: str) -> float:
+    """Return ``value`` as float, requiring it to be >= 0."""
+    result = _as_float(value, name)
+    if result < 0:
+        raise ValueError(f"{name} must be >= 0, got {result}")
+    return result
+
+
+def require_probability(value: SupportsFloat, name: str) -> float:
+    """Return ``value`` as float, requiring 0 <= value <= 1."""
+    result = _as_float(value, name)
+    if not 0.0 <= result <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {result}")
+    return result
+
+
+def require_fraction(value: SupportsFloat, name: str) -> float:
+    """Return ``value`` as float, requiring 0 < value < 1."""
+    result = _as_float(value, name)
+    if not 0.0 < result < 1.0:
+        raise ValueError(f"{name} must be in (0, 1), got {result}")
+    return result
+
+
+def require_in_range(
+    value: SupportsFloat,
+    name: str,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Return ``value`` as float, requiring it to lie within ``[low, high]``.
+
+    With ``inclusive=False`` the bounds are exclusive on both ends.
+    """
+    result = _as_float(value, name)
+    if inclusive:
+        ok = low <= result <= high
+        bounds = f"[{low}, {high}]"
+    else:
+        ok = low < result < high
+        bounds = f"({low}, {high})"
+    if not ok:
+        raise ValueError(f"{name} must be in {bounds}, got {result}")
+    return result

@@ -1,0 +1,51 @@
+"""Synthetic enterprise workload generation.
+
+The paper's case study uses four weeks of 5-minute CPU demand traces from
+26 proprietary enterprise order-entry applications. Those traces are not
+available, so this package generates synthetic equivalents with the same
+statistical features the R-Opus analysis depends on:
+
+* diurnal and weekly demand patterns (:mod:`repro.workloads.patterns`),
+* autocorrelated burst noise and heavy-tailed spikes
+  (:mod:`repro.workloads.noise`),
+* a parametric per-application generator
+  (:class:`~repro.workloads.generator.WorkloadGenerator`), and
+* the curated 26-application case-study ensemble whose top-percentile
+  profile mirrors the paper's Figure 6
+  (:func:`~repro.workloads.ensemble.case_study_ensemble`).
+"""
+
+from repro.workloads.ensemble import CASE_STUDY_APP_COUNT, case_study_ensemble
+from repro.workloads.forecast import (
+    GrowthEstimate,
+    estimate_weekly_growth,
+    extrapolate_demand,
+    extrapolate_ensemble,
+)
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.workloads.noise import ar1_lognormal_noise, inject_spikes
+from repro.workloads.patterns import (
+    DiurnalPattern,
+    batch_window_pattern,
+    business_hours_pattern,
+    double_peak_pattern,
+    flat_pattern,
+)
+
+__all__ = [
+    "CASE_STUDY_APP_COUNT",
+    "DiurnalPattern",
+    "GrowthEstimate",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "ar1_lognormal_noise",
+    "estimate_weekly_growth",
+    "extrapolate_demand",
+    "extrapolate_ensemble",
+    "batch_window_pattern",
+    "business_hours_pattern",
+    "case_study_ensemble",
+    "double_peak_pattern",
+    "flat_pattern",
+    "inject_spikes",
+]

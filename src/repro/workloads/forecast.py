@@ -1,0 +1,139 @@
+"""Demand forecasting for medium- and long-term capacity management.
+
+The paper's trace-based method assumes "future demands will be roughly
+similar" to recent history and that organic change is slow (months), so
+planning adapts by sliding the analysis window forward (Section II).
+Long-term capacity planning (Figure 1) additionally needs a growth
+estimate: when will the pool run out?
+
+This module provides both pieces:
+
+* :func:`estimate_weekly_growth` — a least-squares trend over the
+  per-week mean demand, reported as a multiplicative weekly growth rate;
+* :func:`extrapolate_demand` — project a trace ``k`` weeks ahead by
+  repeating its most recent weekly pattern scaled by the compounded
+  growth rate, preserving the diurnal/bursty shape the placement
+  analysis depends on.
+
+Significant step changes (new business processes) are out of scope, as
+in the paper: those must be communicated by the business units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import TraceError
+from repro.traces.calendar import TraceCalendar
+from repro.traces.trace import DemandTrace
+
+
+@dataclass(frozen=True)
+class GrowthEstimate:
+    """A fitted weekly demand trend.
+
+    Attributes
+    ----------
+    weekly_growth:
+        Multiplicative growth per week (1.0 = flat, 1.02 = +2 %/week).
+    weekly_means:
+        The per-week mean demands the trend was fitted to.
+    r_squared:
+        Fit quality of the log-linear regression in [0, 1]; low values
+        mean the trend is noise and extrapolation should be distrusted.
+    """
+
+    weekly_growth: float
+    weekly_means: tuple[float, ...]
+    r_squared: float
+
+
+def estimate_weekly_growth(trace: DemandTrace) -> GrowthEstimate:
+    """Fit a multiplicative weekly trend to a demand trace.
+
+    Uses ordinary least squares on the log of per-week mean demand.
+    Requires at least two weeks of history. A trace with any all-zero
+    week yields a flat estimate (growth cannot be inferred from zeros).
+    """
+    calendar = trace.calendar
+    if calendar.weeks < 2:
+        raise TraceError(
+            "growth estimation needs at least two weeks of history"
+        )
+    weekly = trace.values.reshape(calendar.weeks, calendar.slots_per_week)
+    means = weekly.mean(axis=1)
+    if np.any(means <= 0):
+        return GrowthEstimate(
+            weekly_growth=1.0,
+            weekly_means=tuple(float(mean) for mean in means),
+            r_squared=0.0,
+        )
+    log_means = np.log(means)
+    weeks = np.arange(calendar.weeks, dtype=float)
+    slope, intercept = np.polyfit(weeks, log_means, 1)
+    fitted = slope * weeks + intercept
+    residual = log_means - fitted
+    total_variance = float(((log_means - log_means.mean()) ** 2).sum())
+    if total_variance == 0:
+        r_squared = 1.0
+    else:
+        r_squared = 1.0 - float((residual**2).sum()) / total_variance
+    return GrowthEstimate(
+        weekly_growth=float(np.exp(slope)),
+        weekly_means=tuple(float(mean) for mean in means),
+        r_squared=max(0.0, min(1.0, r_squared)),
+    )
+
+
+def extrapolate_demand(
+    trace: DemandTrace,
+    weeks_ahead: int,
+    weekly_growth: float | None = None,
+) -> DemandTrace:
+    """Project a trace ``weeks_ahead`` weeks into the future.
+
+    The projection repeats the trace's most recent week, scaled by the
+    compounded weekly growth (estimated from the trace when not given).
+    The result covers the same number of weeks as the input — it is the
+    *forecast window*, directly usable by the placement service in place
+    of the historical window.
+    """
+    if weeks_ahead < 0:
+        raise TraceError(f"weeks_ahead must be >= 0, got {weeks_ahead}")
+    if weeks_ahead == 0:
+        return trace
+    calendar = trace.calendar
+    if weekly_growth is None:
+        weekly_growth = estimate_weekly_growth(trace).weekly_growth
+    if weekly_growth <= 0:
+        raise TraceError(f"weekly_growth must be > 0, got {weekly_growth}")
+
+    last_week = trace.values[-calendar.slots_per_week :]
+    projected_weeks = []
+    for offset in range(calendar.weeks):
+        weeks_from_now = weeks_ahead + offset - (calendar.weeks - 1)
+        scale = weekly_growth ** max(0, weeks_from_now)
+        projected_weeks.append(last_week * scale)
+    return DemandTrace(
+        trace.name,
+        np.concatenate(projected_weeks),
+        calendar,
+        trace.attribute,
+    )
+
+
+def extrapolate_ensemble(
+    traces: list[DemandTrace],
+    weeks_ahead: int,
+    growth_by_name: dict[str, float] | None = None,
+) -> list[DemandTrace]:
+    """Project every trace forward; growth fitted per trace by default."""
+    projected = []
+    for trace in traces:
+        growth = None
+        if growth_by_name is not None:
+            growth = growth_by_name.get(trace.name)
+        projected.append(extrapolate_demand(trace, weeks_ahead, growth))
+    return projected

@@ -1,0 +1,154 @@
+"""Deterministic diurnal and weekly demand shapes.
+
+Interactive enterprise workloads have a strong time-of-day structure (the
+paper keys its theta measurement to slots of the day for exactly this
+reason). A :class:`DiurnalPattern` produces the deterministic component of
+demand: a base daily shape in ``[0, 1]`` modulated by per-day-of-week
+weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.traces.calendar import DAYS_PER_WEEK, TraceCalendar
+
+WEEKDAY_WEIGHTS = (1.0, 1.0, 1.0, 1.0, 1.0, 0.35, 0.25)
+UNIFORM_WEIGHTS = (1.0,) * DAYS_PER_WEEK
+
+
+@dataclass(frozen=True)
+class DiurnalPattern:
+    """A daily demand shape plus day-of-week modulation.
+
+    Parameters
+    ----------
+    daily_shape:
+        Relative demand level per slot of day; values in ``[0, 1]`` with at
+        least one slot at 1 (the shape is normalised on construction).
+    day_weights:
+        Multiplier per day of week, Monday first. Defaults to a typical
+        business-application profile with quiet weekends.
+    """
+
+    daily_shape: tuple[float, ...]
+    day_weights: tuple[float, ...] = WEEKDAY_WEIGHTS
+
+    def __post_init__(self) -> None:
+        if len(self.day_weights) != DAYS_PER_WEEK:
+            raise ConfigurationError(
+                f"day_weights must have {DAYS_PER_WEEK} entries, "
+                f"got {len(self.day_weights)}"
+            )
+        if not self.daily_shape:
+            raise ConfigurationError("daily_shape must not be empty")
+        if min(self.daily_shape) < 0:
+            raise ConfigurationError("daily_shape values must be >= 0")
+        if max(self.daily_shape) == 0:
+            raise ConfigurationError("daily_shape must have a positive value")
+        if min(self.day_weights) < 0:
+            raise ConfigurationError("day_weights must be >= 0")
+        peak = max(self.daily_shape)
+        object.__setattr__(
+            self,
+            "daily_shape",
+            tuple(value / peak for value in self.daily_shape),
+        )
+
+    def render(self, calendar: TraceCalendar) -> np.ndarray:
+        """Materialise the pattern on a calendar; values in ``[0, 1]``.
+
+        The stored shape is resampled (linear interpolation) to the
+        calendar's slots-per-day so one pattern works across slot sizes.
+        """
+        slots = calendar.slots_per_day
+        shape = np.asarray(self.daily_shape)
+        if len(shape) != slots:
+            source_x = np.linspace(0.0, 1.0, num=len(shape), endpoint=False)
+            target_x = np.linspace(0.0, 1.0, num=slots, endpoint=False)
+            shape = np.interp(target_x, source_x, shape, period=1.0)
+        one_week = np.concatenate(
+            [shape * weight for weight in self.day_weights]
+        )
+        return np.tile(one_week, calendar.weeks)
+
+
+def _hours_to_slots(curve_hours: Sequence[float], resolution: int = 288) -> np.ndarray:
+    """Interpolate a 24-point hourly curve to ``resolution`` slots."""
+    hours = np.asarray(curve_hours, dtype=float)
+    if hours.shape != (24,):
+        raise ConfigurationError(f"hourly curve must have 24 points, got {hours.shape}")
+    slot_hours = np.linspace(0.0, 24.0, num=resolution, endpoint=False)
+    return np.interp(slot_hours, np.arange(24), hours, period=24.0)
+
+
+def business_hours_pattern(
+    ramp_start: int = 7, peak_start: int = 9, peak_end: int = 17, wind_down: int = 20
+) -> DiurnalPattern:
+    """A single broad plateau covering the business day.
+
+    Demand ramps from ``ramp_start`` to full load at ``peak_start``, holds
+    until ``peak_end``, and decays back to the night floor by
+    ``wind_down``.
+    """
+    if not 0 <= ramp_start < peak_start < peak_end < wind_down <= 24:
+        raise ConfigurationError(
+            "hours must satisfy 0 <= ramp_start < peak_start < peak_end "
+            f"< wind_down <= 24, got {ramp_start, peak_start, peak_end, wind_down}"
+        )
+    hourly = np.full(24, 0.15)
+    for hour in range(24):
+        if ramp_start <= hour < peak_start:
+            hourly[hour] = 0.15 + 0.85 * (hour - ramp_start) / (peak_start - ramp_start)
+        elif peak_start <= hour < peak_end:
+            hourly[hour] = 1.0
+        elif peak_end <= hour < wind_down:
+            hourly[hour] = 1.0 - 0.85 * (hour - peak_end) / (wind_down - peak_end)
+    return DiurnalPattern(tuple(_hours_to_slots(hourly)))
+
+
+def double_peak_pattern(
+    morning_peak: int = 10, afternoon_peak: int = 15, trough_depth: float = 0.6
+) -> DiurnalPattern:
+    """Two peaks with a lunch trough — common for order-entry systems."""
+    if not 0 <= morning_peak < afternoon_peak <= 23:
+        raise ConfigurationError(
+            f"peaks must satisfy 0 <= morning < afternoon <= 23, "
+            f"got {morning_peak, afternoon_peak}"
+        )
+    if not 0.0 <= trough_depth <= 1.0:
+        raise ConfigurationError(
+            f"trough_depth must be in [0, 1], got {trough_depth}"
+        )
+    hourly = np.full(24, 0.12)
+    hours = np.arange(24, dtype=float)
+    morning = np.exp(-0.5 * ((hours - morning_peak) / 1.8) ** 2)
+    afternoon = np.exp(-0.5 * ((hours - afternoon_peak) / 2.2) ** 2)
+    hourly = np.maximum(hourly, np.maximum(morning, afternoon * (1 - 0.1)))
+    trough_hour = (morning_peak + afternoon_peak) / 2.0
+    trough = 1.0 - trough_depth * np.exp(-0.5 * ((hours - trough_hour) / 0.9) ** 2)
+    hourly = hourly * trough
+    return DiurnalPattern(tuple(_hours_to_slots(hourly)))
+
+
+def batch_window_pattern(window_start: int = 1, window_hours: int = 4) -> DiurnalPattern:
+    """Nocturnal batch processing: near-idle except a nightly window."""
+    if not 0 <= window_start <= 23:
+        raise ConfigurationError(f"window_start must be in [0, 23], got {window_start}")
+    if not 1 <= window_hours <= 24:
+        raise ConfigurationError(f"window_hours must be in [1, 24], got {window_hours}")
+    hourly = np.full(24, 0.05)
+    for offset in range(window_hours):
+        hourly[(window_start + offset) % 24] = 1.0
+    return DiurnalPattern(tuple(_hours_to_slots(hourly)), day_weights=UNIFORM_WEIGHTS)
+
+
+def flat_pattern(level: float = 1.0) -> DiurnalPattern:
+    """Constant demand — infrastructure daemons and always-on services."""
+    if level <= 0:
+        raise ConfigurationError(f"level must be > 0, got {level}")
+    return DiurnalPattern((level,) * 24, day_weights=UNIFORM_WEIGHTS)

@@ -1,0 +1,46 @@
+"""Tests for the all-guaranteed baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.single_cos import single_cos_pair
+from repro.core.cos import PoolCommitments
+from repro.core.qos import case_study_qos
+from repro.core.translation import QoSTranslator
+from repro.traces.calendar import TraceCalendar
+from repro.traces.trace import DemandTrace
+
+
+@pytest.fixture
+def cal():
+    return TraceCalendar(weeks=1, slot_minutes=5)
+
+
+@pytest.fixture
+def trace(cal):
+    rng = np.random.default_rng(0)
+    return DemandTrace("w", rng.lognormal(0, 0.8, cal.n_observations), cal)
+
+
+class TestSingleCosPair:
+    def test_everything_guaranteed(self, trace):
+        pair = single_cos_pair(trace, case_study_qos())
+        assert pair.cos2.peak() == 0.0
+        assert pair.cos2_fraction() == 0.0
+
+    def test_m_degr_cap_still_applies(self, trace):
+        strict = single_cos_pair(trace, case_study_qos(m_degr_percent=0))
+        relaxed = single_cos_pair(trace, case_study_qos(m_degr_percent=3))
+        assert relaxed.cos1.peak() <= strict.cos1.peak()
+
+    def test_burst_factor_applied(self, trace):
+        pair = single_cos_pair(trace, case_study_qos(m_degr_percent=0))
+        assert pair.cos1.peak() == pytest.approx(trace.peak() / 0.5)
+
+    def test_peak_cos1_exceeds_two_cos_translation(self, trace):
+        """The guaranteed baseline forces a larger CoS1 footprint than the
+        portfolio split, which is what costs servers at placement time."""
+        translator = QoSTranslator(PoolCommitments.of(theta=0.6))
+        two_cos = translator.translate(trace, case_study_qos()).pair
+        one_cos = single_cos_pair(trace, case_study_qos())
+        assert one_cos.peak_cos1() > two_cos.peak_cos1()

@@ -1,0 +1,82 @@
+"""Shared fixtures for the R-Opus test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cos import CoSCommitment, PoolCommitments
+from repro.core.qos import ApplicationQoS, DegradedSpec, QoSRange
+from repro.traces.calendar import TraceCalendar
+from repro.traces.trace import DemandTrace
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+
+@pytest.fixture
+def calendar() -> TraceCalendar:
+    """One week at 5-minute resolution (2016 observations)."""
+    return TraceCalendar(weeks=1, slot_minutes=5)
+
+
+@pytest.fixture
+def two_week_calendar() -> TraceCalendar:
+    return TraceCalendar(weeks=2, slot_minutes=5)
+
+
+@pytest.fixture
+def coarse_calendar() -> TraceCalendar:
+    """One week at hourly resolution — small, fast traces (168 slots)."""
+    return TraceCalendar(weeks=1, slot_minutes=60)
+
+
+@pytest.fixture
+def constant_trace(coarse_calendar) -> DemandTrace:
+    return DemandTrace(
+        "constant", [2.0] * coarse_calendar.n_observations, coarse_calendar
+    )
+
+
+@pytest.fixture
+def bursty_trace(coarse_calendar) -> DemandTrace:
+    """Mostly 1.0 with a few isolated and contiguous spikes to 5-8."""
+    values = np.ones(coarse_calendar.n_observations)
+    values[10] = 5.0
+    values[50:54] = 6.0
+    values[100:110] = 8.0
+    return DemandTrace("bursty", values, coarse_calendar)
+
+
+@pytest.fixture
+def sample_qos() -> ApplicationQoS:
+    """The paper's case-study QoS: (0.5, 0.66), 3% at <=0.9."""
+    return ApplicationQoS(
+        QoSRange(0.5, 0.66),
+        DegradedSpec(m_degr_percent=3.0, u_degr=0.9),
+    )
+
+
+@pytest.fixture
+def strict_qos() -> ApplicationQoS:
+    """No degradation tolerated."""
+    return ApplicationQoS(QoSRange(0.5, 0.66))
+
+
+@pytest.fixture
+def commitments_95() -> PoolCommitments:
+    return PoolCommitments(CoSCommitment(theta=0.95, deadline_minutes=60))
+
+
+@pytest.fixture
+def commitments_60() -> PoolCommitments:
+    return PoolCommitments(CoSCommitment(theta=0.6, deadline_minutes=60))
+
+
+@pytest.fixture
+def small_ensemble(coarse_calendar) -> list[DemandTrace]:
+    """Six small generated workloads on the coarse calendar."""
+    generator = WorkloadGenerator(seed=99)
+    specs = [
+        WorkloadSpec(name=f"wl-{index}", peak_cpus=1.0 + 0.5 * index)
+        for index in range(6)
+    ]
+    return generator.generate_many(specs, coarse_calendar)

@@ -1,0 +1,50 @@
+"""Tests for pool CoS commitments."""
+
+import pytest
+
+from repro.core.cos import CoSCommitment, PoolCommitments
+from repro.exceptions import CommitmentError
+from repro.traces.calendar import TraceCalendar
+
+
+class TestCoSCommitment:
+    def test_basic(self):
+        commitment = CoSCommitment(theta=0.95, deadline_minutes=60)
+        assert commitment.theta == 0.95
+
+    def test_theta_of_one_allowed(self):
+        assert CoSCommitment(theta=1.0).theta == 1.0
+
+    def test_rejects_zero_theta(self):
+        with pytest.raises(CommitmentError):
+            CoSCommitment(theta=0.0)
+
+    def test_rejects_theta_above_one(self):
+        with pytest.raises(CommitmentError):
+            CoSCommitment(theta=1.01)
+
+    def test_rejects_negative_deadline(self):
+        with pytest.raises(CommitmentError):
+            CoSCommitment(theta=0.9, deadline_minutes=-5)
+
+    def test_deadline_slots(self):
+        commitment = CoSCommitment(theta=0.9, deadline_minutes=60)
+        five_minute = TraceCalendar(weeks=1, slot_minutes=5)
+        hourly = TraceCalendar(weeks=1, slot_minutes=60)
+        assert commitment.deadline_slots(five_minute) == 12
+        assert commitment.deadline_slots(hourly) == 1
+
+    def test_zero_deadline(self):
+        commitment = CoSCommitment(theta=0.9, deadline_minutes=0)
+        cal = TraceCalendar(weeks=1, slot_minutes=5)
+        assert commitment.deadline_slots(cal) == 0
+
+
+class TestPoolCommitments:
+    def test_of_shorthand(self):
+        commitments = PoolCommitments.of(0.6)
+        assert commitments.theta == 0.6
+        assert commitments.cos2.deadline_minutes == 60.0
+
+    def test_custom_deadline(self):
+        assert PoolCommitments.of(0.6, deadline_minutes=30).cos2.deadline_minutes == 30

@@ -1,0 +1,181 @@
+"""Tests for the per-period degraded-epoch budget (footnote 2 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.epoch_limited import (
+    count_epochs_per_period,
+    enforce_epoch_budget,
+)
+from repro.core.partition import breakpoint_fraction
+from repro.core.time_limited import DEGRADED_TOLERANCE, expected_utilization
+from repro.exceptions import TranslationError
+
+U_LOW, U_HIGH = 0.5, 0.66
+
+
+def run_budget(values, theta, initial_cap, max_epochs, period_slots):
+    p = breakpoint_fraction(U_LOW, U_HIGH, theta)
+    return enforce_epoch_budget(
+        np.asarray(values, dtype=float),
+        initial_cap=initial_cap,
+        breakpoint_fraction=p,
+        theta=theta,
+        u_low=U_LOW,
+        u_high=U_HIGH,
+        max_epochs_per_period=max_epochs,
+        period_slots=period_slots,
+    )
+
+
+def degraded_mask(values, theta, cap):
+    p = breakpoint_fraction(U_LOW, U_HIGH, theta)
+    utilization = expected_utilization(values, cap, p, theta, U_LOW)
+    return (utilization > U_HIGH + DEGRADED_TOLERANCE) & (values > 0)
+
+
+class TestCountEpochs:
+    def test_no_epochs(self):
+        counts = count_epochs_per_period(np.zeros(20, dtype=bool), 10)
+        assert counts == [0, 0]
+
+    def test_counts_per_period(self):
+        mask = np.zeros(20, dtype=bool)
+        mask[1] = True
+        mask[3:5] = True
+        mask[15] = True
+        counts = count_epochs_per_period(mask, 10)
+        assert counts == [2, 1]
+
+    def test_epoch_spanning_boundary_counts_in_both(self):
+        mask = np.zeros(20, dtype=bool)
+        mask[8:12] = True
+        counts = count_epochs_per_period(mask, 10)
+        assert counts == [1, 1]
+
+    def test_trailing_partial_period(self):
+        mask = np.zeros(25, dtype=bool)
+        mask[24] = True
+        counts = count_epochs_per_period(mask, 10)
+        assert counts == [0, 0, 1]
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(TranslationError):
+            count_epochs_per_period(np.zeros(5, dtype=bool), 0)
+
+
+class TestEnforcement:
+    def test_no_op_when_within_budget(self):
+        values = np.ones(100)
+        values[10] = 5.0
+        values[50] = 5.0
+        result = run_budget(values, 0.6, initial_cap=2.0, max_epochs=2,
+                            period_slots=100)
+        assert result.iterations == 0
+        assert result.d_new_max == 2.0
+        assert result.worst_period_epochs == 2
+
+    def test_eliminates_cheapest_epoch(self):
+        values = np.ones(100)
+        values[10] = 5.0   # epoch peak 5
+        values[50] = 3.0   # epoch peak 3 (cheapest)
+        values[80] = 6.0   # epoch peak 6
+        result = run_budget(values, 0.6, initial_cap=2.0, max_epochs=2,
+                            period_slots=100)
+        assert result.iterations >= 1
+        assert result.worst_period_epochs <= 2
+        # The cheapest epoch (peak 3) is gone; the others may remain.
+        mask = degraded_mask(values, 0.6, result.d_new_max)
+        assert not mask[50]
+
+    def test_zero_budget_removes_all_epochs(self):
+        values = np.ones(100)
+        values[10] = 5.0
+        values[60:63] = 4.0
+        result = run_budget(values, 0.6, initial_cap=2.0, max_epochs=0,
+                            period_slots=50)
+        assert result.worst_period_epochs == 0
+        assert not degraded_mask(values, 0.6, result.d_new_max).any()
+
+    def test_per_day_budget_localised(self):
+        """Only the over-budget day forces promotions."""
+        values = np.ones(200)
+        # Day 0 (slots 0-99): three epochs; day 1: one epoch.
+        values[10] = 5.0
+        values[30] = 4.0
+        values[50] = 6.0
+        values[150] = 7.0
+        result = run_budget(values, 0.6, initial_cap=2.0, max_epochs=2,
+                            period_slots=100)
+        mask = degraded_mask(values, 0.6, result.d_new_max)
+        counts = count_epochs_per_period(mask, 100)
+        assert counts[0] <= 2
+        # Day 1's single epoch survives only if its demand still exceeds
+        # the (raised) cap; either way it is within budget.
+        assert counts[1] <= 2
+
+    def test_cap_monotone_in_budget(self):
+        rng = np.random.default_rng(3)
+        values = rng.lognormal(0, 1.0, 500)
+        initial = float(np.percentile(values, 97))
+        caps = [
+            run_budget(values, 0.6, initial, budget, 100).d_new_max
+            for budget in (5, 2, 1, 0)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(caps, caps[1:]))
+
+    def test_final_state_satisfies_budget(self):
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(0, 1.2, 1000)
+        for theta in (0.6, 0.95):
+            for budget in (0, 1, 3):
+                result = run_budget(
+                    values, theta, float(np.percentile(values, 97)),
+                    budget, 288,
+                )
+                mask = degraded_mask(values, theta, result.d_new_max)
+                counts = count_epochs_per_period(mask, 288)
+                assert max(counts, default=0) <= budget
+                assert result.worst_period_epochs <= budget
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(TranslationError):
+            run_budget(np.ones(5), 0.6, -1.0, 2, 5)
+        with pytest.raises(TranslationError):
+            run_budget(np.ones(5), 0.6, 1.0, -1, 5)
+        with pytest.raises(TranslationError):
+            run_budget(np.ones(5), 0.6, 1.0, 2, 0)
+
+
+class TestTranslationIntegration:
+    def test_epochs_per_day_via_translator(self):
+        from repro.core.cos import PoolCommitments
+        from repro.core.qos import DegradedSpec, ApplicationQoS, QoSRange
+        from repro.core.translation import QoSTranslator
+        from repro.traces.calendar import TraceCalendar
+        from repro.traces.trace import DemandTrace
+
+        calendar = TraceCalendar(weeks=1, slot_minutes=60)
+        values = np.ones(calendar.n_observations)
+        # Three separate spikes within the first day.
+        values[2] = 5.0
+        values[8] = 4.0
+        values[15] = 6.0
+        demand = DemandTrace("w", values, calendar)
+        translator = QoSTranslator(PoolCommitments.of(theta=0.6))
+
+        unbudgeted = translator.translate(
+            demand,
+            ApplicationQoS(QoSRange(U_LOW, U_HIGH), DegradedSpec(3.0, 0.9)),
+        )
+        budgeted = translator.translate(
+            demand,
+            ApplicationQoS(
+                QoSRange(U_LOW, U_HIGH),
+                DegradedSpec(3.0, 0.9, epochs_per_day=1),
+            ),
+        )
+        assert budgeted.epoch_budget is not None
+        assert unbudgeted.epoch_budget is None
+        assert budgeted.d_new_max >= unbudgeted.d_new_max
+        assert budgeted.epoch_budget.worst_period_epochs <= 1

@@ -1,0 +1,213 @@
+"""Tests for the ongoing capacity-management loops."""
+
+import numpy as np
+import pytest
+
+from repro.core.cos import PoolCommitments
+from repro.core.framework import ROpus
+from repro.core.manager import CapacityManager
+from repro.core.qos import QoSPolicy, case_study_qos
+from repro.exceptions import ConfigurationError
+from repro.placement.genetic import GeneticSearchConfig
+from repro.resources.pool import ResourcePool
+from repro.resources.server import homogeneous_servers
+from repro.traces.calendar import TraceCalendar
+from repro.traces.ops import slice_weeks
+from repro.traces.trace import DemandTrace
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+SEARCH = GeneticSearchConfig(
+    seed=0, max_generations=6, stall_generations=2, population_size=6
+)
+
+
+@pytest.fixture(scope="module")
+def demands():
+    calendar = TraceCalendar(weeks=4, slot_minutes=60)
+    generator = WorkloadGenerator(seed=37)
+    specs = [
+        WorkloadSpec(name=f"w{i}", peak_cpus=1.5 + 0.4 * i) for i in range(5)
+    ]
+    return generator.generate_many(specs, calendar)
+
+
+@pytest.fixture(scope="module")
+def manager():
+    framework = ROpus(
+        PoolCommitments.of(theta=0.9),
+        ResourcePool(homogeneous_servers(6, cpus=16)),
+        search_config=SEARCH,
+    )
+    return CapacityManager(framework)
+
+
+@pytest.fixture(scope="module")
+def policy():
+    return QoSPolicy(normal=case_study_qos(m_degr_percent=3))
+
+
+class TestSliceWeeks:
+    def test_extracts_window(self, demands):
+        window = slice_weeks(demands[0], 1, 2)
+        assert window.calendar.weeks == 2
+        slots = demands[0].calendar.slots_per_week
+        np.testing.assert_array_equal(
+            window.values, demands[0].values[slots : 3 * slots]
+        )
+
+    def test_rejects_out_of_range(self, demands):
+        from repro.exceptions import TraceError
+
+        with pytest.raises(TraceError):
+            slice_weeks(demands[0], 3, 2)
+        with pytest.raises(TraceError):
+            slice_weeks(demands[0], 0, 0)
+
+
+class TestRollingPlan:
+    def test_steps_cover_history(self, manager, demands, policy):
+        report = manager.rolling_plan(
+            demands, policy, window_weeks=2, step_weeks=1
+        )
+        assert [step.start_week for step in report.steps] == [0, 1, 2]
+        assert all(
+            step.end_week - step.start_week == 2 for step in report.steps
+        )
+
+    def test_first_step_has_no_migrations(self, manager, demands, policy):
+        report = manager.rolling_plan(
+            demands, policy, window_weeks=2, step_weeks=2
+        )
+        assert report.steps[0].migrations == ()
+
+    def test_every_plan_covers_all_workloads(self, manager, demands, policy):
+        report = manager.rolling_plan(
+            demands, policy, window_weeks=2, step_weeks=2
+        )
+        for step in report.steps:
+            placed = sorted(
+                name
+                for names in step.result.assignment.values()
+                for name in names
+            )
+            assert placed == sorted(demand.name for demand in demands)
+
+    def test_migration_accounting(self, manager, demands, policy):
+        report = manager.rolling_plan(
+            demands, policy, window_weeks=2, step_weeks=1
+        )
+        assert report.total_migrations == sum(
+            step.n_migrations for step in report.steps
+        )
+        assert report.max_servers_used >= 1
+        assert len(report.servers_used_series()) == len(report.steps)
+
+    def test_sticky_replanning_no_worse_migrations(self, manager, demands, policy):
+        """Seeding each re-plan with the previous assignment keeps
+        migrations at or below the fresh-search count."""
+        sticky = manager.rolling_plan(
+            demands, policy, window_weeks=2, step_weeks=1, sticky=True
+        )
+        fresh = manager.rolling_plan(
+            demands, policy, window_weeks=2, step_weeks=1, sticky=False
+        )
+        assert sticky.total_migrations <= fresh.total_migrations
+        # Stickiness must not cost servers: each sticky plan uses no
+        # more than the fresh plan at the same step (the GA keeps the
+        # best feasible candidate, and both runs share greedy seeds).
+        for sticky_step, fresh_step in zip(sticky.steps, fresh.steps):
+            assert (
+                sticky_step.result.servers_used
+                <= fresh_step.result.servers_used + 1
+            )
+
+    def test_previous_plan_seeding_direct(self, manager, demands, policy):
+        """framework.plan(previous=...) accepts and uses an earlier plan."""
+        windowed = demands
+        first = manager.framework.plan(
+            windowed, policy, plan_failures=False
+        )
+        second = manager.framework.plan(
+            windowed, policy, plan_failures=False,
+            previous=first.consolidation,
+        )
+        # Same inputs, seeded with the previous plan: the assignment
+        # should be reachable and at least as good.
+        assert second.consolidation.score >= first.consolidation.score - 1e-9
+
+    def test_rejects_bad_windows(self, manager, demands, policy):
+        with pytest.raises(ConfigurationError):
+            manager.rolling_plan(demands, policy, window_weeks=0)
+        with pytest.raises(ConfigurationError):
+            manager.rolling_plan(demands, policy, window_weeks=9)
+        with pytest.raises(ConfigurationError):
+            manager.rolling_plan(
+                demands, policy, window_weeks=2, step_weeks=0
+            )
+        with pytest.raises(ConfigurationError):
+            manager.rolling_plan([], policy, window_weeks=1)
+
+
+class TestCapacityOutlook:
+    def test_flat_growth_never_exhausts(self, manager, demands, policy):
+        growth = {demand.name: 1.0 for demand in demands}
+        outlook = manager.capacity_outlook(
+            demands,
+            policy,
+            horizon_weeks=8,
+            step_weeks=4,
+            growth_by_name=growth,
+        )
+        assert outlook.weeks_until_exhausted is None
+        assert all(step.feasible for step in outlook.steps)
+
+    def test_aggressive_growth_exhausts_pool(self, demands, policy):
+        # A tiny pool plus 30%/week growth must run out within 16 weeks.
+        framework = ROpus(
+            PoolCommitments.of(theta=0.9),
+            ResourcePool(homogeneous_servers(2, cpus=16)),
+            search_config=SEARCH,
+        )
+        manager = CapacityManager(framework)
+        growth = {demand.name: 1.3 for demand in demands}
+        outlook = manager.capacity_outlook(
+            demands,
+            policy,
+            horizon_weeks=16,
+            step_weeks=4,
+            growth_by_name=growth,
+        )
+        assert outlook.weeks_until_exhausted is not None
+        assert outlook.weeks_until_exhausted <= 16
+
+    def test_required_capacity_grows_with_horizon(self, manager, demands, policy):
+        growth = {demand.name: 1.1 for demand in demands}
+        outlook = manager.capacity_outlook(
+            demands,
+            policy,
+            horizon_weeks=8,
+            step_weeks=4,
+            growth_by_name=growth,
+        )
+        requireds = [
+            step.sum_required
+            for step in outlook.steps
+            if step.sum_required is not None
+        ]
+        assert requireds == sorted(requireds)
+
+    def test_growth_estimated_by_default(self, manager, demands, policy):
+        outlook = manager.capacity_outlook(
+            demands, policy, horizon_weeks=4, step_weeks=4
+        )
+        assert set(outlook.growth_by_name) == {
+            demand.name for demand in demands
+        }
+
+    def test_rejects_bad_parameters(self, manager, demands, policy):
+        with pytest.raises(ConfigurationError):
+            manager.capacity_outlook(demands, policy, horizon_weeks=0)
+        with pytest.raises(ConfigurationError):
+            manager.capacity_outlook(
+                demands, policy, horizon_weeks=4, step_weeks=0
+            )

@@ -1,0 +1,117 @@
+"""Tests for application QoS specifications."""
+
+import pytest
+
+from repro.core.qos import (
+    ApplicationQoS,
+    DegradedSpec,
+    QoSPolicy,
+    QoSRange,
+    case_study_qos,
+)
+from repro.exceptions import QoSSpecificationError
+
+
+class TestQoSRange:
+    def test_burst_factor_is_reciprocal_of_u_low(self):
+        assert QoSRange(0.5, 0.66).burst_factor == 2.0
+        assert QoSRange(0.25, 0.5).burst_factor == 4.0
+
+    def test_contains_upper_bound_only(self):
+        qos_range = QoSRange(0.5, 0.66)
+        assert qos_range.contains(0.3)  # below U_low still acceptable
+        assert qos_range.contains(0.66)
+        assert not qos_range.contains(0.67)
+
+    def test_rejects_inverted_band(self):
+        with pytest.raises(QoSSpecificationError):
+            QoSRange(0.7, 0.66)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(QoSSpecificationError):
+            QoSRange(0.0, 0.66)
+        with pytest.raises(QoSSpecificationError):
+            QoSRange(0.5, 1.5)
+
+    def test_equal_bounds_allowed(self):
+        assert QoSRange(0.6, 0.6).burst_factor == pytest.approx(1 / 0.6)
+
+
+class TestDegradedSpec:
+    def test_compliance_percent(self):
+        assert DegradedSpec(3.0, 0.9).compliance_percent == 97.0
+
+    def test_zero_budget_allowed(self):
+        assert DegradedSpec(0.0, 0.9).m_degr_percent == 0.0
+
+    def test_rejects_budget_of_100(self):
+        with pytest.raises(QoSSpecificationError):
+            DegradedSpec(100.0, 0.9)
+
+    def test_rejects_u_degr_of_one(self):
+        """U_degr < 1 ensures demands are met within their interval."""
+        with pytest.raises(QoSSpecificationError):
+            DegradedSpec(3.0, 1.0)
+
+    def test_rejects_nonpositive_t_degr(self):
+        with pytest.raises(QoSSpecificationError):
+            DegradedSpec(3.0, 0.9, t_degr_minutes=0)
+
+
+class TestApplicationQoS:
+    def test_paper_example(self):
+        qos = ApplicationQoS(
+            QoSRange(0.5, 0.66),
+            DegradedSpec(3.0, 0.9, t_degr_minutes=30),
+        )
+        assert qos.u_low == 0.5
+        assert qos.u_high == 0.66
+        assert qos.u_degr == 0.9
+        assert qos.m_degr_percent == 3.0
+        assert qos.t_degr_minutes == 30
+
+    def test_no_degraded_spec(self):
+        qos = ApplicationQoS(QoSRange(0.5, 0.66))
+        assert qos.u_degr is None
+        assert qos.m_degr_percent == 0.0
+        assert qos.t_degr_minutes is None
+
+    def test_rejects_u_degr_below_u_high(self):
+        with pytest.raises(QoSSpecificationError):
+            ApplicationQoS(QoSRange(0.5, 0.66), DegradedSpec(3.0, 0.5))
+
+    def test_with_degraded(self):
+        qos = ApplicationQoS(QoSRange(0.5, 0.66))
+        relaxed = qos.with_degraded(DegradedSpec(3.0, 0.9))
+        assert relaxed.m_degr_percent == 3.0
+        assert qos.m_degr_percent == 0.0
+
+
+class TestQoSPolicy:
+    def test_mode_selection(self):
+        normal = ApplicationQoS(QoSRange(0.5, 0.66))
+        failure = ApplicationQoS(QoSRange(0.5, 0.66), DegradedSpec(3.0, 0.9))
+        policy = QoSPolicy(normal=normal, failure=failure)
+        assert policy.mode(False) is normal
+        assert policy.mode(True) is failure
+
+    def test_missing_failure_mode_falls_back_to_normal(self):
+        normal = ApplicationQoS(QoSRange(0.5, 0.66))
+        policy = QoSPolicy(normal=normal)
+        assert policy.mode(True) is normal
+
+
+class TestCaseStudyQoS:
+    def test_defaults_match_paper(self):
+        qos = case_study_qos()
+        assert qos.u_low == 0.5
+        assert qos.u_high == 0.66
+        assert qos.u_degr == 0.9
+        assert qos.m_degr_percent == 3.0
+
+    def test_zero_budget_removes_degraded_spec(self):
+        qos = case_study_qos(m_degr_percent=0)
+        assert qos.degraded is None
+
+    def test_t_degr_passthrough(self):
+        assert case_study_qos(t_degr_minutes=30).t_degr_minutes == 30

@@ -1,0 +1,198 @@
+"""Tests for the T_degr time-limited degradation analysis (formulas 6-11)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import breakpoint_fraction
+from repro.core.time_limited import (
+    enforce_time_limited_degradation,
+    expected_utilization,
+)
+from repro.exceptions import TranslationError
+from repro.traces.ops import longest_run_above
+
+U_LOW, U_HIGH = 0.5, 0.66
+
+
+def run_analysis(values, theta, initial_cap, max_run_slots):
+    p = breakpoint_fraction(U_LOW, U_HIGH, theta)
+    return enforce_time_limited_degradation(
+        np.asarray(values, dtype=float),
+        initial_cap=initial_cap,
+        breakpoint_fraction=p,
+        theta=theta,
+        u_low=U_LOW,
+        u_high=U_HIGH,
+        max_run_slots=max_run_slots,
+    )
+
+
+class TestExpectedUtilization:
+    def test_below_breakpoint_is_u_low(self):
+        p = breakpoint_fraction(U_LOW, U_HIGH, 0.6)
+        values = np.array([p * 10.0 * 0.5])  # below the breakpoint demand
+        utilization = expected_utilization(values, 10.0, p, 0.6, U_LOW)
+        assert utilization[0] == pytest.approx(U_LOW)
+
+    def test_at_cap_is_u_high_when_p_positive(self):
+        """Demand exactly at the cap sits exactly at U_high when p > 0."""
+        for theta in (0.5, 0.6, 0.7):
+            p = breakpoint_fraction(U_LOW, U_HIGH, theta)
+            assert p > 0
+            utilization = expected_utilization(
+                np.array([10.0]), 10.0, p, theta, U_LOW
+            )
+            assert utilization[0] == pytest.approx(U_HIGH)
+
+    def test_at_cap_is_u_low_over_theta_when_p_zero(self):
+        """With p = 0 the worst-case utilization at the cap is U_low/theta,
+        which is at most U_high by the choice of p."""
+        for theta in (0.8, 0.95):
+            assert breakpoint_fraction(U_LOW, U_HIGH, theta) == 0.0
+            utilization = expected_utilization(
+                np.array([10.0]), 10.0, 0.0, theta, U_LOW
+            )
+            assert utilization[0] == pytest.approx(U_LOW / theta)
+            assert utilization[0] <= U_HIGH
+
+    def test_above_cap_is_degraded(self):
+        p = breakpoint_fraction(U_LOW, U_HIGH, 0.6)
+        utilization = expected_utilization(
+            np.array([15.0]), 10.0, p, 0.6, U_LOW
+        )
+        assert utilization[0] > U_HIGH
+
+    def test_monotone_in_demand(self):
+        p = breakpoint_fraction(U_LOW, U_HIGH, 0.6)
+        demands = np.linspace(0.01, 20.0, 100)
+        utilization = expected_utilization(demands, 10.0, p, 0.6, U_LOW)
+        assert (np.diff(utilization) >= -1e-12).all()
+
+    def test_zero_demand_zero_utilization(self):
+        utilization = expected_utilization(np.array([0.0]), 10.0, 0.3, 0.6, 0.5)
+        assert utilization[0] == 0.0
+
+    def test_zero_cap_positive_demand_starved(self):
+        utilization = expected_utilization(np.array([1.0]), 0.0, 0.0, 0.6, 0.5)
+        assert np.isinf(utilization[0])
+
+    def test_rejects_bad_breakpoint(self):
+        with pytest.raises(TranslationError):
+            expected_utilization(np.ones(3), 1.0, 1.5, 0.6, 0.5)
+
+
+class TestEnforcement:
+    def test_no_op_when_no_long_runs(self):
+        values = np.ones(100)
+        values[10] = 5.0  # single degraded observation
+        result = run_analysis(values, 0.6, initial_cap=2.0, max_run_slots=3)
+        assert result.iterations == 0
+        assert result.d_new_max == 2.0
+
+    def test_breaks_long_run(self):
+        values = np.ones(100)
+        values[10:20] = 5.0  # 10 contiguous degraded observations
+        result = run_analysis(values, 0.6, initial_cap=2.0, max_run_slots=3)
+        assert result.iterations >= 1
+        assert result.d_new_max > 2.0
+        assert result.longest_degraded_run <= 3
+
+    def test_p_positive_promotes_to_d_min_degr(self):
+        """With p > 0, formula 10 collapses to D_new_max = D_min_degr."""
+        values = np.ones(50)
+        values[5:15] = np.linspace(4.0, 6.0, 10)
+        result = run_analysis(values, 0.6, initial_cap=2.0, max_run_slots=20)
+        assert result.iterations == 0  # run of 10 <= 20 allowed
+        result = run_analysis(values, 0.6, initial_cap=2.0, max_run_slots=4)
+        # First promotion should raise the cap to the run's min demand (4.0).
+        assert result.d_new_max >= 4.0
+
+    def test_p_zero_formula_11(self):
+        """With p = 0 (high theta) the cap lands at D*U_low/(U_high*theta)."""
+        theta = 0.95  # ratio 0.7576 <= 0.95 -> p = 0
+        values = np.ones(50)
+        values[5:10] = 4.0
+        result = run_analysis(values, theta, initial_cap=2.0, max_run_slots=2)
+        expected = 4.0 * U_LOW / (U_HIGH * theta)
+        assert result.d_new_max == pytest.approx(expected, rel=1e-9)
+
+    def test_higher_theta_smaller_cap(self):
+        """Section V: under time limits, higher theta -> smaller D_new_max."""
+        values = np.ones(100)
+        values[10:30] = 5.0
+        cap_low = run_analysis(values, 0.8, 2.0, 3).d_new_max
+        cap_high = run_analysis(values, 0.95, 2.0, 3).d_new_max
+        assert cap_high < cap_low
+
+    def test_final_state_satisfies_constraint(self):
+        rng = np.random.default_rng(0)
+        values = rng.lognormal(0, 1.2, 2000)
+        for theta in (0.6, 0.95):
+            p = breakpoint_fraction(U_LOW, U_HIGH, theta)
+            result = run_analysis(
+                values, theta, initial_cap=np.percentile(values, 97), max_run_slots=6
+            )
+            utilization = expected_utilization(
+                values, result.d_new_max, p, theta, U_LOW
+            )
+            degraded = (
+                (utilization > U_HIGH + 1e-9) & (values > 0)
+            ).astype(float)
+            assert longest_run_above(degraded, 0.5) <= 6
+            assert result.longest_degraded_run <= 6
+
+    def test_cap_monotone_nondecreasing(self):
+        values = np.ones(100)
+        values[10:40] = 8.0
+        caps = [
+            run_analysis(values, 0.6, 2.0, slots).d_new_max
+            for slots in (50, 10, 5, 2, 0)
+        ]
+        # Tighter run limits require equal-or-larger caps.
+        assert all(a <= b + 1e-12 for a, b in zip(caps, caps[1:]))
+
+    def test_zero_max_run_slots_removes_all_degradation_runs(self):
+        values = np.ones(50)
+        values[5:10] = 4.0
+        result = run_analysis(values, 0.6, initial_cap=2.0, max_run_slots=0)
+        assert result.longest_degraded_run <= 0 or result.longest_degraded_run == 0
+
+    def test_all_zero_trace(self):
+        result = run_analysis(np.zeros(20), 0.6, initial_cap=0.0, max_run_slots=3)
+        assert result.iterations == 0
+        assert result.degraded_fraction == 0.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(TranslationError):
+            run_analysis(np.ones(5), 0.6, initial_cap=-1.0, max_run_slots=3)
+        with pytest.raises(TranslationError):
+            run_analysis(np.ones(5), 0.6, initial_cap=1.0, max_run_slots=-1)
+        with pytest.raises(TranslationError):
+            enforce_time_limited_degradation(
+                np.ones(5), 1.0, 0.5, theta=0.6, u_low=0.7, u_high=0.66,
+                max_run_slots=1,
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.sampled_from([0.6, 0.8, 0.95]),
+        st.integers(min_value=0, max_value=8),
+    )
+    def test_convergence_property(self, seed, theta, max_run_slots):
+        """The iteration always terminates and satisfies the constraint."""
+        rng = np.random.default_rng(seed)
+        values = rng.lognormal(0, 1.0, 500)
+        initial_cap = float(np.percentile(values, 97))
+        p = breakpoint_fraction(U_LOW, U_HIGH, theta)
+        result = enforce_time_limited_degradation(
+            values, initial_cap, p, theta, U_LOW, U_HIGH, max_run_slots
+        )
+        assert result.d_new_max >= initial_cap
+        utilization = expected_utilization(
+            values, result.d_new_max, p, theta, U_LOW
+        )
+        degraded = ((utilization > U_HIGH + 1e-9) & (values > 0)).astype(float)
+        assert longest_run_above(degraded, 0.5) <= max_run_slots

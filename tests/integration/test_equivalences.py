@@ -1,0 +1,211 @@
+"""Cross-component equivalence and invariant tests.
+
+These tests tie independent implementations of the same concept
+together: the vectorised placement simulator vs the step-wise
+scheduler, the standalone theta metric vs the simulator's measurement,
+and the translation's closed-form guarantees vs brute-force replay.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cos import CoSCommitment, PoolCommitments
+from repro.core.qos import case_study_qos
+from repro.core.translation import QoSTranslator
+from repro.metrics.access import measure_theta
+from repro.placement.simulator import SingleServerSimulator
+from repro.resources.scheduler import CapacityScheduler
+from repro.traces.allocation import AllocationTrace, CoSAllocationPair
+from repro.traces.calendar import TraceCalendar
+from repro.traces.trace import DemandTrace
+
+
+def random_pairs(calendar, n_workloads, seed, cos1_scale=1.0, cos2_scale=3.0):
+    rng = np.random.default_rng(seed)
+    n = calendar.n_observations
+    return [
+        CoSAllocationPair(
+            f"w{i}",
+            AllocationTrace(
+                f"w{i}.c1", rng.uniform(0, cos1_scale, n), calendar
+            ),
+            AllocationTrace(
+                f"w{i}.c2", rng.uniform(0, cos2_scale, n), calendar
+            ),
+        )
+        for i in range(n_workloads)
+    ]
+
+
+class TestSimulatorSchedulerEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.floats(min_value=2.0, max_value=12.0),
+    )
+    def test_deferral_agreement_single_workload(self, seed, capacity):
+        """For one workload the aggregate fluid FIFO (simulator) and the
+        step-wise scheduler are the same queue: ages agree exactly."""
+        calendar = TraceCalendar(weeks=1, slot_minutes=120)
+        pairs = random_pairs(calendar, 1, seed)
+        simulator_report = SingleServerSimulator.from_pairs(pairs).evaluate(
+            capacity
+        )
+        scheduler_result = CapacityScheduler(capacity).run(pairs)
+        assert (
+            simulator_report.max_deferred_slots
+            == scheduler_result.worst_backlog_age()
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.floats(min_value=2.0, max_value=12.0),
+        st.integers(min_value=2, max_value=4),
+    )
+    def test_aggregate_fifo_lower_bounds_proportional_share(
+        self, seed, capacity, n_workloads
+    ):
+        """With several workloads the scheduler shares proportionally
+        within CoS2, so an individual workload can wait *longer* than
+        the aggregate FIFO bound — never shorter. (FIFO minimises the
+        maximum delay among work-conserving disciplines.)"""
+        calendar = TraceCalendar(weeks=1, slot_minutes=120)
+        pairs = random_pairs(calendar, n_workloads, seed)
+        simulator_report = SingleServerSimulator.from_pairs(pairs).evaluate(
+            capacity
+        )
+        scheduler_result = CapacityScheduler(capacity).run(pairs)
+        assert (
+            scheduler_result.worst_backlog_age()
+            >= simulator_report.max_deferred_slots
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.floats(min_value=2.0, max_value=12.0),
+    )
+    def test_granted_volume_agreement(self, seed, capacity):
+        """Total CoS2 volume granted on request matches between models."""
+        calendar = TraceCalendar(weeks=1, slot_minutes=120)
+        pairs = random_pairs(calendar, 3, seed)
+        simulator_report = SingleServerSimulator.from_pairs(pairs).evaluate(
+            capacity
+        )
+        scheduler_result = CapacityScheduler(capacity).run(
+            pairs, carry_forward=False
+        )
+        assert simulator_report.cos2_satisfied_on_request == pytest.approx(
+            float(scheduler_result.cos2_granted.sum()), rel=1e-9
+        )
+
+
+class TestThetaMetricAgreement:
+    def test_single_cos_simulator_matches_metric(self):
+        """With no CoS1 load, the simulator's theta equals the standalone
+        Section IV measurement on the aggregate CoS2 trace."""
+        calendar = TraceCalendar(weeks=2, slot_minutes=60)
+        pairs = random_pairs(calendar, 3, seed=5, cos1_scale=0.0)
+        aggregate = AllocationTrace(
+            "agg",
+            np.sum([pair.cos2.values for pair in pairs], axis=0),
+            calendar,
+        )
+        for capacity in (2.0, 4.0, 6.0):
+            simulator_theta = (
+                SingleServerSimulator.from_pairs(pairs)
+                .evaluate(capacity)
+                .theta_measured
+            )
+            metric_theta = measure_theta(aggregate, capacity)
+            assert simulator_theta == pytest.approx(metric_theta, rel=1e-12)
+
+
+class TestTranslationReplayInvariants:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.sampled_from([0.6, 0.95]),
+    )
+    def test_isolated_workload_never_degrades_beyond_guarantee(
+        self, seed, theta
+    ):
+        """A translated workload running *alone* on a server big enough
+        for its peak allocation always meets the acceptable band: the
+        degradation budget only exists for contention."""
+        calendar = TraceCalendar(weeks=1, slot_minutes=60)
+        rng = np.random.default_rng(seed)
+        demand = DemandTrace(
+            "w", rng.lognormal(0, 0.8, calendar.n_observations), calendar
+        )
+        qos = case_study_qos(m_degr_percent=0)
+        translator = QoSTranslator(PoolCommitments.of(theta=theta))
+        result = translator.translate(demand, qos)
+        capacity = result.pair.peak_allocation() + 1e-9
+        scheduler = CapacityScheduler(max(capacity, 1e-6))
+        run = scheduler.run([result.pair])
+        granted = run.granted_total()[0]
+        active = demand.values > 0
+        utilization = np.zeros_like(granted)
+        positive = granted > 0
+        utilization[positive] = demand.values[positive] / granted[positive]
+        assert (utilization[active] <= qos.u_high + 1e-9).all()
+
+    def test_commitment_kept_implies_budget_kept(self):
+        """If a server's capacity satisfies the CoS commitment for a set
+        of translated workloads, replay keeps every workload within its
+        M_degr budget."""
+        from repro.metrics.compliance import check_compliance
+        from repro.placement.required_capacity import required_capacity
+
+        calendar = TraceCalendar(weeks=1, slot_minutes=30)
+        rng = np.random.default_rng(12)
+        demands = [
+            DemandTrace(
+                f"w{i}",
+                rng.lognormal(0, 0.7, calendar.n_observations),
+                calendar,
+            )
+            for i in range(4)
+        ]
+        theta = 0.9
+        qos = case_study_qos(m_degr_percent=3)
+        translator = QoSTranslator(PoolCommitments.of(theta=theta))
+        pairs = [translator.translate(demand, qos).pair for demand in demands]
+        commitment = CoSCommitment(theta=theta, deadline_minutes=60)
+        search = required_capacity(pairs, capacity_limit=64.0, commitment=commitment)
+        assert search.fits
+        run = CapacityScheduler(search.required_capacity).run(pairs)
+        for row, demand in enumerate(demands):
+            report = check_compliance(demand, run.granted_total()[row], qos)
+            assert report.meets_band_budget, (
+                f"{demand.name}: {report.degraded_fraction:.4%} degraded"
+            )
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_alls_resolve(self):
+        import importlib
+
+        for module_name in (
+            "repro.core",
+            "repro.traces",
+            "repro.workloads",
+            "repro.resources",
+            "repro.placement",
+            "repro.metrics",
+            "repro.baselines",
+            "repro.util",
+        ):
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module_name}.{name}"

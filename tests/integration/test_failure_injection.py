@@ -1,0 +1,156 @@
+"""Failure-injection tests: the pipeline fails loudly, not wrongly.
+
+Capacity planning that silently produces an unsound plan is worse than
+one that refuses. These tests drive the full pipeline into corners —
+impossible workloads, empty pools, degenerate traces, unachievable
+commitments — and check that every failure surfaces as a typed
+exception (or an explicitly infeasible report), never as a bogus plan.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cos import PoolCommitments
+from repro.core.framework import ROpus
+from repro.core.qos import QoSPolicy, case_study_qos
+from repro.exceptions import (
+    CapacityError,
+    InfeasiblePlacementError,
+    PlacementError,
+    ROpusError,
+)
+from repro.placement.genetic import GeneticSearchConfig
+from repro.resources.pool import ResourcePool
+from repro.resources.server import ServerSpec, homogeneous_servers
+from repro.traces.calendar import TraceCalendar
+from repro.traces.trace import DemandTrace
+
+FAST = GeneticSearchConfig(
+    seed=0, max_generations=4, stall_generations=2, population_size=6
+)
+
+
+@pytest.fixture
+def cal():
+    return TraceCalendar(weeks=1, slot_minutes=60)
+
+
+def framework_for(pool, theta=0.9):
+    return ROpus(PoolCommitments.of(theta=theta), pool, search_config=FAST)
+
+
+class TestImpossibleWorkloads:
+    def test_workload_larger_than_every_server(self, cal):
+        demand = DemandTrace(
+            "huge", np.full(cal.n_observations, 30.0), cal
+        )
+        framework = framework_for(
+            ResourcePool(homogeneous_servers(4, cpus=16))
+        )
+        policy = QoSPolicy(normal=case_study_qos(m_degr_percent=0))
+        with pytest.raises(InfeasiblePlacementError):
+            framework.plan([demand], policy, plan_failures=False)
+
+    def test_aggregate_exceeds_pool(self, cal):
+        demands = [
+            DemandTrace(f"w{i}", np.full(cal.n_observations, 7.0), cal)
+            for i in range(6)
+        ]
+        framework = framework_for(
+            ResourcePool(homogeneous_servers(2, cpus=16))
+        )
+        policy = QoSPolicy(normal=case_study_qos(m_degr_percent=0))
+        with pytest.raises(PlacementError):
+            framework.plan(demands, policy, plan_failures=False)
+
+    def test_error_is_catchable_as_ropus_error(self, cal):
+        demand = DemandTrace("huge", np.full(cal.n_observations, 99.0), cal)
+        framework = framework_for(ResourcePool(homogeneous_servers(1)))
+        policy = QoSPolicy(normal=case_study_qos())
+        with pytest.raises(ROpusError):
+            framework.plan([demand], policy, plan_failures=False)
+
+
+class TestDegenerateInputs:
+    def test_empty_pool(self):
+        with pytest.raises(CapacityError):
+            ResourcePool([ServerSpec("a", 4), ServerSpec("a", 4)])
+
+    def test_zero_demand_ensemble_plans_trivially(self, cal):
+        demands = [
+            DemandTrace(f"w{i}", np.zeros(cal.n_observations), cal)
+            for i in range(3)
+        ]
+        framework = framework_for(
+            ResourcePool(homogeneous_servers(2, cpus=16))
+        )
+        policy = QoSPolicy(normal=case_study_qos())
+        plan = framework.plan(demands, policy, plan_failures=False)
+        # Zero demand fits anywhere; the plan must still place everyone.
+        placed = sorted(
+            name
+            for names in plan.consolidation.assignment.values()
+            for name in names
+        )
+        assert placed == ["w0", "w1", "w2"]
+
+    def test_single_observation_spike(self, cal):
+        values = np.zeros(cal.n_observations)
+        values[17] = 6.0
+        demand = DemandTrace("spike", values, cal)
+        framework = framework_for(
+            ResourcePool(homogeneous_servers(1, cpus=16))
+        )
+        policy = QoSPolicy(normal=case_study_qos(m_degr_percent=3))
+        plan = framework.plan([demand], policy, plan_failures=False)
+        assert plan.servers_used == 1
+
+    def test_one_workload_many_servers(self, cal):
+        demand = DemandTrace("w", np.ones(cal.n_observations), cal)
+        framework = framework_for(
+            ResourcePool(homogeneous_servers(10, cpus=16))
+        )
+        policy = QoSPolicy(normal=case_study_qos())
+        plan = framework.plan([demand], policy, plan_failures=False)
+        assert plan.servers_used == 1
+
+
+class TestUnachievableCommitments:
+    def test_failure_report_flags_spare_needed(self, cal):
+        """When the pool is exactly full, the failure sweep must report
+        that a spare is needed rather than invent capacity."""
+        # Constant demand 3.5 -> allocation 7: two per 16-CPU server fit
+        # (14), three do not (21). Four workloads exactly fill two
+        # servers; losing either leaves no feasible re-placement.
+        demands = [
+            DemandTrace(f"w{i}", np.full(cal.n_observations, 3.5), cal)
+            for i in range(4)
+        ]
+        pool = ResourcePool(homogeneous_servers(2, cpus=16))
+        framework = framework_for(pool)
+        policy = QoSPolicy(normal=case_study_qos(m_degr_percent=0))
+        plan = framework.plan(demands, policy, plan_failures=True)
+        assert plan.servers_used == 2
+        assert plan.failure_report is not None
+        assert plan.failure_report.spare_server_needed
+
+    def test_genetic_search_surfaces_infeasibility(self, cal):
+        from repro.core.cos import CoSCommitment
+        from repro.placement.evaluation import PlacementEvaluator
+        from repro.placement.genetic import GeneticPlacementSearch
+        from repro.traces.allocation import AllocationTrace, CoSAllocationPair
+
+        n = cal.n_observations
+        pairs = [
+            CoSAllocationPair(
+                f"w{i}",
+                AllocationTrace(f"w{i}.c1", np.full(n, 12.0), cal),
+                AllocationTrace(f"w{i}.c2", np.zeros(n), cal),
+            )
+            for i in range(3)
+        ]
+        evaluator = PlacementEvaluator(pairs, CoSCommitment(theta=0.9))
+        pool = ResourcePool(homogeneous_servers(2, cpus=16))
+        search = GeneticPlacementSearch(evaluator, pool, FAST)
+        with pytest.raises(PlacementError):
+            search.run((0, 0, 1))

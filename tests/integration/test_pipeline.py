@@ -1,0 +1,139 @@
+"""Integration tests: the full translate -> place -> verify pipeline.
+
+These tests close the loop the paper's guarantees rest on: after the QoS
+translation and a feasible placement, replaying the workloads through the
+per-container scheduler on each server must leave every application
+compliant with its QoS requirement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cos import PoolCommitments
+from repro.core.framework import ROpus
+from repro.core.qos import QoSPolicy, case_study_qos
+from repro.metrics.compliance import check_compliance
+from repro.placement.genetic import GeneticSearchConfig
+from repro.resources.pool import ResourcePool
+from repro.resources.scheduler import CapacityScheduler
+from repro.resources.server import homogeneous_servers
+from repro.traces.calendar import TraceCalendar
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+FAST_SEARCH = GeneticSearchConfig(
+    seed=0, max_generations=10, stall_generations=3, population_size=10
+)
+
+
+@pytest.fixture(scope="module")
+def demands():
+    calendar = TraceCalendar(weeks=1, slot_minutes=15)
+    generator = WorkloadGenerator(seed=31)
+    specs = [
+        WorkloadSpec(
+            name=f"app{i}",
+            peak_cpus=1.0 + 0.5 * i,
+            noise_sigma=0.25,
+            spike_rate_per_week=2.0,
+            spike_magnitude=2.0,
+        )
+        for i in range(8)
+    ]
+    return generator.generate_many(specs, calendar)
+
+
+@pytest.mark.parametrize("theta", [0.6, 0.95])
+def test_placed_workloads_meet_qos_under_replay(demands, theta):
+    """End-to-end: translate, place, replay, check compliance.
+
+    The scheduler grants CoS1 before CoS2; because the placement satisfied
+    the theta commitment and each application's allocation was shaped by
+    the translation, every application must end up compliant.
+    """
+    qos = case_study_qos(m_degr_percent=3, t_degr_minutes=None)
+    policy = QoSPolicy(normal=qos)
+    framework = ROpus(
+        PoolCommitments.of(theta=theta),
+        ResourcePool(homogeneous_servers(8, cpus=16)),
+        search_config=FAST_SEARCH,
+    )
+    plan = framework.plan(demands, policy, plan_failures=False)
+    demand_by_name = {demand.name: demand for demand in demands}
+
+    for server_name, workload_names in plan.consolidation.assignment.items():
+        pairs = [
+            plan.translations[name].pair for name in workload_names
+        ]
+        capacity = framework.pool[server_name].capacity_of("cpu")
+        result = CapacityScheduler(capacity).run(pairs)
+        assert result.overbooked_slots.size == 0
+        for row, name in enumerate(result.workload_names):
+            demand = demand_by_name[name]
+            granted = result.granted_total()[row]
+            report = check_compliance(demand, granted, qos)
+            assert report.meets_band_budget, (
+                f"{name} exceeds M_degr budget on {server_name}: "
+                f"{report.degraded_fraction:.4%}"
+            )
+            # The theta commitment is statistical (aggregated over the
+            # days of a week per slot), so an individual observation can
+            # occasionally receive less than a theta share and pierce
+            # U_degr; the paper's contract bounds how often, not never.
+            assert report.violation_fraction <= 0.01, (
+                f"{name} pierces U_degr too often on {server_name}: "
+                f"{report.violation_fraction:.4%}"
+            )
+
+
+def test_failure_planning_keeps_all_workloads(demands):
+    policy = QoSPolicy(
+        normal=case_study_qos(m_degr_percent=0),
+        failure=case_study_qos(m_degr_percent=3, t_degr_minutes=30),
+    )
+    framework = ROpus(
+        PoolCommitments.of(theta=0.9),
+        ResourcePool(homogeneous_servers(8, cpus=16)),
+        search_config=FAST_SEARCH,
+    )
+    plan = framework.plan(demands, policy)
+    assert plan.failure_report is not None
+    for case in plan.failure_report.cases:
+        if case.result is None:
+            continue
+        placed = sorted(
+            name for names in case.result.assignment.values() for name in names
+        )
+        assert placed == sorted(demand.name for demand in demands)
+
+
+def test_commitment_measured_on_each_placed_server(demands):
+    """The measured theta on every used server honours the commitment."""
+    from repro.placement.simulator import SingleServerSimulator
+
+    theta = 0.9
+    policy = QoSPolicy(normal=case_study_qos(m_degr_percent=3))
+    framework = ROpus(
+        PoolCommitments.of(theta=theta),
+        ResourcePool(homogeneous_servers(8, cpus=16)),
+        search_config=FAST_SEARCH,
+    )
+    plan = framework.plan(demands, policy, plan_failures=False)
+    for server_name, workload_names in plan.consolidation.assignment.items():
+        pairs = [plan.translations[name].pair for name in workload_names]
+        simulator = SingleServerSimulator.from_pairs(pairs)
+        capacity = framework.pool[server_name].capacity_of("cpu")
+        report = simulator.evaluate(capacity)
+        assert report.cos1_fits
+        assert report.theta_measured >= theta - 1e-9
+
+
+def test_required_capacity_bounded_by_server_size(demands):
+    policy = QoSPolicy(normal=case_study_qos(m_degr_percent=3))
+    framework = ROpus(
+        PoolCommitments.of(theta=0.9),
+        ResourcePool(homogeneous_servers(8, cpus=16)),
+        search_config=FAST_SEARCH,
+    )
+    plan = framework.plan(demands, policy, plan_failures=False)
+    for required in plan.consolidation.required_by_server.values():
+        assert 0 < required <= 16.0 + 1e-9

@@ -1,0 +1,124 @@
+"""Tests for per-application QoS compliance checking."""
+
+import numpy as np
+import pytest
+
+from repro.core.qos import ApplicationQoS, DegradedSpec, QoSRange
+from repro.exceptions import TraceError
+from repro.metrics.compliance import (
+    check_compliance,
+    utilization_series,
+)
+from repro.traces.calendar import TraceCalendar
+from repro.traces.trace import DemandTrace
+
+
+@pytest.fixture
+def cal():
+    return TraceCalendar(weeks=1, slot_minutes=5)
+
+
+def qos(m=3.0, u_degr=0.9, t_degr=None):
+    degraded = (
+        DegradedSpec(m, u_degr, t_degr_minutes=t_degr) if m > 0 else None
+    )
+    return ApplicationQoS(QoSRange(0.5, 0.66), degraded)
+
+
+class TestUtilizationSeries:
+    def test_ratio(self):
+        utilization = utilization_series(np.array([1.0]), np.array([2.0]))
+        assert utilization[0] == 0.5
+
+    def test_zero_demand(self):
+        utilization = utilization_series(np.array([0.0]), np.array([2.0]))
+        assert utilization[0] == 0.0
+
+    def test_starvation(self):
+        utilization = utilization_series(np.array([1.0]), np.array([0.0]))
+        assert np.isinf(utilization[0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(TraceError):
+            utilization_series(np.ones(2), np.ones(3))
+
+
+class TestCheckCompliance:
+    def test_fully_compliant(self, cal):
+        n = cal.n_observations
+        demand = DemandTrace("w", np.ones(n), cal)
+        granted = np.full(n, 2.0)  # utilization 0.5
+        report = check_compliance(demand, granted, qos())
+        assert report.compliant
+        assert report.acceptable_fraction == 1.0
+        assert report.degraded_fraction == 0.0
+
+    def test_budget_violation(self, cal):
+        n = cal.n_observations
+        demand_values = np.ones(n)
+        granted = np.full(n, 2.0)
+        # Starve 5% of slots to utilization 0.8 (degraded).
+        k = int(0.05 * n)
+        granted[:k] = 1.25
+        demand = DemandTrace("w", demand_values, cal)
+        report = check_compliance(demand, granted, qos(m=3.0))
+        assert not report.meets_band_budget
+        assert not report.compliant
+        assert report.degraded_fraction == pytest.approx(k / n)
+
+    def test_within_budget(self, cal):
+        n = cal.n_observations
+        granted = np.full(n, 2.0)
+        k = int(0.02 * n)
+        granted[:k] = 1.25  # utilization 0.8 <= 0.9
+        demand = DemandTrace("w", np.ones(n), cal)
+        report = check_compliance(demand, granted, qos(m=3.0))
+        assert report.meets_band_budget
+        assert report.meets_ceiling
+        # Contiguous prefix of k slots, though, is a long run:
+        assert report.longest_degraded_run_slots == k
+
+    def test_ceiling_violation(self, cal):
+        n = cal.n_observations
+        granted = np.full(n, 2.0)
+        granted[0] = 1.01  # utilization ~0.99 > U_degr
+        demand = DemandTrace("w", np.ones(n), cal)
+        report = check_compliance(demand, granted, qos(m=3.0, u_degr=0.9))
+        assert not report.meets_ceiling
+        assert not report.compliant
+        assert report.violation_fraction > 0
+
+    def test_time_limit_violation(self, cal):
+        n = cal.n_observations
+        granted = np.full(n, 2.0)
+        granted[100:110] = 1.25  # 10 slots = 50 minutes degraded
+        demand = DemandTrace("w", np.ones(n), cal)
+        ok = check_compliance(demand, granted, qos(m=3.0, t_degr=60))
+        assert ok.meets_time_limit
+        bad = check_compliance(demand, granted, qos(m=3.0, t_degr=30))
+        assert not bad.meets_time_limit
+        assert bad.longest_degraded_run_minutes == 50
+
+    def test_strict_qos_treats_any_degradation_as_violation(self, cal):
+        n = cal.n_observations
+        granted = np.full(n, 2.0)
+        granted[0] = 1.4  # utilization ~0.71 > U_high
+        demand = DemandTrace("w", np.ones(n), cal)
+        report = check_compliance(demand, granted, qos(m=0))
+        assert not report.meets_band_budget
+        # With no degraded spec, the ceiling is U_high itself.
+        assert not report.meets_ceiling
+
+    def test_zero_demand_is_vacuously_compliant(self, cal):
+        n = cal.n_observations
+        demand = DemandTrace("w", np.zeros(n), cal)
+        report = check_compliance(demand, np.zeros(n), qos())
+        assert report.compliant
+
+    def test_starvation_counts_as_violation(self, cal):
+        n = cal.n_observations
+        demand = DemandTrace("w", np.ones(n), cal)
+        granted = np.full(n, 2.0)
+        granted[5] = 0.0
+        report = check_compliance(demand, granted, qos())
+        assert not report.meets_ceiling

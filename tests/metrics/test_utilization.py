@@ -1,0 +1,118 @@
+"""Tests for per-server utilization summaries."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PlacementError
+from repro.metrics.utilization import (
+    consolidation_utilization,
+    pool_balance,
+    server_utilization,
+)
+from repro.placement.consolidation import ConsolidationResult
+from repro.resources.pool import ResourcePool
+from repro.resources.server import homogeneous_servers
+from repro.traces.allocation import AllocationTrace, CoSAllocationPair
+from repro.traces.calendar import TraceCalendar
+
+
+@pytest.fixture
+def cal():
+    return TraceCalendar(weeks=1, slot_minutes=60)
+
+
+def constant_pair(cal, name, cos1_level, cos2_level):
+    n = cal.n_observations
+    return CoSAllocationPair(
+        name,
+        AllocationTrace(f"{name}.cos1", np.full(n, cos1_level), cal),
+        AllocationTrace(f"{name}.cos2", np.full(n, cos2_level), cal),
+    )
+
+
+class TestServerUtilization:
+    def test_constant_load(self, cal):
+        pairs = [constant_pair(cal, "a", 2.0, 2.0)]
+        summary = server_utilization(pairs, "s0", 16.0, 5.0)
+        assert summary.peak_requested == 4.0
+        assert summary.mean_requested == 4.0
+        assert summary.p95_requested == 4.0
+        assert summary.cos1_share == pytest.approx(0.5)
+        assert summary.slots_above_limit == 0
+        assert summary.mean_utilization_of_limit == pytest.approx(0.25)
+
+    def test_overload_slots_counted(self, cal):
+        n = cal.n_observations
+        values = np.full(n, 1.0)
+        values[:10] = 20.0
+        pair = CoSAllocationPair(
+            "a",
+            AllocationTrace("a.c1", values, cal),
+            AllocationTrace("a.c2", np.zeros(n), cal),
+        )
+        summary = server_utilization([pair], "s0", 16.0, 16.0)
+        assert summary.slots_above_limit == 10
+
+    def test_zero_load_cos1_share(self, cal):
+        pairs = [constant_pair(cal, "a", 0.0, 0.0)]
+        summary = server_utilization(pairs, "s0", 16.0, 0.0)
+        assert summary.cos1_share == 0.0
+
+    def test_rejects_bad_limit(self, cal):
+        pairs = [constant_pair(cal, "a", 1.0, 1.0)]
+        with pytest.raises(PlacementError):
+            server_utilization(pairs, "s0", 0.0, 1.0)
+
+
+class TestConsolidationUtilization:
+    def test_per_server_summaries(self, cal):
+        pairs = {
+            "a": constant_pair(cal, "a", 1.0, 1.0),
+            "b": constant_pair(cal, "b", 2.0, 2.0),
+            "c": constant_pair(cal, "c", 0.5, 0.5),
+        }
+        result = ConsolidationResult(
+            assignment={"server-00": ("a", "b"), "server-01": ("c",)},
+            required_by_server={"server-00": 6.0, "server-01": 1.0},
+            sum_required=7.0,
+            sum_peak_allocations=9.0,
+            score=1.0,
+            algorithm="first_fit",
+        )
+        pool = ResourcePool(homogeneous_servers(2, cpus=16))
+        summaries = consolidation_utilization(result, pairs, pool)
+        assert set(summaries) == {"server-00", "server-01"}
+        assert summaries["server-00"].peak_requested == pytest.approx(6.0)
+        assert summaries["server-01"].peak_requested == pytest.approx(1.0)
+
+    def test_missing_pairs_rejected(self, cal):
+        result = ConsolidationResult(
+            assignment={"server-00": ("ghost",)},
+            required_by_server={"server-00": 1.0},
+            sum_required=1.0,
+            sum_peak_allocations=1.0,
+            score=1.0,
+            algorithm="first_fit",
+        )
+        pool = ResourcePool(homogeneous_servers(1, cpus=16))
+        with pytest.raises(PlacementError):
+            consolidation_utilization(result, {}, pool)
+
+
+class TestPoolBalance:
+    def test_empty(self):
+        assert pool_balance({}) == 0.0
+
+    def test_balanced_is_zero(self, cal):
+        pairs = [constant_pair(cal, "a", 1.0, 1.0)]
+        summary = server_utilization(pairs, "s0", 16.0, 2.0)
+        assert pool_balance({"s0": summary, "s1": summary}) == 0.0
+
+    def test_straggler_raises_imbalance(self, cal):
+        hot = server_utilization(
+            [constant_pair(cal, "a", 6.0, 6.0)], "s0", 16.0, 12.0
+        )
+        cold = server_utilization(
+            [constant_pair(cal, "b", 0.5, 0.5)], "s1", 16.0, 1.0
+        )
+        assert pool_balance({"s0": hot, "s1": cold}) > 0.5

@@ -1,0 +1,101 @@
+"""Tests for the scalar bin-packing baseline."""
+
+import pytest
+
+from repro.exceptions import InfeasiblePlacementError, PlacementError
+from repro.placement.binpack import (
+    lower_bound,
+    pack_branch_and_bound,
+    pack_first_fit_decreasing,
+)
+
+
+class TestLowerBound:
+    def test_volume_bound(self):
+        assert lower_bound([4, 4, 4], 10) == 2
+        assert lower_bound([5, 5], 10) == 1
+
+    def test_empty(self):
+        assert lower_bound([], 10) == 0
+
+    def test_zero_items(self):
+        assert lower_bound([0, 0], 10) == 0
+
+
+class TestFirstFitDecreasing:
+    def test_simple_packing(self):
+        result = pack_first_fit_decreasing([5, 5, 5, 5], 10)
+        assert result.n_bins == 2
+
+    def test_all_items_assigned_exactly_once(self):
+        sizes = [3, 7, 2, 5, 4, 6, 1]
+        result = pack_first_fit_decreasing(sizes, 10)
+        assigned = sorted(i for group in result.bins for i in group)
+        assert assigned == list(range(len(sizes)))
+
+    def test_capacity_respected(self):
+        sizes = [3.3, 7.7, 2.2, 5.5, 4.4]
+        result = pack_first_fit_decreasing(sizes, 10)
+        for group in result.bins:
+            assert sum(sizes[i] for i in group) <= 10 + 1e-9
+
+    def test_oversized_item_rejected(self):
+        with pytest.raises(InfeasiblePlacementError):
+            pack_first_fit_decreasing([11], 10)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(PlacementError):
+            pack_first_fit_decreasing([-1], 10)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(PlacementError):
+            pack_first_fit_decreasing([1], 0)
+
+    def test_empty(self):
+        assert pack_first_fit_decreasing([], 10).n_bins == 0
+
+
+class TestBranchAndBound:
+    def test_finds_optimum_ffd_misses(self):
+        """Classic instance where FFD uses 3 bins but 2 suffice."""
+        sizes = [4, 4, 4, 3, 3, 3, 3]  # capacity 12: (4,4,4) + (3,3,3,3)
+        ffd = pack_first_fit_decreasing(sizes, 12)
+        exact = pack_branch_and_bound(sizes, 12)
+        assert exact.n_bins == 2
+        assert exact.n_bins <= ffd.n_bins
+        assert exact.optimal
+
+    def test_matches_lower_bound_when_tight(self):
+        sizes = [5, 5, 5, 5, 5, 5]
+        result = pack_branch_and_bound(sizes, 10)
+        assert result.n_bins == 3
+        assert result.optimal
+
+    def test_all_items_assigned(self):
+        sizes = [2, 3, 4, 5, 6, 7, 8]
+        result = pack_branch_and_bound(sizes, 10)
+        assigned = sorted(i for group in result.bins for i in group)
+        assert assigned == list(range(len(sizes)))
+        for group in result.bins:
+            assert sum(sizes[i] for i in group) <= 10 + 1e-9
+
+    def test_node_budget_returns_incumbent(self):
+        sizes = [3, 5, 7, 2, 6, 4, 8, 1, 9, 2, 5, 3] * 3
+        result = pack_branch_and_bound(sizes, 10, max_nodes=10)
+        assigned = sorted(i for group in result.bins for i in group)
+        assert assigned == list(range(len(sizes)))
+
+    def test_never_worse_than_ffd(self):
+        import random
+
+        rng = random.Random(0)
+        for _ in range(10):
+            sizes = [rng.uniform(1, 9) for _ in range(rng.randint(1, 12))]
+            ffd = pack_first_fit_decreasing(sizes, 10)
+            exact = pack_branch_and_bound(sizes, 10)
+            assert exact.n_bins <= ffd.n_bins
+
+    def test_empty(self):
+        result = pack_branch_and_bound([], 10)
+        assert result.n_bins == 0
+        assert result.optimal

@@ -1,0 +1,140 @@
+"""Tests for correlation-aware placement seeding."""
+
+import numpy as np
+import pytest
+
+from repro.core.cos import CoSCommitment
+from repro.exceptions import InfeasiblePlacementError
+from repro.placement.correlation import (
+    allocation_correlation_matrix,
+    correlation_aware_seed,
+)
+from repro.placement.evaluation import PlacementEvaluator
+from repro.resources.pool import ResourcePool
+from repro.resources.server import homogeneous_servers
+from repro.traces.allocation import AllocationTrace, CoSAllocationPair
+from repro.traces.calendar import TraceCalendar
+
+
+@pytest.fixture
+def cal():
+    return TraceCalendar(weeks=1, slot_minutes=60)
+
+
+def pair_from(cal, name, values):
+    n = cal.n_observations
+    return CoSAllocationPair(
+        name,
+        AllocationTrace(f"{name}.c1", np.zeros(n), cal),
+        AllocationTrace(f"{name}.c2", values, cal),
+    )
+
+
+def day_night_pairs(cal, scale=6.0):
+    """Two day-shift workloads and two night-shift workloads."""
+    n = cal.n_observations
+    t = np.arange(n)
+    day = scale * (0.55 + 0.45 * np.sin(2 * np.pi * t / 24))
+    night = scale * (0.55 - 0.45 * np.sin(2 * np.pi * t / 24))
+    return [
+        pair_from(cal, "day-a", day),
+        pair_from(cal, "day-b", day * 0.9),
+        pair_from(cal, "night-a", night),
+        pair_from(cal, "night-b", night * 0.9),
+    ]
+
+
+class TestCorrelationMatrix:
+    def test_diagonal_ones(self, cal):
+        evaluator = PlacementEvaluator(
+            day_night_pairs(cal), CoSCommitment(theta=0.9)
+        )
+        matrix = allocation_correlation_matrix(evaluator)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+
+    def test_symmetric(self, cal):
+        evaluator = PlacementEvaluator(
+            day_night_pairs(cal), CoSCommitment(theta=0.9)
+        )
+        matrix = allocation_correlation_matrix(evaluator)
+        np.testing.assert_allclose(matrix, matrix.T)
+
+    def test_day_day_positive_day_night_negative(self, cal):
+        evaluator = PlacementEvaluator(
+            day_night_pairs(cal), CoSCommitment(theta=0.9)
+        )
+        matrix = allocation_correlation_matrix(evaluator)
+        assert matrix[0, 1] > 0.9   # day-a vs day-b
+        assert matrix[0, 2] < -0.9  # day-a vs night-a
+
+    def test_constant_series_zero_correlation(self, cal):
+        n = cal.n_observations
+        pairs = [
+            pair_from(cal, "flat", np.full(n, 2.0)),
+            pair_from(cal, "vary", 2.0 + np.sin(np.arange(n))),
+        ]
+        evaluator = PlacementEvaluator(pairs, CoSCommitment(theta=0.9))
+        matrix = allocation_correlation_matrix(evaluator)
+        assert matrix[0, 1] == 0.0
+
+
+class TestCorrelationAwareSeed:
+    def test_pairs_day_with_night(self, cal):
+        """Each server should host one day and one night workload when
+        the peaks are sized so two same-shift workloads cannot share."""
+        pairs = day_night_pairs(cal, scale=10.0)
+        evaluator = PlacementEvaluator(pairs, CoSCommitment(theta=0.99))
+        pool = ResourcePool(homogeneous_servers(4, cpus=16))
+        assignment = correlation_aware_seed(evaluator, pool)
+        groups: dict[int, list[str]] = {}
+        for index, server in enumerate(assignment):
+            groups.setdefault(server, []).append(evaluator.names[index])
+        # Two servers, each mixing shifts.
+        assert len(groups) == 2
+        for names in groups.values():
+            shifts = {name.split("-")[0] for name in names}
+            assert shifts == {"day", "night"}
+
+    def test_feasibility_respected(self, cal):
+        pairs = day_night_pairs(cal)
+        evaluator = PlacementEvaluator(pairs, CoSCommitment(theta=0.9))
+        pool = ResourcePool(homogeneous_servers(4, cpus=16))
+        assignment = correlation_aware_seed(evaluator, pool)
+        servers = list(pool.servers)
+        groups: dict[int, list[int]] = {}
+        for index, server in enumerate(assignment):
+            groups.setdefault(server, []).append(index)
+        for server_index, indices in groups.items():
+            assert evaluator.evaluate_group(
+                indices, servers[server_index]
+            ).fits
+
+    def test_infeasible_raises(self, cal):
+        n = cal.n_observations
+        pairs = [pair_from(cal, "big", np.full(n, 40.0))]
+        evaluator = PlacementEvaluator(pairs, CoSCommitment(theta=0.99))
+        pool = ResourcePool(homogeneous_servers(1, cpus=16))
+        with pytest.raises(InfeasiblePlacementError):
+            correlation_aware_seed(evaluator, pool)
+
+    def test_seed_usable_by_genetic_search(self, cal):
+        from repro.placement.genetic import (
+            GeneticPlacementSearch,
+            GeneticSearchConfig,
+        )
+
+        pairs = day_night_pairs(cal)
+        evaluator = PlacementEvaluator(pairs, CoSCommitment(theta=0.9))
+        pool = ResourcePool(homogeneous_servers(4, cpus=16))
+        seed = correlation_aware_seed(evaluator, pool)
+        search = GeneticPlacementSearch(
+            evaluator,
+            pool,
+            GeneticSearchConfig(
+                seed=0, max_generations=4, stall_generations=2,
+                population_size=6,
+            ),
+        )
+        result = search.run(seed)
+        assert result.best.feasible
+        assert result.best.score >= search.evaluate(seed).score - 1e-9

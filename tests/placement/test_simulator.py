@@ -1,0 +1,181 @@
+"""Tests for the single-server replay simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.cos import CoSCommitment
+from repro.exceptions import SimulationError
+from repro.placement.simulator import SingleServerSimulator
+from repro.resources.scheduler import CapacityScheduler
+from repro.traces.allocation import AllocationTrace, CoSAllocationPair
+from repro.traces.calendar import TraceCalendar
+
+
+@pytest.fixture
+def cal():
+    return TraceCalendar(weeks=2, slot_minutes=60)
+
+
+def make_pair(cal, name, cos1, cos2):
+    return CoSAllocationPair(
+        name,
+        AllocationTrace(f"{name}.cos1", cos1, cal),
+        AllocationTrace(f"{name}.cos2", cos2, cal),
+    )
+
+
+def constant_pair(cal, name, cos1_level, cos2_level):
+    n = cal.n_observations
+    return make_pair(cal, name, np.full(n, cos1_level), np.full(n, cos2_level))
+
+
+class TestEvaluate:
+    def test_ample_capacity_full_satisfaction(self, cal):
+        simulator = SingleServerSimulator.from_pairs(
+            [constant_pair(cal, "a", 1.0, 2.0)]
+        )
+        report = simulator.evaluate(10.0)
+        assert report.cos1_fits
+        assert report.theta_measured == 1.0
+        assert report.deadline_ok
+        assert report.max_deferred_slots == 0
+
+    def test_cos1_does_not_fit(self, cal):
+        simulator = SingleServerSimulator.from_pairs(
+            [constant_pair(cal, "a", 5.0, 0.0)]
+        )
+        report = simulator.evaluate(4.0)
+        assert not report.cos1_fits
+        assert report.cos1_peak == 5.0
+
+    def test_theta_ratio_constant_overload(self, cal):
+        # CoS2 requests 4 every slot, capacity 2 after no CoS1 -> 50%.
+        simulator = SingleServerSimulator.from_pairs(
+            [constant_pair(cal, "a", 0.0, 4.0)]
+        )
+        report = simulator.evaluate(2.0)
+        assert report.theta_measured == pytest.approx(0.5)
+        assert not report.deadline_ok
+
+    def test_cos1_reduces_cos2_capacity(self, cal):
+        simulator = SingleServerSimulator.from_pairs(
+            [constant_pair(cal, "a", 1.0, 2.0)]
+        )
+        report = simulator.evaluate(2.0)
+        # CoS2 sees 1 unit of the 2 requested -> theta 0.5.
+        assert report.theta_measured == pytest.approx(0.5)
+
+    def test_theta_is_min_over_week_slots(self, cal):
+        # Demand only in week 0, slot 0 of each day; satisfied elsewhere.
+        n = cal.n_observations
+        cos2 = np.zeros(n)
+        for day in range(7):
+            cos2[day * 24] = 4.0  # week 0 only
+        simulator = SingleServerSimulator.from_pairs(
+            [make_pair(cal, "a", np.zeros(n), cos2)]
+        )
+        report = simulator.evaluate(2.0)
+        # That one (week, slot) pair has ratio 0.5; everything else is 1.
+        assert report.theta_measured == pytest.approx(0.5)
+
+    def test_zero_cos2_theta_is_one(self, cal):
+        simulator = SingleServerSimulator.from_pairs(
+            [constant_pair(cal, "a", 1.0, 0.0)]
+        )
+        assert simulator.evaluate(2.0).theta_measured == 1.0
+
+    def test_monotone_in_capacity(self, cal):
+        rng = np.random.default_rng(0)
+        n = cal.n_observations
+        pair = make_pair(cal, "a", rng.uniform(0, 1, n), rng.uniform(0, 3, n))
+        simulator = SingleServerSimulator.from_pairs([pair])
+        capacities = [1.0, 2.0, 3.0, 4.0, 6.0]
+        thetas = [simulator.evaluate(c).theta_measured for c in capacities]
+        deferrals = [simulator.evaluate(c).max_deferred_slots for c in capacities]
+        assert all(a <= b + 1e-12 for a, b in zip(thetas, thetas[1:]))
+        assert all(a >= b for a, b in zip(deferrals, deferrals[1:]))
+
+    def test_rejects_nonpositive_capacity(self, cal):
+        simulator = SingleServerSimulator.from_pairs(
+            [constant_pair(cal, "a", 1.0, 1.0)]
+        )
+        with pytest.raises(SimulationError):
+            simulator.evaluate(0.0)
+
+    def test_rejects_empty_pairs(self):
+        with pytest.raises(SimulationError):
+            SingleServerSimulator.from_pairs([])
+
+
+class TestDeferredSlots:
+    def test_burst_deferral_measured(self, cal):
+        n = cal.n_observations
+        cos2 = np.zeros(n)
+        cos2[10] = 6.0  # needs 3 slots at capacity 2
+        simulator = SingleServerSimulator.from_pairs(
+            [make_pair(cal, "a", np.zeros(n), cos2)]
+        )
+        report = simulator.evaluate(2.0)
+        assert report.max_deferred_slots == 2
+        assert not report.deadline_ok
+
+    def test_never_served_counts_to_trace_end(self, cal):
+        n = cal.n_observations
+        cos2 = np.full(n, 4.0)  # permanently oversubscribed at capacity 2
+        simulator = SingleServerSimulator.from_pairs(
+            [make_pair(cal, "a", np.zeros(n), cos2)]
+        )
+        report = simulator.evaluate(2.0)
+        assert report.max_deferred_slots > n // 4
+
+    def test_agreement_with_scheduler_backlog(self, cal):
+        """The vectorised deferral matches the step-wise scheduler."""
+        rng = np.random.default_rng(5)
+        n = cal.n_observations
+        pairs = [
+            make_pair(cal, "a", np.zeros(n), rng.uniform(0, 3, n)),
+        ]
+        capacity = 2.0
+        simulator_report = SingleServerSimulator.from_pairs(pairs).evaluate(
+            capacity
+        )
+        scheduler_result = CapacityScheduler(capacity).run(pairs)
+        assert (
+            simulator_report.max_deferred_slots
+            == scheduler_result.worst_backlog_age()
+        )
+
+
+class TestSatisfies:
+    def test_satisfies_commitment(self, cal):
+        simulator = SingleServerSimulator.from_pairs(
+            [constant_pair(cal, "a", 0.5, 1.0)]
+        )
+        commitment = CoSCommitment(theta=0.9, deadline_minutes=60)
+        assert simulator.evaluate(3.0).satisfies(commitment, cal)
+
+    def test_fails_on_low_theta(self, cal):
+        simulator = SingleServerSimulator.from_pairs(
+            [constant_pair(cal, "a", 0.0, 4.0)]
+        )
+        commitment = CoSCommitment(theta=0.9, deadline_minutes=10_000)
+        assert not simulator.evaluate(2.0).satisfies(commitment, cal)
+
+    def test_fails_on_deadline(self, cal):
+        n = cal.n_observations
+        cos2 = np.zeros(n)
+        cos2[0] = 20.0  # large burst, theta per-slot min still high overall?
+        simulator = SingleServerSimulator.from_pairs(
+            [make_pair(cal, "a", np.zeros(n), cos2)]
+        )
+        commitment = CoSCommitment(theta=0.01, deadline_minutes=60)
+        report = simulator.evaluate(2.0)
+        # Needs 10 slots to drain at capacity 2; deadline is 1 slot.
+        assert not report.satisfies(commitment, cal)
+
+    def test_fails_on_cos1_overbooking(self, cal):
+        simulator = SingleServerSimulator.from_pairs(
+            [constant_pair(cal, "a", 5.0, 0.0)]
+        )
+        commitment = CoSCommitment(theta=0.5, deadline_minutes=10_000)
+        assert not simulator.evaluate(4.0).satisfies(commitment, cal)

@@ -1,0 +1,67 @@
+"""Tests for resource containers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.resources.container import ResourceContainer
+from repro.traces.allocation import AllocationTrace, CoSAllocationPair
+from repro.traces.calendar import TraceCalendar
+from repro.traces.trace import DemandTrace
+
+
+@pytest.fixture
+def cal():
+    return TraceCalendar(weeks=1, slot_minutes=60)
+
+
+@pytest.fixture
+def demand(cal):
+    return DemandTrace("w", np.ones(cal.n_observations), cal)
+
+
+@pytest.fixture
+def pair(cal):
+    n = cal.n_observations
+    return CoSAllocationPair(
+        "w",
+        AllocationTrace("w.cos1", np.ones(n), cal),
+        AllocationTrace("w.cos2", np.ones(n), cal),
+    )
+
+
+class TestResourceContainer:
+    def test_untranslated_by_default(self, demand):
+        container = ResourceContainer("w", demand)
+        assert not container.is_translated
+
+    def test_require_allocation_raises_when_untranslated(self, demand):
+        container = ResourceContainer("w", demand)
+        with pytest.raises(ConfigurationError):
+            container.require_allocation()
+
+    def test_with_allocation(self, demand, pair):
+        container = ResourceContainer("w", demand).with_allocation(pair)
+        assert container.is_translated
+        assert container.require_allocation() is pair
+
+    def test_empty_name_rejected(self, demand):
+        with pytest.raises(ConfigurationError):
+            ResourceContainer("", demand)
+
+    def test_calendar_mismatch_rejected(self, demand):
+        other_cal = TraceCalendar(weeks=2, slot_minutes=60)
+        n = other_cal.n_observations
+        mismatched = CoSAllocationPair(
+            "w",
+            AllocationTrace("w.cos1", np.ones(n), other_cal),
+            AllocationTrace("w.cos2", np.ones(n), other_cal),
+        )
+        with pytest.raises(Exception):
+            ResourceContainer("w", demand, mismatched)
+
+    def test_repr_mentions_state(self, demand, pair):
+        assert "untranslated" in repr(ResourceContainer("w", demand))
+        assert "translated" in repr(
+            ResourceContainer("w", demand).with_allocation(pair)
+        )

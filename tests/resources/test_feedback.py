@@ -1,0 +1,131 @@
+"""Tests for the closed-loop workload-manager simulation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.resources.feedback import (
+    calibrate_burst_factor,
+    simulate_closed_loop,
+)
+from repro.traces.calendar import TraceCalendar
+from repro.traces.trace import DemandTrace
+
+
+@pytest.fixture
+def cal():
+    return TraceCalendar(weeks=1, slot_minutes=60)
+
+
+def trace(cal, values, name="w"):
+    return DemandTrace(name, values, cal)
+
+
+class TestSimulateClosedLoop:
+    def test_constant_demand_settles_at_target_utilization(self, cal):
+        demand = trace(cal, np.full(cal.n_observations, 3.0))
+        result = simulate_closed_loop(demand, burst_factor=2.0)
+        # Steady state: allocation 6, utilization 0.5, never saturated.
+        assert result.allocations[-1] == pytest.approx(6.0)
+        assert result.utilization[-1] == pytest.approx(0.5)
+        assert result.saturated_fraction <= 1 / cal.n_observations
+        assert result.mean_utilization == pytest.approx(0.5, abs=0.01)
+
+    def test_step_increase_causes_transient_saturation(self, cal):
+        values = np.full(cal.n_observations, 1.0)
+        values[50:] = 4.0  # 4x step, above the 2x headroom
+        demand = trace(cal, values)
+        result = simulate_closed_loop(demand, burst_factor=2.0)
+        # The step slot is saturated (allocation was 2, demand 4) ...
+        assert values[50] > result.allocations[50]
+        # ... but the controller recovers within a couple of intervals.
+        assert result.longest_saturated_run <= 2
+        assert result.allocations[55] == pytest.approx(8.0)
+
+    def test_step_within_headroom_not_saturated(self, cal):
+        values = np.full(cal.n_observations, 2.0)
+        values[50:] = 3.5  # 1.75x step, inside the 2x headroom
+        demand = trace(cal, values)
+        result = simulate_closed_loop(demand, burst_factor=2.0)
+        assert result.saturated_fraction == 0.0
+
+    def test_larger_burst_factor_reduces_saturation(self, cal):
+        rng = np.random.default_rng(0)
+        values = rng.lognormal(0, 0.6, cal.n_observations)
+        demand = trace(cal, values)
+        tight = simulate_closed_loop(demand, burst_factor=1.2)
+        roomy = simulate_closed_loop(demand, burst_factor=2.5)
+        assert roomy.saturated_fraction <= tight.saturated_fraction
+
+    def test_served_never_exceeds_allocation(self, cal):
+        rng = np.random.default_rng(1)
+        demand = trace(cal, rng.lognormal(0, 1.0, cal.n_observations))
+        result = simulate_closed_loop(demand, burst_factor=1.5)
+        assert (result.served <= result.allocations + 1e-12).all()
+
+    def test_ceiling_respected(self, cal):
+        demand = trace(cal, np.full(cal.n_observations, 10.0))
+        result = simulate_closed_loop(
+            demand, burst_factor=2.0, allocation_ceiling=8.0
+        )
+        assert result.allocations.max() <= 8.0
+        assert result.saturated_fraction > 0.9
+
+    def test_floor_prevents_deadlock_after_idle(self, cal):
+        """After a long idle stretch the allocation must not collapse to
+        zero, or the workload could never restart."""
+        values = np.zeros(cal.n_observations)
+        values[100:] = 1.0
+        demand = trace(cal, values)
+        result = simulate_closed_loop(demand, burst_factor=2.0)
+        assert result.allocations[100] > 0
+        # Recovery from idle completes.
+        assert result.allocations[110] == pytest.approx(2.0)
+
+    def test_rejects_bad_parameters(self, cal):
+        demand = trace(cal, np.ones(cal.n_observations))
+        with pytest.raises(SimulationError):
+            simulate_closed_loop(demand, burst_factor=0)
+        with pytest.raises(SimulationError):
+            simulate_closed_loop(demand, 2.0, allocation_floor=0)
+        with pytest.raises(SimulationError):
+            simulate_closed_loop(
+                demand, 2.0, allocation_floor=1.0, allocation_ceiling=0.5
+            )
+
+
+class TestCalibrateBurstFactor:
+    def test_smooth_demand_needs_little_headroom(self, cal):
+        demand = trace(cal, np.full(cal.n_observations, 2.0))
+        factor = calibrate_burst_factor(demand)
+        assert factor == pytest.approx(1.0)
+
+    def test_bursty_demand_needs_more(self, cal):
+        rng = np.random.default_rng(2)
+        smooth = trace(cal, 2.0 + 0.05 * rng.random(cal.n_observations))
+        bursty = trace(cal, rng.lognormal(0, 0.8, cal.n_observations))
+        assert calibrate_burst_factor(bursty) >= calibrate_burst_factor(smooth)
+
+    def test_calibrated_factor_meets_target(self, cal):
+        rng = np.random.default_rng(3)
+        demand = trace(cal, rng.lognormal(0, 0.5, cal.n_observations))
+        factor = calibrate_burst_factor(demand, max_saturated_fraction=0.05)
+        result = simulate_closed_loop(demand, factor)
+        assert result.saturated_fraction <= 0.05
+
+    def test_returns_largest_candidate_when_impossible(self, cal):
+        rng = np.random.default_rng(4)
+        demand = trace(cal, rng.lognormal(0, 2.5, cal.n_observations))
+        factor = calibrate_burst_factor(
+            demand,
+            max_saturated_fraction=0.0,
+            candidates=np.array([1.0, 1.5]),
+        )
+        assert factor == 1.5
+
+    def test_rejects_bad_parameters(self, cal):
+        demand = trace(cal, np.ones(cal.n_observations))
+        with pytest.raises(SimulationError):
+            calibrate_burst_factor(demand, max_saturated_fraction=1.0)
+        with pytest.raises(SimulationError):
+            calibrate_burst_factor(demand, candidates=np.array([]))

@@ -1,0 +1,80 @@
+"""Tests for the resource pool."""
+
+import pytest
+
+from repro.exceptions import CapacityError
+from repro.resources.pool import ResourcePool
+from repro.resources.server import ServerSpec, homogeneous_servers
+
+
+class TestConstruction:
+    def test_basic(self):
+        pool = ResourcePool(homogeneous_servers(3))
+        assert len(pool) == 3
+        assert pool.names() == ["server-00", "server-01", "server-02"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CapacityError, match="duplicate"):
+            ResourcePool([ServerSpec("s", 4), ServerSpec("s", 8)])
+
+    def test_empty_pool_allowed(self):
+        assert len(ResourcePool([])) == 0
+
+
+class TestAccess:
+    def test_contains(self):
+        pool = ResourcePool(homogeneous_servers(2))
+        assert "server-00" in pool
+        assert "nope" not in pool
+
+    def test_getitem(self):
+        pool = ResourcePool(homogeneous_servers(2))
+        assert pool["server-01"].name == "server-01"
+        with pytest.raises(KeyError):
+            pool["missing"]
+
+    def test_iteration_order(self):
+        servers = homogeneous_servers(3)
+        pool = ResourcePool(servers)
+        assert list(pool) == servers
+
+
+class TestCapacityTotals:
+    def test_total_cpus(self):
+        pool = ResourcePool(homogeneous_servers(3, cpus=16))
+        assert pool.total_cpus() == 48
+
+    def test_total_capacity(self):
+        pool = ResourcePool(
+            [ServerSpec("a", 4), ServerSpec("b", 8, attributes={"cpu": 6.0})]
+        )
+        assert pool.total_capacity("cpu") == 10.0
+
+
+class TestMutationsReturnNewPools:
+    def test_without(self):
+        pool = ResourcePool(homogeneous_servers(3))
+        smaller = pool.without("server-01")
+        assert len(smaller) == 2
+        assert "server-01" not in smaller
+        assert len(pool) == 3  # original unchanged
+
+    def test_without_unknown_rejected(self):
+        pool = ResourcePool(homogeneous_servers(2))
+        with pytest.raises(CapacityError):
+            pool.without("ghost")
+
+    def test_without_multiple(self):
+        pool = ResourcePool(homogeneous_servers(4))
+        assert len(pool.without("server-00", "server-03")) == 2
+
+    def test_with_added(self):
+        pool = ResourcePool(homogeneous_servers(2))
+        bigger = pool.with_added(ServerSpec("spare", 16))
+        assert len(bigger) == 3
+        assert "spare" in bigger
+
+    def test_with_added_duplicate_rejected(self):
+        pool = ResourcePool(homogeneous_servers(2))
+        with pytest.raises(CapacityError):
+            pool.with_added(ServerSpec("server-00", 4))

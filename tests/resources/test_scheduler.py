@@ -1,0 +1,159 @@
+"""Tests for the two-priority capacity scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.resources.scheduler import CapacityScheduler
+from repro.traces.allocation import AllocationTrace, CoSAllocationPair
+from repro.traces.calendar import TraceCalendar
+
+
+@pytest.fixture
+def cal():
+    return TraceCalendar(weeks=1, slot_minutes=360)  # 28 slots, small
+
+
+def pair_from_arrays(cal, name, cos1, cos2):
+    return CoSAllocationPair(
+        name,
+        AllocationTrace(f"{name}.cos1", cos1, cal),
+        AllocationTrace(f"{name}.cos2", cos2, cal),
+    )
+
+
+def constant_pair(cal, name, cos1_level, cos2_level):
+    n = cal.n_observations
+    return pair_from_arrays(
+        cal, name, np.full(n, cos1_level), np.full(n, cos2_level)
+    )
+
+
+class TestBasicScheduling:
+    def test_everything_granted_when_capacity_sufficient(self, cal):
+        pairs = [constant_pair(cal, "a", 1.0, 1.0), constant_pair(cal, "b", 0.5, 0.5)]
+        result = CapacityScheduler(capacity=10.0).run(pairs)
+        assert np.allclose(result.cos1_granted, result.cos1_requested)
+        assert np.allclose(result.cos2_granted, result.cos2_requested)
+        assert result.worst_backlog_age() == 0
+        assert result.overbooked_slots.size == 0
+
+    def test_cos1_priority_over_cos2(self, cal):
+        # Capacity 2: CoS1 requests 2, CoS2 requests 2 -> CoS2 gets nothing.
+        pairs = [constant_pair(cal, "a", 2.0, 2.0)]
+        result = CapacityScheduler(capacity=2.0).run(pairs, carry_forward=False)
+        assert np.allclose(result.cos1_granted, 2.0)
+        assert np.allclose(result.cos2_granted, 0.0)
+
+    def test_proportional_sharing_within_cos2(self, cal):
+        # Remaining capacity 3 split 2:1 across CoS2 requests of 4 and 2.
+        pairs = [
+            constant_pair(cal, "a", 0.0, 4.0),
+            constant_pair(cal, "b", 0.0, 2.0),
+        ]
+        result = CapacityScheduler(capacity=3.0).run(pairs, carry_forward=False)
+        assert np.allclose(result.cos2_granted[0], 2.0)
+        assert np.allclose(result.cos2_granted[1], 1.0)
+
+    def test_cos1_overbooking_detected(self, cal):
+        pairs = [constant_pair(cal, "a", 3.0, 0.0)]
+        result = CapacityScheduler(capacity=2.0).run(pairs)
+        assert result.overbooked_slots.size == cal.n_observations
+        # Granted proportionally down to capacity.
+        assert np.allclose(result.cos1_granted, 2.0)
+
+    def test_grants_never_exceed_capacity(self, cal):
+        rng = np.random.default_rng(0)
+        n = cal.n_observations
+        pairs = [
+            pair_from_arrays(
+                cal, f"w{i}", rng.uniform(0, 1, n), rng.uniform(0, 2, n)
+            )
+            for i in range(4)
+        ]
+        result = CapacityScheduler(capacity=3.0).run(pairs)
+        totals = result.granted_total().sum(axis=0)
+        assert (totals <= 3.0 + 1e-6).all()
+
+
+class TestBacklog:
+    def test_deferred_demand_served_later(self, cal):
+        n = cal.n_observations
+        cos2 = np.zeros(n)
+        cos2[0] = 4.0  # burst needing 2 slots at capacity 2
+        pairs = [pair_from_arrays(cal, "a", np.zeros(n), cos2)]
+        result = CapacityScheduler(capacity=2.0).run(pairs)
+        assert result.cos2_granted[0, 0] == pytest.approx(2.0)
+        assert result.cos2_granted[0, 1] == pytest.approx(2.0)
+        assert result.worst_backlog_age() == 1
+        assert result.meets_deadline(1)
+        assert not result.meets_deadline(0)
+
+    def test_no_carry_forward_drops_demand(self, cal):
+        n = cal.n_observations
+        cos2 = np.zeros(n)
+        cos2[0] = 4.0
+        pairs = [pair_from_arrays(cal, "a", np.zeros(n), cos2)]
+        result = CapacityScheduler(capacity=2.0).run(pairs, carry_forward=False)
+        assert result.cos2_granted[0, 1] == 0.0
+        assert result.worst_backlog_age() == 0
+
+    def test_backlog_at_trace_end_counts(self, cal):
+        n = cal.n_observations
+        cos2 = np.zeros(n)
+        cos2[-1] = 10.0  # can never be drained
+        pairs = [pair_from_arrays(cal, "a", np.zeros(n), cos2)]
+        result = CapacityScheduler(capacity=2.0).run(pairs)
+        assert result.worst_backlog_age() >= 1
+
+    def test_satisfaction_ratio(self, cal):
+        n = cal.n_observations
+        cos2 = np.full(n, 4.0)
+        pairs = [pair_from_arrays(cal, "a", np.zeros(n), cos2)]
+        result = CapacityScheduler(capacity=2.0).run(pairs, carry_forward=False)
+        assert result.cos2_satisfaction_ratio() == pytest.approx(0.5)
+
+    def test_satisfaction_ratio_with_no_demand(self, cal):
+        pairs = [constant_pair(cal, "a", 1.0, 0.0)]
+        result = CapacityScheduler(capacity=2.0).run(pairs)
+        assert result.cos2_satisfaction_ratio() == 1.0
+
+
+class TestValidation:
+    def test_rejects_empty_pairs(self):
+        with pytest.raises(SimulationError):
+            CapacityScheduler(capacity=1.0).run([])
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(SimulationError):
+            CapacityScheduler(capacity=0.0)
+
+
+class TestConservation:
+    def test_work_conservation(self, cal):
+        """Total grants equal total requests when capacity always suffices."""
+        rng = np.random.default_rng(1)
+        n = cal.n_observations
+        pairs = [
+            pair_from_arrays(
+                cal, f"w{i}", rng.uniform(0, 0.5, n), rng.uniform(0, 0.5, n)
+            )
+            for i in range(3)
+        ]
+        result = CapacityScheduler(capacity=100.0).run(pairs)
+        assert result.cos1_granted.sum() == pytest.approx(
+            result.cos1_requested.sum()
+        )
+        assert result.cos2_granted.sum() == pytest.approx(
+            result.cos2_requested.sum()
+        )
+
+    def test_eventual_service_with_backlog(self, cal):
+        """With carry-forward, every deferred unit is eventually granted
+        as long as later capacity suffices."""
+        n = cal.n_observations
+        cos2 = np.zeros(n)
+        cos2[2] = 6.0
+        pairs = [pair_from_arrays(cal, "a", np.zeros(n), cos2)]
+        result = CapacityScheduler(capacity=2.0).run(pairs)
+        assert result.cos2_granted.sum() == pytest.approx(6.0)

@@ -1,0 +1,76 @@
+"""Tests for server specifications."""
+
+import pytest
+
+from repro.exceptions import CapacityError
+from repro.resources.server import ServerSpec, homogeneous_servers
+
+
+class TestServerSpec:
+    def test_cpu_attribute_defaults_to_cpu_count(self):
+        server = ServerSpec("s0", cpus=16)
+        assert server.capacity_of("cpu") == 16.0
+
+    def test_explicit_attributes(self):
+        server = ServerSpec("s0", cpus=8, attributes={"mem": 64.0})
+        assert server.capacity_of("mem") == 64.0
+        assert server.capacity_of("cpu") == 8.0
+
+    def test_explicit_cpu_capacity_overrides(self):
+        server = ServerSpec("s0", cpus=8, attributes={"cpu": 7.5})
+        assert server.capacity_of("cpu") == 7.5
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(CapacityError):
+            ServerSpec("s0", cpus=4).capacity_of("disk")
+
+    def test_has_attribute(self):
+        server = ServerSpec("s0", cpus=4, attributes={"mem": 1.0})
+        assert server.has_attribute("mem")
+        assert not server.has_attribute("disk")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(CapacityError):
+            ServerSpec("", cpus=4)
+
+    def test_rejects_zero_cpus(self):
+        with pytest.raises(CapacityError):
+            ServerSpec("s0", cpus=0)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(CapacityError):
+            ServerSpec("s0", cpus=4, attributes={"mem": 0.0})
+
+    def test_attributes_immutable(self):
+        server = ServerSpec("s0", cpus=4)
+        with pytest.raises(TypeError):
+            server.attributes["cpu"] = 100.0
+
+    def test_equality_and_hash(self):
+        a = ServerSpec("s0", cpus=4)
+        b = ServerSpec("s0", cpus=4)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != ServerSpec("s0", cpus=8)
+
+
+class TestHomogeneousServers:
+    def test_count_and_names(self):
+        servers = homogeneous_servers(3, cpus=16)
+        assert [server.name for server in servers] == [
+            "server-00",
+            "server-01",
+            "server-02",
+        ]
+        assert all(server.cpus == 16 for server in servers)
+
+    def test_custom_prefix(self):
+        servers = homogeneous_servers(1, prefix="blade")
+        assert servers[0].name == "blade-00"
+
+    def test_zero_count(self):
+        assert homogeneous_servers(0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(CapacityError):
+            homogeneous_servers(-1)

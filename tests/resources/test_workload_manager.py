@@ -1,0 +1,111 @@
+"""Tests for the burst-factor workload manager."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.resources.workload_manager import (
+    WorkloadManager,
+    WorkloadManagerConfig,
+    utilization_of_allocation,
+)
+from repro.traces.calendar import TraceCalendar
+from repro.traces.trace import DemandTrace
+
+
+@pytest.fixture
+def cal():
+    return TraceCalendar(weeks=1, slot_minutes=60)
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = WorkloadManagerConfig()
+        assert config.burst_factor == 2.0
+        assert config.smoothing_window == 1
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadManagerConfig(burst_factor=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadManagerConfig(smoothing_window=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadManagerConfig(allocation_ceiling=0)
+
+
+class TestAllocationTrace:
+    def test_paper_example(self, cal):
+        """Demand of 2 CPUs with burst factor 2 -> 4-CPU allocation."""
+        demand = DemandTrace("w", np.full(cal.n_observations, 2.0), cal)
+        manager = WorkloadManager(WorkloadManagerConfig(burst_factor=2.0))
+        allocation = manager.allocation_trace(demand)
+        assert allocation.values[0] == 4.0
+
+    def test_target_utilization(self):
+        manager = WorkloadManager(WorkloadManagerConfig(burst_factor=2.0))
+        assert manager.target_utilization() == 0.5
+
+    def test_ceiling_caps_allocation(self, cal):
+        demand = DemandTrace("w", np.full(cal.n_observations, 5.0), cal)
+        manager = WorkloadManager(
+            WorkloadManagerConfig(burst_factor=2.0, allocation_ceiling=7.0)
+        )
+        assert manager.allocation_trace(demand).peak() == 7.0
+
+    def test_smoothing_window_averages(self, cal):
+        values = np.zeros(cal.n_observations)
+        values[10] = 8.0
+        demand = DemandTrace("w", values, cal)
+        manager = WorkloadManager(
+            WorkloadManagerConfig(burst_factor=1.0, smoothing_window=4)
+        )
+        allocation = manager.allocation_trace(demand)
+        # At the spike slot the window average is 8/4 = 2 (3 zeros + 8).
+        assert allocation.values[10] == pytest.approx(2.0)
+        # One slot later the spike still contributes.
+        assert allocation.values[11] == pytest.approx(2.0)
+        # Far from the spike: zero.
+        assert allocation.values[20] == 0.0
+
+    def test_smoothing_window_prefix(self, cal):
+        values = np.full(cal.n_observations, 4.0)
+        demand = DemandTrace("w", values, cal)
+        manager = WorkloadManager(
+            WorkloadManagerConfig(burst_factor=1.0, smoothing_window=8)
+        )
+        allocation = manager.allocation_trace(demand)
+        # Constant demand: smoothing changes nothing, even in the prefix.
+        assert np.allclose(allocation.values, 4.0)
+
+    def test_default_window_is_memoryless(self, cal):
+        rng = np.random.default_rng(0)
+        demand = DemandTrace("w", rng.uniform(0, 3, cal.n_observations), cal)
+        manager = WorkloadManager(WorkloadManagerConfig(burst_factor=1.5))
+        allocation = manager.allocation_trace(demand)
+        assert np.allclose(allocation.values, demand.values * 1.5)
+
+
+class TestUtilizationOfAllocation:
+    def test_basic_ratio(self, cal):
+        demand = DemandTrace("w", np.full(cal.n_observations, 1.0), cal)
+        manager = WorkloadManager(WorkloadManagerConfig(burst_factor=2.0))
+        allocation = manager.allocation_trace(demand)
+        utilization = utilization_of_allocation(demand, allocation)
+        assert np.allclose(utilization, 0.5)
+
+    def test_zero_demand_zero_utilization(self, cal):
+        demand = DemandTrace("w", np.zeros(cal.n_observations), cal)
+        allocation = WorkloadManager().allocation_trace(demand)
+        utilization = utilization_of_allocation(demand, allocation)
+        assert np.allclose(utilization, 0.0)
+
+    def test_starvation_is_infinite(self, cal):
+        values = np.ones(cal.n_observations)
+        demand = DemandTrace("w", values, cal)
+        from repro.traces.allocation import AllocationTrace
+
+        zero_allocation = AllocationTrace(
+            "w", np.zeros(cal.n_observations), cal
+        )
+        utilization = utilization_of_allocation(demand, zero_allocation)
+        assert np.isinf(utilization).all()

@@ -1,0 +1,157 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.traces.io import load_traces_csv
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_arguments(self):
+        args = build_parser().parse_args(["generate", "out.csv", "--weeks", "2"])
+        assert args.output == "out.csv"
+        assert args.weeks == 2
+
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.theta == 0.95
+        assert args.servers == 12
+
+
+class TestGenerate:
+    def test_writes_csv(self, tmp_path, capsys):
+        path = tmp_path / "traces.csv"
+        code = main(["generate", str(path), "--weeks", "1", "--seed", "7"])
+        assert code == 0
+        traces = load_traces_csv(path)
+        assert len(traces) == 26
+        out = capsys.readouterr().out
+        assert "wrote 26 traces" in out
+
+    def test_writes_json(self, tmp_path):
+        path = tmp_path / "traces.json"
+        assert main(["generate", str(path), "--weeks", "1"]) == 0
+        assert path.exists()
+
+
+class TestTranslate:
+    def test_prints_table(self, tmp_path, capsys):
+        path = tmp_path / "traces.csv"
+        main(["generate", str(path), "--weeks", "1"])
+        code = main(
+            [
+                "translate",
+                "--traces",
+                str(path),
+                "--theta",
+                "0.6",
+                "--m-degr",
+                "3",
+                "--t-degr",
+                "30",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "app-00" in out
+        assert "reduction %" in out
+
+
+class TestTable1:
+    def test_prints_six_cases(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.traces.calendar import TraceCalendar
+        from repro.traces.io import save_traces_csv
+        from repro.traces.trace import DemandTrace
+
+        cal = TraceCalendar(weeks=1, slot_minutes=60)
+        rng = np.random.default_rng(0)
+        traces = [
+            DemandTrace(f"w{i}", rng.lognormal(0, 0.5, cal.n_observations), cal)
+            for i in range(4)
+        ]
+        path = tmp_path / "small.csv"
+        save_traces_csv(traces, path)
+        code = main(["table1", "--traces", str(path), "--servers", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "C_requ CPU" in out
+        # Six case rows plus header lines.
+        assert sum(line.startswith(tuple("123456")) for line in out.splitlines()) == 6
+
+
+class TestValidate:
+    def test_clean_ensemble_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "traces.csv"
+        main(["generate", str(path), "--weeks", "1"])
+        code = main(["validate", "--traces", str(path)])
+        assert code == 0
+        assert "26/26 traces clean" in capsys.readouterr().out
+
+    def test_dirty_trace_exit_nonzero(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.traces.calendar import TraceCalendar
+        from repro.traces.io import save_traces_csv
+        from repro.traces.trace import DemandTrace
+
+        cal = TraceCalendar(weeks=1, slot_minutes=5)
+        save_traces_csv(
+            [DemandTrace("dead", np.zeros(cal.n_observations), cal)],
+            tmp_path / "bad.csv",
+        )
+        code = main(["validate", "--traces", str(tmp_path / "bad.csv")])
+        assert code == 1
+        assert "all-zero" in capsys.readouterr().out
+
+
+class TestOutlook:
+    def test_flat_growth(self, tmp_path, capsys):
+        path = tmp_path / "traces.csv"
+        main(["generate", str(path), "--weeks", "2"])
+        code = main(
+            [
+                "outlook",
+                "--traces",
+                str(path),
+                "--growth",
+                "1.0",
+                "--horizon",
+                "4",
+                "--step",
+                "4",
+                "--servers",
+                "14",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Capacity outlook" in out
+        assert "sufficient" in out
+
+
+class TestPlan:
+    def test_plan_summary(self, tmp_path, capsys):
+        path = tmp_path / "traces.csv"
+        main(["generate", str(path), "--weeks", "1"])
+        code = main(
+            [
+                "plan",
+                "--traces",
+                str(path),
+                "--theta",
+                "0.9",
+                "--servers",
+                "14",
+                "--no-failures",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "servers_used" in out
+        assert "sharing_savings" in out

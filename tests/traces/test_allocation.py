@@ -1,0 +1,112 @@
+"""Tests for allocation traces and per-CoS pairs."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TraceError
+from repro.traces.allocation import (
+    AllocationTrace,
+    CoSAllocationPair,
+    aggregate_pairs,
+    allocation_from_demand,
+)
+from repro.traces.calendar import TraceCalendar
+from repro.traces.trace import DemandTrace
+
+
+@pytest.fixture
+def cal():
+    return TraceCalendar(weeks=1, slot_minutes=60)
+
+
+def make_pair(cal, name, cos1_level, cos2_level):
+    n = cal.n_observations
+    return CoSAllocationPair(
+        name,
+        AllocationTrace(f"{name}.cos1", np.full(n, cos1_level), cal),
+        AllocationTrace(f"{name}.cos2", np.full(n, cos2_level), cal),
+    )
+
+
+class TestAllocationTrace:
+    def test_construction_and_peak(self, cal):
+        trace = AllocationTrace("a", np.full(cal.n_observations, 2.0), cal)
+        assert trace.peak() == 2.0
+        assert trace.mean() == 2.0
+
+    def test_rejects_negative(self, cal):
+        values = np.zeros(cal.n_observations)
+        values[0] = -1
+        with pytest.raises(TraceError):
+            AllocationTrace("a", values, cal)
+
+    def test_rejects_wrong_length(self, cal):
+        with pytest.raises(TraceError):
+            AllocationTrace("a", np.ones(3), cal)
+
+    def test_addition(self, cal):
+        a = AllocationTrace("a", np.full(cal.n_observations, 1.0), cal)
+        b = AllocationTrace("b", np.full(cal.n_observations, 2.0), cal)
+        assert (a + b).peak() == 3.0
+
+    def test_addition_rejects_attribute_mismatch(self, cal):
+        a = AllocationTrace("a", np.ones(cal.n_observations), cal, "cpu")
+        b = AllocationTrace("b", np.ones(cal.n_observations), cal, "mem")
+        with pytest.raises(TraceError):
+            a + b
+
+    def test_values_read_only(self, cal):
+        trace = AllocationTrace("a", np.ones(cal.n_observations), cal)
+        with pytest.raises(ValueError):
+            trace.values[0] = 9
+
+
+class TestCoSAllocationPair:
+    def test_total_and_peaks(self, cal):
+        pair = make_pair(cal, "w", 1.0, 2.0)
+        assert pair.total().peak() == 3.0
+        assert pair.peak_allocation() == 3.0
+        assert pair.peak_cos1() == 1.0
+
+    def test_cos2_fraction(self, cal):
+        pair = make_pair(cal, "w", 1.0, 3.0)
+        assert pair.cos2_fraction() == pytest.approx(0.75)
+
+    def test_cos2_fraction_zero_pair(self, cal):
+        pair = make_pair(cal, "w", 0.0, 0.0)
+        assert pair.cos2_fraction() == 0.0
+
+    def test_attribute_mismatch_rejected(self, cal):
+        cos1 = AllocationTrace("c1", np.ones(cal.n_observations), cal, "cpu")
+        cos2 = AllocationTrace("c2", np.ones(cal.n_observations), cal, "mem")
+        with pytest.raises(TraceError):
+            CoSAllocationPair("w", cos1, cos2)
+
+
+class TestAllocationFromDemand:
+    def test_burst_factor_scales(self, cal):
+        demand = DemandTrace("w", np.full(cal.n_observations, 3.0), cal)
+        allocation = allocation_from_demand(demand, burst_factor=2.0)
+        assert allocation.peak() == 6.0
+
+    def test_paper_example(self, cal):
+        # Demand 2 CPUs, burst factor 2 -> allocation 4 CPUs (Section II).
+        demand = DemandTrace("w", np.full(cal.n_observations, 2.0), cal)
+        assert allocation_from_demand(demand, 2.0).values[0] == 4.0
+
+    def test_rejects_nonpositive_burst_factor(self, cal):
+        demand = DemandTrace("w", np.ones(cal.n_observations), cal)
+        with pytest.raises(TraceError):
+            allocation_from_demand(demand, 0.0)
+
+
+class TestAggregatePairs:
+    def test_sums_both_classes(self, cal):
+        pairs = [make_pair(cal, "a", 1.0, 2.0), make_pair(cal, "b", 0.5, 1.5)]
+        total = aggregate_pairs(pairs)
+        assert total.cos1.peak() == pytest.approx(1.5)
+        assert total.cos2.peak() == pytest.approx(3.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            aggregate_pairs([])

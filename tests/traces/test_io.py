@@ -1,0 +1,91 @@
+"""Tests for trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TraceError
+from repro.traces.calendar import TraceCalendar
+from repro.traces.io import (
+    load_traces_csv,
+    load_traces_json,
+    save_traces_csv,
+    save_traces_json,
+    traces_from_json,
+    traces_to_json,
+)
+from repro.traces.trace import DemandTrace
+
+
+@pytest.fixture
+def traces():
+    cal = TraceCalendar(weeks=1, slot_minutes=360)
+    rng = np.random.default_rng(5)
+    return [
+        DemandTrace(f"app-{index}", rng.uniform(0, 4, cal.n_observations), cal)
+        for index in range(3)
+    ]
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_exact(self, traces, tmp_path):
+        path = tmp_path / "traces.csv"
+        save_traces_csv(traces, path)
+        loaded = load_traces_csv(path)
+        assert len(loaded) == len(traces)
+        for original, restored in zip(traces, loaded):
+            assert restored.name == original.name
+            assert restored.calendar == original.calendar
+            assert np.array_equal(restored.values, original.values)
+
+    def test_save_empty_rejected(self, tmp_path):
+        with pytest.raises(TraceError):
+            save_traces_csv([], tmp_path / "x.csv")
+
+    def test_load_rejects_non_trace_csv(self, tmp_path):
+        path = tmp_path / "junk.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(TraceError):
+            load_traces_csv(path)
+
+    def test_load_rejects_truncated(self, tmp_path):
+        path = tmp_path / "trunc.csv"
+        path.write_text("# ropus-traces,1,360,cpu\n")
+        with pytest.raises(TraceError):
+            load_traces_csv(path)
+
+    def test_load_rejects_ragged_rows(self, traces, tmp_path):
+        path = tmp_path / "traces.csv"
+        save_traces_csv(traces, path)
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2].rsplit(",", 1)[0]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceError):
+            load_traces_csv(path)
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_exact(self, traces):
+        restored = traces_from_json(traces_to_json(traces))
+        for original, copy in zip(traces, restored):
+            assert copy.name == original.name
+            assert np.array_equal(copy.values, original.values)
+
+    def test_file_round_trip(self, traces, tmp_path):
+        path = tmp_path / "traces.json"
+        save_traces_json(traces, path)
+        loaded = load_traces_json(path)
+        assert [trace.name for trace in loaded] == [
+            trace.name for trace in traces
+        ]
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(TraceError):
+            traces_from_json("not json at all {")
+
+    def test_rejects_wrong_format_tag(self):
+        with pytest.raises(TraceError):
+            traces_from_json('{"format": "something-else"}')
+
+    def test_serialize_empty_rejected(self):
+        with pytest.raises(TraceError):
+            traces_to_json([])

@@ -1,0 +1,112 @@
+"""Tests for trace quality validation."""
+
+import numpy as np
+import pytest
+
+from repro.traces.calendar import TraceCalendar
+from repro.traces.trace import DemandTrace
+from repro.traces.validation import (
+    IssueKind,
+    validate_ensemble,
+    validate_trace,
+)
+
+
+@pytest.fixture
+def cal():
+    return TraceCalendar(weeks=1, slot_minutes=5)
+
+
+def trace(cal, values, name="w"):
+    return DemandTrace(name, values, cal)
+
+
+class TestCleanTraces:
+    def test_realistic_trace_is_clean(self, cal):
+        rng = np.random.default_rng(0)
+        values = rng.lognormal(0, 0.4, cal.n_observations) + 0.1
+        report = validate_trace(trace(cal, values))
+        assert report.clean
+        assert report.workload == "w"
+        assert report.n_observations == cal.n_observations
+
+    def test_generated_ensemble_is_clean(self):
+        from repro.workloads.ensemble import case_study_ensemble
+
+        reports = validate_ensemble(case_study_ensemble(seed=2006, weeks=1))
+        dirty = [name for name, report in reports.items() if not report.clean]
+        assert dirty == []
+
+
+class TestPathologies:
+    def test_all_zero(self, cal):
+        report = validate_trace(trace(cal, np.zeros(cal.n_observations)))
+        assert report.has(IssueKind.ALL_ZERO)
+        assert not report.clean
+
+    def test_mostly_zero(self, cal):
+        values = np.zeros(cal.n_observations)
+        # Scattered nonzero values so no long zero-run dominates checks.
+        values[::3] = 1.0 + 0.01 * np.arange(len(values[::3]))
+        report = validate_trace(trace(cal, values))
+        assert report.has(IssueKind.MOSTLY_ZERO)
+
+    def test_constant(self, cal):
+        report = validate_trace(
+            trace(cal, np.full(cal.n_observations, 2.5))
+        )
+        assert report.has(IssueKind.CONSTANT)
+
+    def test_stuck_value(self, cal):
+        rng = np.random.default_rng(1)
+        values = rng.lognormal(0, 0.3, cal.n_observations) + 0.1
+        values[100:200] = 3.14  # 100 slots stuck
+        report = validate_trace(trace(cal, values))
+        assert report.has(IssueKind.STUCK_VALUE)
+        issue = next(
+            issue for issue in report.issues
+            if issue.kind is IssueKind.STUCK_VALUE
+        )
+        assert issue.start == 100
+        assert issue.stop == 200
+
+    def test_short_repeats_not_flagged(self, cal):
+        rng = np.random.default_rng(2)
+        values = rng.lognormal(0, 0.3, cal.n_observations) + 0.1
+        values[10:20] = 2.0  # only 10 slots
+        report = validate_trace(trace(cal, values))
+        assert not report.has(IssueKind.STUCK_VALUE)
+
+    def test_extreme_outlier(self, cal):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0.5, 1.5, cal.n_observations)
+        values[500] = 100.0
+        report = validate_trace(trace(cal, values))
+        assert report.has(IssueKind.EXTREME_OUTLIER)
+        issue = next(
+            issue for issue in report.issues
+            if issue.kind is IssueKind.EXTREME_OUTLIER
+        )
+        assert issue.start == 500
+
+    def test_legitimate_burstiness_not_outlier(self, cal):
+        rng = np.random.default_rng(4)
+        values = rng.lognormal(0, 1.0, cal.n_observations)
+        report = validate_trace(trace(cal, values))
+        assert not report.has(IssueKind.EXTREME_OUTLIER)
+
+    def test_dead_collector(self, cal):
+        rng = np.random.default_rng(5)
+        values = rng.lognormal(0, 0.3, cal.n_observations) + 0.1
+        values[300:360] = 0.0  # 5 hours dead
+        report = validate_trace(trace(cal, values))
+        assert report.has(IssueKind.DEAD_COLLECTOR)
+
+    def test_thresholds_tunable(self, cal):
+        rng = np.random.default_rng(6)
+        values = rng.lognormal(0, 0.3, cal.n_observations) + 0.1
+        values[0:30] = 0.0
+        default = validate_trace(trace(cal, values))
+        strict = validate_trace(trace(cal, values), dead_run_slots=10)
+        assert not default.has(IssueKind.DEAD_COLLECTOR)
+        assert strict.has(IssueKind.DEAD_COLLECTOR)

@@ -1,0 +1,56 @@
+"""Tests for seeded randomness plumbing."""
+
+import numpy as np
+
+from repro.util.rng import SeedSequenceFactory, derive_rng
+
+
+class TestDeriveRng:
+    def test_none_gives_generator(self):
+        assert isinstance(derive_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = derive_rng(42).random(5)
+        b = derive_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(derive_rng(1).random(5), derive_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert derive_rng(generator) is generator
+
+
+class TestSeedSequenceFactory:
+    def test_same_label_same_stream(self):
+        factory = SeedSequenceFactory(7)
+        a = factory.generator("app-0").random(8)
+        b = SeedSequenceFactory(7).generator("app-0").random(8)
+        assert np.array_equal(a, b)
+
+    def test_distinct_labels_distinct_streams(self):
+        factory = SeedSequenceFactory(7)
+        a = factory.generator("app-0").random(8)
+        b = factory.generator("app-1").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_label_paths(self):
+        factory = SeedSequenceFactory(7)
+        a = factory.generator("workload", "x").random(4)
+        b = factory.generator("workload", "y").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_int_labels_accepted(self):
+        factory = SeedSequenceFactory(3)
+        assert isinstance(factory.generator(5), np.random.Generator)
+
+    def test_generators_batch(self):
+        factory = SeedSequenceFactory(1)
+        generators = factory.generators(["a", "b", "c"])
+        assert len(generators) == 3
+
+    def test_different_roots_differ(self):
+        a = SeedSequenceFactory(1).generator("x").random(4)
+        b = SeedSequenceFactory(2).generator("x").random(4)
+        assert not np.array_equal(a, b)

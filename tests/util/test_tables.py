@@ -1,0 +1,47 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        table = format_table(["name", "n"], [["a", 1], ["bb", 22]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[-1].endswith("22")
+
+    def test_title(self):
+        table = format_table(["a"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [[1.23456]])
+        assert "1.23" in table
+        table = format_table(["x"], [[1.23456]], float_format="{:.4f}")
+        assert "1.2346" in table
+
+    def test_booleans_render_yes_no(self):
+        table = format_table(["ok"], [[True], [False]])
+        assert "yes" in table
+        assert "no" in table
+
+    def test_numeric_columns_right_aligned(self):
+        table = format_table(["n"], [[1], [100]])
+        lines = table.splitlines()
+        assert lines[2] == "  1"
+        assert lines[3] == "100"
+
+    def test_text_columns_left_aligned(self):
+        table = format_table(["s"], [["a"], ["long"]])
+        lines = table.splitlines()
+        assert lines[2].startswith("a")
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table

@@ -1,0 +1,90 @@
+"""Tests for validation helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.validation import (
+    require_fraction,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive(1.5, "x") == 1.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            require_positive(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_positive(-1, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            require_positive(math.nan, "x")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValueError):
+            require_positive("abc", "x")
+
+    def test_accepts_int(self):
+        assert require_positive(3, "x") == 3.0
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        assert require_non_negative(0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_non_negative(-0.001, "x")
+
+
+class TestRequireProbability:
+    def test_bounds_inclusive(self):
+        assert require_probability(0.0, "p") == 0.0
+        assert require_probability(1.0, "p") == 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            require_probability(1.01, "p")
+        with pytest.raises(ValueError):
+            require_probability(-0.01, "p")
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_identity_on_valid(self, value):
+        assert require_probability(value, "p") == value
+
+
+class TestRequireFraction:
+    def test_rejects_bounds(self):
+        with pytest.raises(ValueError):
+            require_fraction(0.0, "f")
+        with pytest.raises(ValueError):
+            require_fraction(1.0, "f")
+
+    def test_accepts_interior(self):
+        assert require_fraction(0.5, "f") == 0.5
+
+
+class TestRequireInRange:
+    def test_inclusive(self):
+        assert require_in_range(5, "x", 5, 10) == 5.0
+        assert require_in_range(10, "x", 5, 10) == 10.0
+
+    def test_exclusive(self):
+        with pytest.raises(ValueError):
+            require_in_range(5, "x", 5, 10, inclusive=False)
+        assert require_in_range(7, "x", 5, 10, inclusive=False) == 7.0
+
+    def test_error_message_names_parameter(self):
+        with pytest.raises(ValueError, match="pressure"):
+            require_in_range(0, "pressure", 1, 2)

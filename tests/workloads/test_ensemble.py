@@ -1,0 +1,75 @@
+"""Tests for the 26-application case-study ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.traces.ops import percentile_profile
+from repro.workloads.ensemble import (
+    CASE_STUDY_APP_COUNT,
+    case_study_ensemble,
+    case_study_specs,
+)
+
+
+@pytest.fixture(scope="module")
+def ensemble():
+    # One week keeps the module fast; shape features hold at one week.
+    return case_study_ensemble(seed=2006, weeks=1)
+
+
+class TestSpecs:
+    def test_app_count(self):
+        assert len(case_study_specs()) == CASE_STUDY_APP_COUNT == 26
+
+    def test_names_unique_and_ordered(self):
+        names = [spec.name for spec in case_study_specs()]
+        assert names == sorted(names)
+        assert len(set(names)) == 26
+
+
+class TestEnsembleShape:
+    def test_count_and_calendar(self, ensemble):
+        assert len(ensemble) == 26
+        assert ensemble[0].calendar.slots_per_day == 288
+
+    def test_reproducible(self):
+        a = case_study_ensemble(seed=2006, weeks=1)
+        b = case_study_ensemble(seed=2006, weeks=1)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.values, y.values)
+
+    def test_all_positive_demand(self, ensemble):
+        for trace in ensemble:
+            assert trace.values.min() > 0
+
+    def test_leftmost_apps_are_spike_dominated(self, ensemble):
+        """Figure 6: the first apps' 97th percentile is far below peak."""
+        for trace in ensemble[:2]:
+            profile = percentile_profile(trace, [97])
+            assert profile[97.0] < 50.0
+
+    def test_rightmost_apps_are_smooth(self, ensemble):
+        """Figure 6: the last apps' 97th percentile is close to peak."""
+        for trace in ensemble[-3:]:
+            profile = percentile_profile(trace, [97])
+            assert profile[97.0] > 60.0
+
+    def test_spikiness_ordering_trend(self, ensemble):
+        """First third should be spikier than last third on average."""
+        def p97(trace):
+            return percentile_profile(trace, [97])[97.0]
+
+        first = np.mean([p97(trace) for trace in ensemble[:8]])
+        last = np.mean([p97(trace) for trace in ensemble[-8:]])
+        assert first < last
+
+    def test_aggregate_scale_in_paper_regime(self):
+        """Sum of peak demands supports a ~200-300 CPU allocation total."""
+        demands = case_study_ensemble(seed=2006, weeks=4)
+        total_peak = sum(trace.peak() for trace in demands)
+        assert 80 <= total_peak <= 200
+
+    def test_different_seed_changes_traces(self):
+        a = case_study_ensemble(seed=1, weeks=1)
+        b = case_study_ensemble(seed=2, weeks=1)
+        assert not np.array_equal(a[0].values, b[0].values)

@@ -1,0 +1,128 @@
+"""Tests for demand forecasting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TraceError
+from repro.traces.calendar import TraceCalendar
+from repro.traces.trace import DemandTrace
+from repro.workloads.forecast import (
+    estimate_weekly_growth,
+    extrapolate_demand,
+    extrapolate_ensemble,
+)
+
+
+@pytest.fixture
+def cal():
+    return TraceCalendar(weeks=4, slot_minutes=60)
+
+
+def growing_trace(cal, weekly_growth, base=2.0, name="w", noise_seed=None):
+    """A diurnal trace whose weekly level compounds at weekly_growth."""
+    slots = cal.slots_per_week
+    pattern = 1.0 + 0.5 * np.sin(np.linspace(0, 14 * np.pi, slots))
+    weeks = [
+        base * (weekly_growth**week) * pattern for week in range(cal.weeks)
+    ]
+    values = np.concatenate(weeks)
+    if noise_seed is not None:
+        rng = np.random.default_rng(noise_seed)
+        values = values * rng.uniform(0.95, 1.05, values.shape)
+    return DemandTrace(name, values, cal)
+
+
+class TestEstimateWeeklyGrowth:
+    def test_flat_trace(self, cal):
+        estimate = estimate_weekly_growth(growing_trace(cal, 1.0))
+        assert estimate.weekly_growth == pytest.approx(1.0, abs=1e-9)
+
+    def test_recovers_known_growth(self, cal):
+        estimate = estimate_weekly_growth(growing_trace(cal, 1.05))
+        assert estimate.weekly_growth == pytest.approx(1.05, rel=1e-6)
+        assert estimate.r_squared > 0.99
+
+    def test_noisy_growth_recovered_approximately(self, cal):
+        estimate = estimate_weekly_growth(
+            growing_trace(cal, 1.1, noise_seed=0)
+        )
+        assert estimate.weekly_growth == pytest.approx(1.1, rel=0.02)
+
+    def test_decline(self, cal):
+        estimate = estimate_weekly_growth(growing_trace(cal, 0.9))
+        assert estimate.weekly_growth == pytest.approx(0.9, rel=1e-6)
+
+    def test_zero_week_gives_flat(self, cal):
+        values = np.ones(cal.n_observations)
+        values[: cal.slots_per_week] = 0.0
+        estimate = estimate_weekly_growth(DemandTrace("w", values, cal))
+        assert estimate.weekly_growth == 1.0
+        assert estimate.r_squared == 0.0
+
+    def test_needs_two_weeks(self):
+        one_week = TraceCalendar(weeks=1, slot_minutes=60)
+        trace = DemandTrace("w", np.ones(one_week.n_observations), one_week)
+        with pytest.raises(TraceError):
+            estimate_weekly_growth(trace)
+
+    def test_weekly_means_reported(self, cal):
+        estimate = estimate_weekly_growth(growing_trace(cal, 1.02))
+        assert len(estimate.weekly_means) == 4
+        assert estimate.weekly_means[3] > estimate.weekly_means[0]
+
+
+class TestExtrapolateDemand:
+    def test_zero_weeks_is_identity(self, cal):
+        trace = growing_trace(cal, 1.05)
+        assert extrapolate_demand(trace, 0) is trace
+
+    def test_projection_scales_last_week(self, cal):
+        trace = growing_trace(cal, 1.0, base=2.0)
+        projected = extrapolate_demand(trace, 4, weekly_growth=1.1)
+        # The projection's final week should be the input's last week
+        # scaled by growth^4.
+        last_input = trace.values[-cal.slots_per_week :]
+        last_projected = projected.values[-cal.slots_per_week :]
+        np.testing.assert_allclose(last_projected, last_input * 1.1**4)
+
+    def test_projection_preserves_shape(self, cal):
+        trace = growing_trace(cal, 1.02)
+        projected = extrapolate_demand(trace, 8, weekly_growth=1.02)
+        assert projected.calendar == trace.calendar
+        assert projected.name == trace.name
+
+    def test_growth_estimated_when_omitted(self, cal):
+        trace = growing_trace(cal, 1.1)
+        projected = extrapolate_demand(trace, 4)
+        assert projected.peak() > trace.peak()
+
+    def test_rejects_bad_parameters(self, cal):
+        trace = growing_trace(cal, 1.0)
+        with pytest.raises(TraceError):
+            extrapolate_demand(trace, -1)
+        with pytest.raises(TraceError):
+            extrapolate_demand(trace, 2, weekly_growth=0.0)
+
+    def test_flat_growth_projection_repeats_last_week(self, cal):
+        trace = growing_trace(cal, 1.05)
+        projected = extrapolate_demand(trace, 6, weekly_growth=1.0)
+        last_week = trace.values[-cal.slots_per_week :]
+        for week in range(cal.weeks):
+            start = week * cal.slots_per_week
+            np.testing.assert_allclose(
+                projected.values[start : start + cal.slots_per_week],
+                last_week,
+            )
+
+
+class TestExtrapolateEnsemble:
+    def test_per_trace_growth(self, cal):
+        traces = [
+            growing_trace(cal, 1.1, name="fast"),
+            growing_trace(cal, 1.0, name="flat"),
+        ]
+        projected = extrapolate_ensemble(
+            traces, 4, {"fast": 1.1, "flat": 1.0}
+        )
+        assert projected[0].peak() > traces[0].peak()
+        assert projected[1].peak() == pytest.approx(traces[1].peak())

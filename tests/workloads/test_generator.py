@@ -1,0 +1,116 @@
+"""Tests for the workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.traces.calendar import TraceCalendar
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.workloads.patterns import flat_pattern
+
+
+@pytest.fixture
+def cal():
+    return TraceCalendar(weeks=1, slot_minutes=60)
+
+
+class TestWorkloadSpec:
+    def test_defaults(self):
+        spec = WorkloadSpec(name="w")
+        assert spec.peak_cpus == 2.0
+        assert spec.spike_rate_per_week == 0.0
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(name="")
+
+    def test_rejects_nonpositive_peak(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(name="w", peak_cpus=0)
+
+    def test_rejects_negative_floor(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(name="w", floor_cpus=-1)
+
+    def test_rejects_ceiling_below_floor(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(name="w", floor_cpus=1.0, ceiling_cpus=0.5)
+
+
+class TestGenerate:
+    def test_length_and_name(self, cal):
+        trace = WorkloadGenerator(seed=1).generate(WorkloadSpec(name="w"), cal)
+        assert trace.name == "w"
+        assert len(trace) == cal.n_observations
+
+    def test_reproducible_from_seed(self, cal):
+        spec = WorkloadSpec(name="w", spike_rate_per_week=2.0)
+        a = WorkloadGenerator(seed=5).generate(spec, cal)
+        b = WorkloadGenerator(seed=5).generate(spec, cal)
+        assert np.array_equal(a.values, b.values)
+
+    def test_different_seeds_differ(self, cal):
+        spec = WorkloadSpec(name="w")
+        a = WorkloadGenerator(seed=5).generate(spec, cal)
+        b = WorkloadGenerator(seed=6).generate(spec, cal)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_different_names_independent_streams(self, cal):
+        generator = WorkloadGenerator(seed=5)
+        a = generator.generate(WorkloadSpec(name="a"), cal)
+        b = generator.generate(WorkloadSpec(name="b"), cal)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_floor_respected(self, cal):
+        spec = WorkloadSpec(name="w", floor_cpus=0.5)
+        trace = WorkloadGenerator(seed=2).generate(spec, cal)
+        assert trace.values.min() >= 0.5
+
+    def test_ceiling_respected(self, cal):
+        spec = WorkloadSpec(
+            name="w",
+            peak_cpus=3.0,
+            spike_rate_per_week=20.0,
+            spike_magnitude=5.0,
+            ceiling_cpus=4.0,
+        )
+        trace = WorkloadGenerator(seed=3).generate(spec, cal)
+        assert trace.peak() <= 4.0
+
+    def test_scale_roughly_matches_peak_cpus(self, cal):
+        spec = WorkloadSpec(
+            name="w", pattern=flat_pattern(), peak_cpus=4.0, noise_sigma=0.05
+        )
+        trace = WorkloadGenerator(seed=4).generate(spec, cal)
+        assert trace.mean() == pytest.approx(4.0, rel=0.15)
+
+    def test_spikes_add_tail(self, cal):
+        base_spec = WorkloadSpec(
+            name="w", pattern=flat_pattern(), peak_cpus=1.0, noise_sigma=0.05
+        )
+        spike_spec = WorkloadSpec(
+            name="w",
+            pattern=flat_pattern(),
+            peak_cpus=1.0,
+            noise_sigma=0.05,
+            spike_rate_per_week=10.0,
+            spike_magnitude=4.0,
+        )
+        generator = WorkloadGenerator(seed=8)
+        calm = generator.generate(base_spec, cal)
+        spiky = WorkloadGenerator(seed=8).generate(spike_spec, cal)
+        assert spiky.peak() > 2 * calm.peak()
+
+
+class TestGenerateMany:
+    def test_unique_names_required(self, cal):
+        generator = WorkloadGenerator(seed=1)
+        specs = [WorkloadSpec(name="w"), WorkloadSpec(name="w")]
+        with pytest.raises(ConfigurationError):
+            generator.generate_many(specs, cal)
+
+    def test_order_preserved(self, cal):
+        generator = WorkloadGenerator(seed=1)
+        specs = [WorkloadSpec(name=f"w{i}") for i in range(4)]
+        traces = generator.generate_many(specs, cal)
+        assert [trace.name for trace in traces] == ["w0", "w1", "w2", "w3"]

@@ -1,0 +1,135 @@
+"""Tests for diurnal demand patterns."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.traces.calendar import TraceCalendar
+from repro.workloads.patterns import (
+    DiurnalPattern,
+    batch_window_pattern,
+    business_hours_pattern,
+    double_peak_pattern,
+    flat_pattern,
+)
+
+
+@pytest.fixture
+def cal():
+    return TraceCalendar(weeks=1, slot_minutes=5)
+
+
+class TestDiurnalPattern:
+    def test_shape_normalised_to_one(self):
+        pattern = DiurnalPattern((0.5, 2.0, 1.0))
+        assert max(pattern.daily_shape) == 1.0
+
+    def test_render_length_and_range(self, cal):
+        rendered = business_hours_pattern().render(cal)
+        assert rendered.shape == (cal.n_observations,)
+        assert rendered.min() >= 0.0
+        assert rendered.max() <= 1.0 + 1e-12
+
+    def test_render_resamples_resolution(self):
+        pattern = DiurnalPattern((0.0, 1.0, 0.0, 0.5))
+        hourly = pattern.render(TraceCalendar(weeks=1, slot_minutes=60))
+        five_min = pattern.render(TraceCalendar(weeks=1, slot_minutes=5))
+        assert hourly.shape == (168,)
+        assert five_min.shape == (2016,)
+
+    def test_day_weights_modulate(self, cal):
+        pattern = business_hours_pattern()
+        rendered = cal.slot_of_day_view(pattern.render(cal))
+        weekday_peak = rendered[0, 0].max()
+        sunday_peak = rendered[0, 6].max()
+        assert sunday_peak < weekday_peak
+
+    def test_rejects_wrong_weight_count(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalPattern((1.0,), day_weights=(1.0, 1.0))
+
+    def test_rejects_negative_shape(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalPattern((1.0, -0.1))
+
+    def test_rejects_all_zero_shape(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalPattern((0.0, 0.0))
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalPattern(())
+
+    def test_weekly_tiling(self):
+        pattern = flat_pattern()
+        two_weeks = pattern.render(TraceCalendar(weeks=2, slot_minutes=60))
+        one_week = pattern.render(TraceCalendar(weeks=1, slot_minutes=60))
+        assert np.array_equal(two_weeks[:168], one_week)
+        assert np.array_equal(two_weeks[168:], one_week)
+
+
+class TestBusinessHours:
+    def test_peak_during_business_day(self, cal):
+        rendered = cal.slot_of_day_view(business_hours_pattern().render(cal))
+        monday = rendered[0, 0]
+        noon = monday[12 * 12]  # 12:00 at 5-minute slots
+        midnight = monday[0]
+        assert noon == pytest.approx(1.0, abs=0.05)
+        assert midnight < 0.25
+
+    def test_rejects_bad_hours(self):
+        with pytest.raises(ConfigurationError):
+            business_hours_pattern(ramp_start=10, peak_start=9, peak_end=17, wind_down=20)
+
+
+class TestDoublePeak:
+    def test_trough_between_peaks(self, cal):
+        pattern = double_peak_pattern(morning_peak=10, afternoon_peak=15)
+        rendered = cal.slot_of_day_view(pattern.render(cal))[0, 0]
+        morning = rendered[10 * 12]
+        lunch = rendered[int(12.5 * 12)]
+        assert lunch < morning
+
+    def test_rejects_bad_peaks(self):
+        with pytest.raises(ConfigurationError):
+            double_peak_pattern(morning_peak=15, afternoon_peak=10)
+
+    def test_rejects_bad_trough(self):
+        with pytest.raises(ConfigurationError):
+            double_peak_pattern(trough_depth=1.5)
+
+
+class TestBatchWindow:
+    def test_window_is_hot(self, cal):
+        pattern = batch_window_pattern(window_start=2, window_hours=3)
+        rendered = cal.slot_of_day_view(pattern.render(cal))[0, 0]
+        in_window = rendered[3 * 12]
+        out_of_window = rendered[12 * 12]
+        assert in_window > 0.9
+        assert out_of_window < 0.2
+
+    def test_window_wraps_midnight(self, cal):
+        pattern = batch_window_pattern(window_start=23, window_hours=2)
+        rendered = cal.slot_of_day_view(pattern.render(cal))[0, 0]
+        assert rendered[int(23.5 * 12)] > 0.9
+
+    def test_uniform_across_week(self, cal):
+        pattern = batch_window_pattern()
+        rendered = cal.slot_of_day_view(pattern.render(cal))
+        assert np.allclose(rendered[0, 0], rendered[0, 6])
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            batch_window_pattern(window_start=25)
+        with pytest.raises(ConfigurationError):
+            batch_window_pattern(window_hours=0)
+
+
+class TestFlat:
+    def test_constant(self, cal):
+        rendered = flat_pattern().render(cal)
+        assert rendered.min() == rendered.max()
+
+    def test_rejects_nonpositive_level(self):
+        with pytest.raises(ConfigurationError):
+            flat_pattern(level=0)
