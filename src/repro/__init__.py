@@ -14,6 +14,9 @@ DSN 2006). The library provides:
 * a trace-driven workload placement service with a genetic optimizing
   search (:class:`Consolidator`, :class:`FailurePlanner`);
 * the :class:`ROpus` facade wiring it all together;
+* an execution engine routing the fan-out stages onto serial or
+  process-pool backends with per-stage instrumentation
+  (:class:`ExecutionEngine`, :class:`Instrumentation`);
 * trace and synthetic-workload substrates (:class:`DemandTrace`,
   :class:`TraceCalendar`, :func:`case_study_ensemble`).
 
@@ -54,6 +57,12 @@ from repro.core.qos import (
     case_study_qos,
 )
 from repro.core.translation import QoSTranslator, TranslationResult
+from repro.engine import (
+    ExecutionEngine,
+    Instrumentation,
+    ParallelExecutor,
+    SerialExecutor,
+)
 from repro.exceptions import (
     CapacityError,
     CommitmentError,
@@ -105,12 +114,15 @@ __all__ = [
     "Consolidator",
     "DegradedSpec",
     "DemandTrace",
+    "ExecutionEngine",
     "FailurePlanner",
     "FailureReport",
     "GeneticSearchConfig",
     "InfeasiblePlacementError",
+    "Instrumentation",
     "MultiAttributeConsolidator",
     "MultiAttributeEvaluator",
+    "ParallelExecutor",
     "PartitionError",
     "PlacementError",
     "PoolCommitments",
@@ -123,6 +135,7 @@ __all__ = [
     "ResourceContainer",
     "ResourcePool",
     "RollingPlanReport",
+    "SerialExecutor",
     "ServerSpec",
     "SimulationError",
     "TraceCalendar",

@@ -28,6 +28,7 @@ from repro.core.cos import PoolCommitments
 from repro.core.framework import ROpus
 from repro.core.qos import QoSPolicy, case_study_qos
 from repro.core.translation import QoSTranslator
+from repro.engine import ExecutionEngine
 from repro.placement.genetic import GeneticSearchConfig
 from repro.resources.pool import ResourcePool
 from repro.resources.server import homogeneous_servers
@@ -59,6 +60,45 @@ def _add_common_qos_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for fan-out stages (default: run serially)",
+    )
+    parser.add_argument(
+        "--timings", action="store_true",
+        help="print per-stage timings and counters after the run",
+    )
+
+
+def _engine(args: argparse.Namespace) -> ExecutionEngine:
+    return ExecutionEngine.with_workers(getattr(args, "workers", None))
+
+
+def _print_timings(engine: ExecutionEngine) -> None:
+    instrumentation = engine.instrumentation
+    stage_rows = [
+        [stats.name, stats.calls, stats.total_seconds, stats.mean_seconds]
+        for stats in instrumentation.stage_stats()
+    ]
+    if stage_rows:
+        print()
+        print(
+            format_table(
+                ["stage", "calls", "total s", "mean s"],
+                stage_rows,
+                title="Stage timings",
+            )
+        )
+    counter_rows = [
+        [name, value]
+        for name, value in sorted(instrumentation.counters().items())
+    ]
+    if counter_rows:
+        print()
+        print(format_table(["counter", "value"], counter_rows, title="Counters"))
+
+
 def _load_demands(args: argparse.Namespace):
     if args.traces:
         return load_traces_csv(args.traces)
@@ -86,11 +126,13 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def cmd_translate(args: argparse.Namespace) -> int:
     demands = _load_demands(args)
-    translator = QoSTranslator(PoolCommitments.of(theta=args.theta))
+    engine = _engine(args)
+    translator = QoSTranslator(PoolCommitments.of(theta=args.theta), engine=engine)
     qos = _qos(args)
+    results = translator.translate_many(demands, qos)
     rows = []
     for demand in demands:
-        result = translator.translate(demand, qos)
+        result = results[demand.name]
         rows.append(
             [
                 demand.name,
@@ -111,16 +153,21 @@ def cmd_translate(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if args.timings:
+        _print_timings(engine)
+    engine.close()
     return 0
 
 
 def cmd_plan(args: argparse.Namespace) -> int:
     demands = _load_demands(args)
+    engine = _engine(args)
     pool = ResourcePool(homogeneous_servers(args.servers, cpus=args.cpus))
     framework = ROpus(
         PoolCommitments.of(theta=args.theta),
         pool,
         search_config=GeneticSearchConfig(seed=args.seed),
+        engine=engine,
     )
     policy = QoSPolicy(
         normal=_qos(args),
@@ -128,6 +175,8 @@ def cmd_plan(args: argparse.Namespace) -> int:
     )
     plan = framework.plan(demands, policy, plan_failures=not args.no_failures)
     for key, value in plan.summary().items():
+        if key == "stage_timings":
+            continue
         print(f"{key}: {value}")
     print()
     rows = [
@@ -135,6 +184,9 @@ def cmd_plan(args: argparse.Namespace) -> int:
         for server, names in sorted(plan.consolidation.assignment.items())
     ]
     print(format_table(["server", "workloads", "required CPU"], rows))
+    if args.timings:
+        _print_timings(engine)
+    engine.close()
     return 0
 
 
@@ -143,6 +195,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
     from repro.metrics.report import render_capacity_table
 
     demands = _load_demands(args)
+    engine = _engine(args)
     cases = [
         ("1", 0.0, 0.60, None),
         ("2", 3.0, 0.60, 30.0),
@@ -157,6 +210,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
             PoolCommitments.of(theta=theta, deadline_minutes=60),
             ResourcePool(homogeneous_servers(args.servers, cpus=args.cpus)),
             search_config=GeneticSearchConfig(seed=args.seed),
+            engine=engine,
         )
         policy = QoSPolicy(
             normal=case_study_qos(m_degr_percent=m_degr, t_degr_minutes=t_degr)
@@ -171,6 +225,9 @@ def cmd_table1(args: argparse.Namespace) -> int:
             title="Impact of M_degr, T_degr and theta on resource sharing",
         )
     )
+    if args.timings:
+        _print_timings(engine)
+    engine.close()
     return 0
 
 
@@ -199,10 +256,12 @@ def cmd_outlook(args: argparse.Namespace) -> int:
     from repro.core.manager import CapacityManager
 
     demands = _load_demands(args)
+    engine = _engine(args)
     framework = ROpus(
         PoolCommitments.of(theta=args.theta),
         ResourcePool(homogeneous_servers(args.servers, cpus=args.cpus)),
         search_config=GeneticSearchConfig(seed=args.seed),
+        engine=engine,
     )
     manager = CapacityManager(framework)
     policy = QoSPolicy(normal=_qos(args))
@@ -240,6 +299,9 @@ def cmd_outlook(args: argparse.Namespace) -> int:
             f"pool exhausted {outlook.weeks_until_exhausted} weeks out — "
             "start procurement"
         )
+    if args.timings:
+        _print_timings(engine)
+    engine.close()
     return 0
 
 
@@ -262,12 +324,14 @@ def build_parser() -> argparse.ArgumentParser:
         "translate", help="run the QoS translation over an ensemble"
     )
     _add_common_qos_arguments(translate)
+    _add_engine_arguments(translate)
     translate.set_defaults(handler=cmd_translate)
 
     plan = subparsers.add_parser(
         "plan", help="run the full planning pipeline"
     )
     _add_common_qos_arguments(plan)
+    _add_engine_arguments(plan)
     plan.add_argument("--servers", type=int, default=12)
     plan.add_argument("--cpus", type=int, default=16)
     plan.add_argument("--no-failures", action="store_true")
@@ -277,6 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
         "table1", help="reproduce the paper's Table I sweep"
     )
     _add_common_qos_arguments(table1)
+    _add_engine_arguments(table1)
     table1.add_argument("--servers", type=int, default=14)
     table1.add_argument("--cpus", type=int, default=16)
     table1.set_defaults(handler=cmd_table1)
@@ -291,6 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
         "outlook", help="long-term capacity outlook under demand growth"
     )
     _add_common_qos_arguments(outlook)
+    _add_engine_arguments(outlook)
     outlook.add_argument("--servers", type=int, default=12)
     outlook.add_argument("--cpus", type=int, default=16)
     outlook.add_argument("--horizon", type=int, default=24)

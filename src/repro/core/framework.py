@@ -15,12 +15,13 @@ the paper draws them:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence, Union
 
 from repro.core.cos import PoolCommitments
 from repro.core.qos import ApplicationQoS, QoSPolicy
 from repro.core.translation import QoSTranslator, TranslationResult
+from repro.engine import ExecutionEngine
 from repro.exceptions import ConfigurationError
 from repro.placement.consolidation import ConsolidationResult, Consolidator
 from repro.placement.failure import FailurePlanner, FailureReport
@@ -33,11 +34,17 @@ PolicyMap = Union[Mapping[str, QoSPolicy], QoSPolicy]
 
 @dataclass(frozen=True)
 class CapacityPlan:
-    """Everything the capacity manager needs from one planning run."""
+    """Everything the capacity manager needs from one planning run.
+
+    ``timings`` maps stage names (``translation``, ``placement``,
+    ``failure_planning``) to the seconds this run spent in each, as
+    recorded by the engine's instrumentation.
+    """
 
     translations: Mapping[str, TranslationResult]
     consolidation: ConsolidationResult
     failure_report: Optional[FailureReport]
+    timings: Mapping[str, float] = field(default_factory=dict)
 
     @property
     def servers_used(self) -> int:
@@ -59,6 +66,7 @@ class CapacityPlan:
             "sum_peak_allocations": self.consolidation.sum_peak_allocations,
             "sharing_savings": self.consolidation.sharing_savings(),
             "spare_server_needed": self.spare_server_needed,
+            "stage_timings": dict(self.timings),
         }
 
 
@@ -83,13 +91,15 @@ class ROpus:
         search_config: GeneticSearchConfig | None = None,
         tolerance: float = 0.01,
         attribute: str = "cpu",
+        engine: ExecutionEngine | None = None,
     ):
         self.commitments = commitments
         self.pool = pool
         self.search_config = search_config
         self.tolerance = tolerance
         self.attribute = attribute
-        self.translator = QoSTranslator(commitments)
+        self.engine = engine if engine is not None else ExecutionEngine.serial()
+        self.translator = QoSTranslator(commitments, engine=self.engine)
 
     def translate(
         self,
@@ -99,15 +109,22 @@ class ROpus:
         failure_mode: bool = False,
     ) -> dict[str, TranslationResult]:
         """Run the QoS translation for every workload in one mode."""
-        results: dict[str, TranslationResult] = {}
+        items: list[tuple[DemandTrace, ApplicationQoS]] = []
+        seen: set[str] = set()
         for demand in demands:
-            if demand.name in results:
+            if demand.name in seen:
                 raise ConfigurationError(
                     f"duplicate workload name {demand.name!r}"
                 )
-            qos = self._qos_for(policies, demand.name, failure_mode)
-            results[demand.name] = self.translator.translate(demand, qos)
-        return results
+            seen.add(demand.name)
+            items.append(
+                (demand, self._qos_for(policies, demand.name, failure_mode))
+            )
+        results = self.translator.translate_items(items)
+        return {
+            demand.name: result
+            for (demand, _), result in zip(items, results)
+        }
 
     def plan(
         self,
@@ -125,6 +142,8 @@ class ROpus:
         re-planning favours low-migration solutions (see
         :meth:`~repro.placement.consolidation.Consolidator.consolidate`).
         """
+        instrumentation = self.engine.instrumentation
+        baseline = instrumentation.snapshot()
         translations = self.translate(demands, policies)
         pairs = [result.pair for result in translations.values()]
         consolidator = Consolidator(
@@ -133,6 +152,7 @@ class ROpus:
             config=self.search_config,
             tolerance=self.tolerance,
             attribute=self.attribute,
+            engine=self.engine,
         )
         consolidation = consolidator.consolidate(
             pairs, algorithm=algorithm, previous=previous
@@ -145,6 +165,7 @@ class ROpus:
                 config=self.search_config,
                 tolerance=self.tolerance,
                 attribute=self.attribute,
+                engine=self.engine,
             )
             failure_report = planner.plan(
                 demands,
@@ -158,6 +179,7 @@ class ROpus:
             translations=translations,
             consolidation=consolidation,
             failure_report=failure_report,
+            timings=instrumentation.timings_since(baseline),
         )
 
     def _qos_for(

@@ -127,30 +127,36 @@ class CapacityManager:
                 f"step_weeks must be >= 1, got {step_weeks}"
             )
 
+        instrumentation = self.framework.engine.instrumentation
         steps: list[RollingStep] = []
         previous_result: ConsolidationResult | None = None
         for start_week in range(0, total_weeks - window_weeks + 1, step_weeks):
-            window = [
-                slice_weeks(demand, start_week, window_weeks)
-                for demand in demands
-            ]
-            plan = self.framework.plan(
-                window,
-                policies,
-                plan_failures=False,
-                algorithm=algorithm,
-                previous=previous_result if sticky else None,
-            )
-            migrations = _migrations_between(previous_result, plan.consolidation)
-            steps.append(
-                RollingStep(
-                    start_week=start_week,
-                    end_week=start_week + window_weeks,
-                    result=plan.consolidation,
-                    migrations=migrations,
+            with instrumentation.stage("manager.rolling_step"):
+                window = [
+                    slice_weeks(demand, start_week, window_weeks)
+                    for demand in demands
+                ]
+                plan = self.framework.plan(
+                    window,
+                    policies,
+                    plan_failures=False,
+                    algorithm=algorithm,
+                    previous=previous_result if sticky else None,
                 )
-            )
-            previous_result = plan.consolidation
+                migrations = _migrations_between(
+                    previous_result, plan.consolidation
+                )
+                steps.append(
+                    RollingStep(
+                        start_week=start_week,
+                        end_week=start_week + window_weeks,
+                        result=plan.consolidation,
+                        migrations=migrations,
+                    )
+                )
+                previous_result = plan.consolidation
+            instrumentation.count("manager.rolling_steps")
+            instrumentation.count("manager.migrations", len(migrations))
         return RollingPlanReport(steps=tuple(steps))
 
     # ------------------------------------------------------------------
@@ -187,33 +193,40 @@ class CapacityManager:
                 for demand in demands
             }
 
+        instrumentation = self.framework.engine.instrumentation
         steps: list[OutlookStep] = []
         for weeks_ahead in range(0, horizon_weeks + 1, step_weeks):
-            projected = extrapolate_ensemble(
-                list(demands), weeks_ahead, dict(growth_by_name)
-            )
-            try:
-                plan = self.framework.plan(
-                    projected, policies, plan_failures=False, algorithm=algorithm
+            with instrumentation.stage("manager.outlook_step"):
+                projected = extrapolate_ensemble(
+                    list(demands), weeks_ahead, dict(growth_by_name)
                 )
-            except PlacementError:
+                try:
+                    plan = self.framework.plan(
+                        projected,
+                        policies,
+                        plan_failures=False,
+                        algorithm=algorithm,
+                    )
+                except PlacementError:
+                    steps.append(
+                        OutlookStep(
+                            weeks_ahead=weeks_ahead,
+                            feasible=False,
+                            servers_used=None,
+                            sum_required=None,
+                        )
+                    )
+                    instrumentation.count("manager.outlook_steps")
+                    continue
                 steps.append(
                     OutlookStep(
                         weeks_ahead=weeks_ahead,
-                        feasible=False,
-                        servers_used=None,
-                        sum_required=None,
+                        feasible=True,
+                        servers_used=plan.servers_used,
+                        sum_required=plan.consolidation.sum_required,
                     )
                 )
-                continue
-            steps.append(
-                OutlookStep(
-                    weeks_ahead=weeks_ahead,
-                    feasible=True,
-                    servers_used=plan.servers_used,
-                    sum_required=plan.consolidation.sum_required,
-                )
-            )
+            instrumentation.count("manager.outlook_steps")
         return CapacityOutlook(
             steps=tuple(steps), growth_by_name=dict(growth_by_name)
         )

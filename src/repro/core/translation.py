@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.cos import PoolCommitments
 from repro.core.degradation import new_max_demand, realized_cap_reduction
+from repro.engine import ExecutionEngine
 from repro.core.epoch_limited import EpochBudgetResult, enforce_epoch_budget
 from repro.core.partition import breakpoint_fraction, partition_demand
 from repro.core.qos import ApplicationQoS
@@ -82,11 +83,30 @@ class TranslationResult:
         return self.pair.peak_allocation()
 
 
+def _translate_worker(
+    commitments: PoolCommitments,
+    item: tuple[DemandTrace, ApplicationQoS],
+) -> TranslationResult:
+    """Executor work unit: translate one workload under one QoS mode.
+
+    A pure function of the broadcast commitments and the (demand, qos)
+    item — no RNG, no shared mutable state — so serial and parallel
+    backends produce identical results.
+    """
+    demand, qos = item
+    return QoSTranslator(commitments).translate(demand, qos)
+
+
 class QoSTranslator:
     """Maps application demands onto the pool's two classes of service."""
 
-    def __init__(self, commitments: PoolCommitments):
+    def __init__(
+        self,
+        commitments: PoolCommitments,
+        engine: ExecutionEngine | None = None,
+    ):
         self.commitments = commitments
+        self.engine = engine if engine is not None else ExecutionEngine.serial()
 
     def translate(
         self, demand: DemandTrace, qos: ApplicationQoS
@@ -180,13 +200,32 @@ class QoSTranslator:
         result = self.translate(container.demand, qos)
         return container.with_allocation(result.pair)
 
+    def translate_items(
+        self, items: Sequence[tuple[DemandTrace, ApplicationQoS]]
+    ) -> list[TranslationResult]:
+        """Translate ``(demand, qos)`` pairs through the execution engine.
+
+        This is the fan-out entry point every batch path routes through:
+        per-application translations are independent, so the engine's
+        executor maps them in parallel when configured to. The engine's
+        instrumentation records the stage timing and workload count.
+        """
+        instrumentation = self.engine.instrumentation
+        with instrumentation.stage("translation"):
+            results = self.engine.executor.map(
+                _translate_worker, list(items), shared=self.commitments
+            )
+        instrumentation.count("translation.workloads", len(items))
+        return results
+
     def translate_many(
         self,
         demands: Sequence[DemandTrace],
         qos_by_name: Mapping[str, ApplicationQoS] | ApplicationQoS,
     ) -> dict[str, TranslationResult]:
         """Translate an ensemble; accepts one shared QoS or a per-name map."""
-        results: dict[str, TranslationResult] = {}
+        items: list[tuple[DemandTrace, ApplicationQoS]] = []
+        seen: set[str] = set()
         for demand in demands:
             if isinstance(qos_by_name, ApplicationQoS):
                 qos = qos_by_name
@@ -197,12 +236,17 @@ class QoSTranslator:
                     raise TranslationError(
                         f"no QoS requirement given for workload {demand.name!r}"
                     ) from None
-            if demand.name in results:
+            if demand.name in seen:
                 raise TranslationError(
                     f"duplicate workload name {demand.name!r}"
                 )
-            results[demand.name] = self.translate(demand, qos)
-        return results
+            seen.add(demand.name)
+            items.append((demand, qos))
+        results = self.translate_items(items)
+        return {
+            demand.name: result
+            for (demand, _), result in zip(items, results)
+        }
 
     def _check_degradation_budget(
         self,

@@ -1,0 +1,31 @@
+"""Pluggable execution engine: fan-out backends plus instrumentation.
+
+The engine subsystem decouples *what* the pipeline computes from *how*
+the embarrassingly parallel parts run and *what is measured* while they
+do. See :class:`ExecutionEngine` for the object threaded through the
+framework, :class:`SerialExecutor`/:class:`ParallelExecutor` for the
+backends, and :class:`Instrumentation` for stage timers, counters, and
+the structured event log.
+"""
+
+from repro.engine.core import ExecutionEngine
+from repro.engine.executor import (
+    Executor,
+    ExecutorSession,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.engine.instrumentation import Event, Instrumentation, StageStats
+
+__all__ = [
+    "Event",
+    "ExecutionEngine",
+    "Executor",
+    "ExecutorSession",
+    "Instrumentation",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "StageStats",
+    "make_executor",
+]

@@ -1,0 +1,70 @@
+"""The execution engine: one executor plus one instrumentation sink.
+
+:class:`ExecutionEngine` is the object the :class:`~repro.core.framework.ROpus`
+facade threads down through translation, placement, and failure planning.
+It bundles the two cross-cutting concerns every compute layer shares:
+
+* *where* fan-out work runs (:class:`~repro.engine.executor.Executor`);
+* *what we learn* about the run
+  (:class:`~repro.engine.instrumentation.Instrumentation`).
+
+The default engine is serial and always-instrumented, so existing code
+gains stage timings for free and parallelism is strictly opt-in.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.executor import Executor, SerialExecutor, make_executor
+from repro.engine.instrumentation import Instrumentation
+
+
+class ExecutionEngine:
+    """Bundles an execution backend with an instrumentation sink.
+
+    >>> engine = ExecutionEngine.serial()
+    >>> engine.executor.name
+    'serial'
+    >>> engine = ExecutionEngine.with_workers(1)
+    >>> engine.executor.name
+    'serial'
+    """
+
+    def __init__(
+        self,
+        executor: Optional[Executor] = None,
+        instrumentation: Optional[Instrumentation] = None,
+    ):
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.instrumentation = (
+            instrumentation if instrumentation is not None else Instrumentation()
+        )
+
+    @classmethod
+    def serial(
+        cls, instrumentation: Optional[Instrumentation] = None
+    ) -> "ExecutionEngine":
+        """The default engine: inline execution, fresh instrumentation."""
+        return cls(SerialExecutor(), instrumentation)
+
+    @classmethod
+    def with_workers(
+        cls,
+        workers: int | None,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> "ExecutionEngine":
+        """Serial for ``workers in (None, 1)``, else a process-pool backend."""
+        return cls(make_executor(workers), instrumentation)
+
+    def close(self) -> None:
+        self.executor.close()
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ExecutionEngine(executor={self.executor.name!r})"

@@ -1,0 +1,211 @@
+"""Pluggable execution backends for the pipeline's fan-out work.
+
+Every embarrassingly parallel loop in the framework — per-application
+QoS translation, per-generation GA evaluation, failure what-if sweeps —
+routes through an :class:`Executor`. Two backends are provided:
+
+* :class:`SerialExecutor` (the default) runs work units inline and is
+  bit-identical to the historical ``for`` loops;
+* :class:`ParallelExecutor` fans work units out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` with chunked,
+  picklable work units.
+
+Work units are *pure functions of their inputs*: ``fn(shared, item)``
+where ``shared`` is an immutable payload broadcast once per session
+(e.g. the stacked allocation matrices of a placement evaluator) and
+``item`` is the per-task argument. Seeded RNG state stays in the
+driver process, so results are deterministic and backend-independent;
+``map`` always preserves input order.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+from typing import Any, Callable, Sequence, TypeVar
+
+from repro.exceptions import ConfigurationError
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+WorkFn = Callable[[Any, ItemT], ResultT]
+
+# Payload broadcast to worker processes, installed once per process by the
+# pool initializer so repeated map calls in one session don't re-pickle it.
+_WORKER_SHARED: Any = None
+
+
+def _install_shared(payload: Any) -> None:
+    global _WORKER_SHARED
+    _WORKER_SHARED = payload
+
+
+def _invoke_shared(fn: WorkFn, item: Any) -> Any:
+    return fn(_WORKER_SHARED, item)
+
+
+class ExecutorSession(ABC):
+    """One fan-out context with a shared payload already broadcast.
+
+    Sessions exist so callers with *many* map calls over the same large
+    payload (the GA evaluates one batch per generation against the same
+    allocation matrices) pay the broadcast cost once, not per call.
+    """
+
+    @abstractmethod
+    def map(
+        self,
+        fn: WorkFn,
+        items: Sequence[Any],
+        *,
+        chunksize: int | None = None,
+    ) -> list[Any]:
+        """Apply ``fn(shared, item)`` to every item, preserving order."""
+
+    def close(self) -> None:  # pragma: no cover - overridden where needed
+        pass
+
+    def __enter__(self) -> "ExecutorSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class Executor(ABC):
+    """Protocol all execution backends implement."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def session(self, shared: Any = None) -> ExecutorSession:
+        """Open a fan-out session with ``shared`` broadcast to workers."""
+
+    def map(
+        self,
+        fn: WorkFn,
+        items: Sequence[Any],
+        *,
+        shared: Any = None,
+        chunksize: int | None = None,
+    ) -> list[Any]:
+        """One-shot fan-out: open a session, map, close."""
+        with self.session(shared) as open_session:
+            return open_session.map(fn, items, chunksize=chunksize)
+
+    def close(self) -> None:
+        """Release any backend resources (sessions own theirs)."""
+
+
+class _SerialSession(ExecutorSession):
+    def __init__(self, shared: Any):
+        self._shared = shared
+
+    def map(
+        self,
+        fn: WorkFn,
+        items: Sequence[Any],
+        *,
+        chunksize: int | None = None,
+    ) -> list[Any]:
+        return [fn(self._shared, item) for item in items]
+
+
+class SerialExecutor(Executor):
+    """Runs every work unit inline in the driver process."""
+
+    name = "serial"
+
+    def session(self, shared: Any = None) -> ExecutorSession:
+        return _SerialSession(shared)
+
+
+class _ParallelSession(ExecutorSession):
+    def __init__(self, pool: ProcessPoolExecutor, workers: int):
+        self._pool = pool
+        self._workers = workers
+
+    def map(
+        self,
+        fn: WorkFn,
+        items: Sequence[Any],
+        *,
+        chunksize: int | None = None,
+    ) -> list[Any]:
+        items = list(items)
+        if not items:
+            return []
+        if chunksize is None:
+            # Amortise per-task IPC without starving workers: aim for a
+            # few chunks per worker so stragglers still balance.
+            chunksize = max(1, len(items) // (self._workers * 4))
+        return list(
+            self._pool.map(partial(_invoke_shared, fn), items, chunksize=chunksize)
+        )
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class ParallelExecutor(Executor):
+    """Fans work units out over a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes; defaults to the CPU count. Work
+        functions and items must be picklable (module-level functions of
+        plain data), and must not depend on driver-side mutable state —
+        caches live in the driver and are reconciled after each map.
+    chunksize:
+        Default chunk size for :meth:`ExecutorSession.map`; ``None``
+        derives one from the batch size and worker count.
+    """
+
+    name = "parallel"
+
+    def __init__(self, workers: int | None = None, chunksize: int | None = None):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.chunksize = chunksize
+
+    def session(self, shared: Any = None) -> ExecutorSession:
+        pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_install_shared,
+            initargs=(shared,),
+        )
+        return _ParallelSessionWithDefault(pool, self.workers, self.chunksize)
+
+
+class _ParallelSessionWithDefault(_ParallelSession):
+    def __init__(
+        self, pool: ProcessPoolExecutor, workers: int, chunksize: int | None
+    ):
+        super().__init__(pool, workers)
+        self._default_chunksize = chunksize
+
+    def map(
+        self,
+        fn: WorkFn,
+        items: Sequence[Any],
+        *,
+        chunksize: int | None = None,
+    ) -> list[Any]:
+        if chunksize is None:
+            chunksize = self._default_chunksize
+        return super().map(fn, items, chunksize=chunksize)
+
+
+def make_executor(workers: int | None = None) -> Executor:
+    """Backend from a worker count: serial for ``None``/``1``, else parallel."""
+    if workers is not None and workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if workers is None or workers == 1:
+        return SerialExecutor()
+    return ParallelExecutor(workers=workers)

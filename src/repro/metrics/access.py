@@ -18,7 +18,6 @@ import numpy as np
 
 from repro.exceptions import CapacityError, TraceError
 from repro.traces.allocation import AllocationTrace
-from repro.traces.calendar import TraceCalendar
 
 
 def theta_by_slot(

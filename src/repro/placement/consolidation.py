@@ -11,9 +11,10 @@ baseline instead.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Literal, Mapping, Optional, Sequence
 
+from repro.engine import ExecutionEngine
 from repro.exceptions import PlacementError
 from repro.placement.evaluation import PlacementEvaluator
 from repro.placement.genetic import (
@@ -94,6 +95,7 @@ class Consolidator:
         config: GeneticSearchConfig | None = None,
         tolerance: float = 0.01,
         attribute: str = "cpu",
+        engine: ExecutionEngine | None = None,
     ):
         if len(pool) == 0:
             raise PlacementError("cannot consolidate onto an empty pool")
@@ -102,6 +104,7 @@ class Consolidator:
         self.config = config or GeneticSearchConfig()
         self.tolerance = tolerance
         self.attribute = attribute
+        self.engine = engine if engine is not None else ExecutionEngine.serial()
 
     def consolidate(
         self,
@@ -138,30 +141,44 @@ class Consolidator:
         ``evaluate_group``); the multi-attribute extension passes a
         composite evaluator here.
         """
-        if algorithm == "first_fit":
-            assignment = first_fit_decreasing(evaluator, self.pool, self.attribute)
-            search = None
-        elif algorithm == "best_fit":
-            assignment = best_fit_decreasing(evaluator, self.pool, self.attribute)
-            search = None
-        elif algorithm == "genetic":
-            seed = first_fit_decreasing(evaluator, self.pool, self.attribute)
-            extra_seeds = [
-                best_fit_decreasing(evaluator, self.pool, self.attribute)
-            ]
-            extra_seeds.extend(self._correlation_seed(evaluator))
-            carried = self._assignment_from_previous(evaluator, previous)
-            if carried is not None:
-                extra_seeds.insert(0, carried)
-            searcher = GeneticPlacementSearch(
-                evaluator, self.pool, self.config, self.attribute
-            )
-            search = searcher.run(seed, extra_seeds=extra_seeds)
-            assignment = search.best.assignment
-        else:
-            raise PlacementError(f"unknown placement algorithm {algorithm!r}")
+        instrumentation = self.engine.instrumentation
+        with instrumentation.stage("placement"):
+            if algorithm == "first_fit":
+                assignment = first_fit_decreasing(
+                    evaluator, self.pool, self.attribute
+                )
+                search = None
+            elif algorithm == "best_fit":
+                assignment = best_fit_decreasing(
+                    evaluator, self.pool, self.attribute
+                )
+                search = None
+            elif algorithm == "genetic":
+                seed = first_fit_decreasing(evaluator, self.pool, self.attribute)
+                extra_seeds = [
+                    best_fit_decreasing(evaluator, self.pool, self.attribute)
+                ]
+                extra_seeds.extend(self._correlation_seed(evaluator))
+                carried = self._assignment_from_previous(evaluator, previous)
+                if carried is not None:
+                    extra_seeds.insert(0, carried)
+                searcher = GeneticPlacementSearch(
+                    evaluator,
+                    self.pool,
+                    self.config,
+                    self.attribute,
+                    engine=self.engine,
+                )
+                search = searcher.run(seed, extra_seeds=extra_seeds)
+                assignment = search.best.assignment
+            else:
+                raise PlacementError(
+                    f"unknown placement algorithm {algorithm!r}"
+                )
 
-        return self._build_result(evaluator, assignment, algorithm, search)
+            result = self._build_result(evaluator, assignment, algorithm, search)
+        instrumentation.count("placement.consolidations")
+        return result
 
     def _correlation_seed(self, evaluator) -> list[tuple[int, ...]]:
         """A correlation-aware greedy seed, when the evaluator supports it.

@@ -7,12 +7,19 @@ stacked allocation matrices, runs the simulator + binary search, and
 memoises results by (server capacity profile, workload subset) — the
 genetic search re-visits the same server contents constantly, so the
 cache is what makes the search affordable.
+
+For parallel backends the evaluator exposes a picklable
+:class:`EvaluationPayload` (the matrices plus commitment parameters) and
+the pure :func:`evaluate_group_worker`; workers stay stateless, compute
+only cache-missing subsets, and the driver reconciles results back into
+the single authoritative cache via :meth:`PlacementEvaluator.install`,
+so the memoisation design survives the fan-out.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -40,6 +47,76 @@ class ServerEvaluation:
     @property
     def feasible(self) -> bool:
         return self.fits
+
+
+GroupKey = tuple[float, frozenset[int]]
+
+
+@dataclass(frozen=True)
+class EvaluationPayload:
+    """Everything a stateless worker needs to evaluate workload subsets.
+
+    Broadcast once per executor session; ``cos1``/``cos2`` are the
+    stacked per-workload allocation matrices.
+    """
+
+    cos1: np.ndarray
+    cos2: np.ndarray
+    calendar: TraceCalendar
+    commitment: CoSCommitment
+    tolerance: float
+
+
+def _evaluate_rows(
+    cos1: np.ndarray,
+    cos2: np.ndarray,
+    calendar: TraceCalendar,
+    commitment: CoSCommitment,
+    tolerance: float,
+    rows: Sequence[int],
+    limit: float,
+) -> ServerEvaluation:
+    """Pure evaluation of one workload subset at one capacity limit."""
+    index = np.asarray(sorted(rows), dtype=int)
+    simulator = SingleServerSimulator(
+        cos1[index].sum(axis=0), cos2[index].sum(axis=0), calendar
+    )
+    result = required_capacity(
+        [],
+        capacity_limit=limit,
+        commitment=commitment,
+        tolerance=tolerance,
+        simulator=simulator,
+    )
+    if not result.fits:
+        return ServerEvaluation(
+            fits=False, required=float("inf"), utilization=float("inf")
+        )
+    return ServerEvaluation(
+        fits=True,
+        required=result.required_capacity,
+        utilization=min(1.0, result.required_capacity / limit),
+    )
+
+
+def evaluate_group_worker(
+    payload: EvaluationPayload, item: tuple[float, tuple[int, ...]]
+) -> ServerEvaluation:
+    """Executor work unit: ``item`` is ``(capacity_limit, workload_rows)``.
+
+    A pure function of the broadcast payload and the item, so results
+    are identical across serial and parallel backends.
+    """
+    limit, rows = item
+    return _evaluate_rows(
+        payload.cos1,
+        payload.cos2,
+        payload.calendar,
+        payload.commitment,
+        payload.tolerance,
+        rows,
+        limit,
+    )
 
 
 class PlacementEvaluator:
@@ -88,13 +165,36 @@ class PlacementEvaluator:
         attribute: str = "cpu",
     ) -> ServerEvaluation:
         """Required capacity of the workloads ``indices`` on ``server``."""
-        key = (server.capacity_of(attribute), frozenset(indices))
+        key = self.cache_key(indices, server, attribute)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
         evaluation = self._evaluate_uncached(list(indices), server, attribute)
         self._cache[key] = evaluation
         return evaluation
+
+    def cache_key(
+        self, indices: Sequence[int], server: ServerSpec, attribute: str = "cpu"
+    ) -> GroupKey:
+        """The memoisation key for one (server, workload subset) pairing."""
+        return (server.capacity_of(attribute), frozenset(indices))
+
+    def is_cached(self, key: GroupKey) -> bool:
+        return key in self._cache
+
+    def install(self, key: GroupKey, evaluation: ServerEvaluation) -> None:
+        """Merge a worker-computed evaluation into the driver-side cache."""
+        self._cache.setdefault(key, evaluation)
+
+    def worker_payload(self) -> EvaluationPayload:
+        """The picklable state a stateless worker needs (broadcast once)."""
+        return EvaluationPayload(
+            cos1=self._cos1,
+            cos2=self._cos2,
+            calendar=self.calendar,
+            commitment=self.commitment,
+            tolerance=self.tolerance,
+        )
 
     def search_result(
         self,
@@ -117,22 +217,17 @@ class PlacementEvaluator:
     ) -> ServerEvaluation:
         if not indices:
             return ServerEvaluation(fits=True, required=0.0, utilization=0.0)
-        limit = server.capacity_of(attribute)
-        result = required_capacity(
-            [],
-            capacity_limit=limit,
-            commitment=self.commitment,
-            tolerance=self.tolerance,
-            simulator=self._simulator_for(indices),
-        )
-        if not result.fits:
-            return ServerEvaluation(
-                fits=False, required=float("inf"), utilization=float("inf")
-            )
-        return ServerEvaluation(
-            fits=True,
-            required=result.required_capacity,
-            utilization=min(1.0, result.required_capacity / limit),
+        rows = sorted(indices)
+        if rows[0] < 0 or rows[-1] >= self.n_workloads:
+            raise PlacementError(f"workload indices out of range: {indices}")
+        return _evaluate_rows(
+            self._cos1,
+            self._cos2,
+            self.calendar,
+            self.commitment,
+            self.tolerance,
+            rows,
+            server.capacity_of(attribute),
         )
 
     def _simulator_for(self, indices: list[int]) -> SingleServerSimulator:

@@ -12,6 +12,15 @@ The planner deliberately re-translates only the affected applications by
 default; pass ``relax_all=True`` to apply failure-mode QoS to every
 application during the what-if (the cheaper, pool-wide degraded posture
 used in the paper's case-study discussion of Table I).
+
+Fan-out: every what-if case is independent — translate the ensemble
+under the case's QoS mix, consolidate on the surviving servers — so the
+sweep maps cases through the execution engine. Each work unit is a pure
+function of a broadcast :class:`_FailureSweepPayload` (commitments, pool,
+demands, policies, search config) and its ``(failed servers, affected
+workloads)`` item; inner consolidations run serially inside the worker
+with their own deterministic seeded search, so results are identical
+across backends.
 """
 
 from __future__ import annotations
@@ -20,7 +29,9 @@ import itertools
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro.core.cos import PoolCommitments
 from repro.core.qos import QoSPolicy
+from repro.engine import ExecutionEngine
 from repro.exceptions import PlacementError
 from repro.placement.consolidation import ConsolidationResult, Consolidator
 from repro.placement.genetic import GeneticSearchConfig
@@ -72,6 +83,51 @@ class FailureReport:
         raise PlacementError(f"no failure case for server {server_name!r}")
 
 
+@dataclass(frozen=True)
+class _FailureSweepPayload:
+    """Picklable state broadcast once per failure sweep.
+
+    Carries commitments rather than the driver's translator so engines
+    (which may hold live process pools) never cross process boundaries.
+    """
+
+    commitments: PoolCommitments
+    config: GeneticSearchConfig | None
+    tolerance: float
+    attribute: str
+    pool: object
+    demands: tuple[DemandTrace, ...]
+    policies: Mapping[str, QoSPolicy] | QoSPolicy
+    relax_all: bool
+    algorithm: str
+
+
+def _failure_case_worker(
+    payload: _FailureSweepPayload,
+    item: tuple[tuple[str, ...], tuple[str, ...]],
+) -> FailureCase:
+    """Executor work unit: evaluate one failure what-if end to end."""
+    from repro.core.translation import QoSTranslator
+
+    failed_servers, affected = item
+    planner = FailurePlanner(
+        QoSTranslator(payload.commitments),
+        config=payload.config,
+        tolerance=payload.tolerance,
+        attribute=payload.attribute,
+    )
+    demand_by_name = {demand.name: demand for demand in payload.demands}
+    return planner._evaluate_failure(
+        failed_servers,
+        set(affected),
+        demand_by_name,
+        payload.policies,
+        payload.pool,
+        relax_all=payload.relax_all,
+        algorithm=payload.algorithm,
+    )
+
+
 class FailurePlanner:
     """Evaluates whether single-server failures can be absorbed."""
 
@@ -82,11 +138,13 @@ class FailurePlanner:
         config: GeneticSearchConfig | None = None,
         tolerance: float = 0.01,
         attribute: str = "cpu",
+        engine: ExecutionEngine | None = None,
     ):
         self.translator = translator
         self.config = config
         self.tolerance = tolerance
         self.attribute = attribute
+        self.engine = engine if engine is not None else ExecutionEngine.serial()
 
     def plan(
         self,
@@ -127,20 +185,11 @@ class FailurePlanner:
                 f"normal plan references unknown workloads: {missing}"
             )
 
-        cases = []
-        for failed_server, hosted in normal_result.assignment.items():
-            cases.append(
-                self._evaluate_failure(
-                    (failed_server,),
-                    set(hosted),
-                    demand_by_name,
-                    policies,
-                    pool,
-                    relax_all=relax_all,
-                    algorithm=algorithm,
-                )
-            )
-        return FailureReport(cases=tuple(cases))
+        items = [
+            ((failed_server,), tuple(sorted(set(hosted))))
+            for failed_server, hosted in normal_result.assignment.items()
+        ]
+        return self._sweep(items, demands, policies, pool, relax_all, algorithm)
 
     def plan_multi(
         self,
@@ -171,25 +220,43 @@ class FailurePlanner:
                 f"cannot fail {concurrent_failures} of "
                 f"{len(used_servers)} used servers"
             )
-        demand_by_name = {demand.name: demand for demand in demands}
-        cases = []
+        items = []
         for combo in itertools.combinations(used_servers, concurrent_failures):
             affected = {
                 name
                 for server in combo
                 for name in normal_result.assignment[server]
             }
-            cases.append(
-                self._evaluate_failure(
-                    combo,
-                    affected,
-                    demand_by_name,
-                    policies,
-                    pool,
-                    relax_all=relax_all,
-                    algorithm=algorithm,
-                )
+            items.append((tuple(combo), tuple(sorted(affected))))
+        return self._sweep(items, demands, policies, pool, relax_all, algorithm)
+
+    def _sweep(
+        self,
+        items: Sequence[tuple[tuple[str, ...], tuple[str, ...]]],
+        demands: Sequence[DemandTrace],
+        policies: Mapping[str, QoSPolicy] | QoSPolicy,
+        pool,
+        relax_all: bool,
+        algorithm: str,
+    ) -> FailureReport:
+        """Evaluate every what-if case through the execution engine."""
+        payload = _FailureSweepPayload(
+            commitments=self.translator.commitments,
+            config=self.config,
+            tolerance=self.tolerance,
+            attribute=self.attribute,
+            pool=pool,
+            demands=tuple(demands),
+            policies=policies,
+            relax_all=relax_all,
+            algorithm=algorithm,
+        )
+        instrumentation = self.engine.instrumentation
+        with instrumentation.stage("failure_planning"):
+            cases = self.engine.executor.map(
+                _failure_case_worker, list(items), shared=payload
             )
+        instrumentation.count("failure.cases", len(items))
         return FailureReport(cases=tuple(cases))
 
     def _evaluate_failure(

@@ -16,6 +16,13 @@ small number of hot servers:
 The search tracks the best *feasible* assignment ever seen and returns
 it; when seeded with a feasible initial assignment (the consolidator uses
 a greedy first fit) the result can only improve on the seed.
+
+Fan-out: each generation's children are *generated* first (all RNG draws
+stay in the driver, in the historical order) and then *evaluated* as a
+batch through the engine's executor — only server-content subsets missing
+from the evaluator cache are shipped to workers, and their results are
+reconciled back into the single driver-side cache, so the memoisation
+that makes the search affordable is preserved under any backend.
 """
 
 from __future__ import annotations
@@ -25,11 +32,16 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.engine import ExecutionEngine, ExecutorSession
 from repro.exceptions import PlacementError
-from repro.placement.evaluation import PlacementEvaluator, ServerEvaluation
+from repro.placement.evaluation import (
+    PlacementEvaluator,
+    ServerEvaluation,
+    evaluate_group_worker,
+)
 from repro.placement.objective import server_score
 from repro.resources.pool import ResourcePool
-from repro.util.rng import RngLike, derive_rng
+from repro.util.rng import derive_rng
 
 Assignment = tuple[int, ...]
 
@@ -101,6 +113,7 @@ class GeneticPlacementSearch:
         pool: ResourcePool,
         config: GeneticSearchConfig | None = None,
         attribute: str = "cpu",
+        engine: ExecutionEngine | None = None,
     ):
         if len(pool) == 0:
             raise PlacementError("the pool must contain at least one server")
@@ -109,6 +122,7 @@ class GeneticPlacementSearch:
         self.servers = list(pool.servers)
         self.config = config or GeneticSearchConfig()
         self.attribute = attribute
+        self.engine = engine if engine is not None else ExecutionEngine.serial()
         self._evaluations = 0
 
     # ------------------------------------------------------------------
@@ -128,33 +142,40 @@ class GeneticPlacementSearch:
         """
         rng = derive_rng(self.config.seed)
         seed_assignment = self._validate_assignment(tuple(initial))
-        population = [self.evaluate(seed_assignment)]
-        for extra in extra_seeds:
-            if len(population) >= self.config.population_size:
-                break
-            population.append(self.evaluate(self._validate_assignment(tuple(extra))))
-        while len(population) < self.config.population_size:
-            population.append(
-                self.evaluate(self._mutate(seed_assignment, rng))
-            )
-
-        best_feasible = self._best_feasible(population)
-        history: list[float] = []
-        stall = 0
-        generation = 0
-        for generation in range(1, self.config.max_generations + 1):
-            population = self._next_generation(population, rng)
-            history.append(max(member.score for member in population))
-            candidate = self._best_feasible(population)
-            if candidate is not None and (
-                best_feasible is None or candidate.score > best_feasible.score
+        instrumentation = self.engine.instrumentation
+        with self.engine.executor.session(
+            self._worker_payload()
+        ) as session:
+            population = [self.evaluate(seed_assignment)]
+            pending: list[Assignment] = []
+            for extra in extra_seeds:
+                if len(population) + len(pending) >= self.config.population_size:
+                    break
+                pending.append(self._validate_assignment(tuple(extra)))
+            while (
+                len(population) + len(pending) < self.config.population_size
             ):
-                best_feasible = candidate
-                stall = 0
-            else:
-                stall += 1
-            if stall >= self.config.stall_generations:
-                break
+                pending.append(self._mutate(seed_assignment, rng))
+            population.extend(self._evaluate_batch(pending, session))
+
+            best_feasible = self._best_feasible(population)
+            history: list[float] = []
+            stall = 0
+            generation = 0
+            for generation in range(1, self.config.max_generations + 1):
+                population = self._next_generation(population, rng, session)
+                instrumentation.count("placement.ga_generations")
+                history.append(max(member.score for member in population))
+                candidate = self._best_feasible(population)
+                if candidate is not None and (
+                    best_feasible is None or candidate.score > best_feasible.score
+                ):
+                    best_feasible = candidate
+                    stall = 0
+                else:
+                    stall += 1
+                if stall >= self.config.stall_generations:
+                    break
 
         if best_feasible is None:
             raise PlacementError(
@@ -198,14 +219,78 @@ class GeneticPlacementSearch:
         )
 
     # ------------------------------------------------------------------
+    # Batched evaluation through the execution engine
+    # ------------------------------------------------------------------
+    def _worker_payload(self):
+        """The broadcastable evaluator state, when the evaluator has one.
+
+        Composite (multi-attribute) evaluators do not expose a payload;
+        batches then evaluate inline in the driver, which keeps the
+        search correct (just not parallel) for them.
+        """
+        payload_factory = getattr(self.evaluator, "worker_payload", None)
+        return payload_factory() if payload_factory is not None else None
+
+    def _evaluate_batch(
+        self, assignments: Sequence[Assignment], session: ExecutorSession
+    ) -> list[EvaluatedAssignment]:
+        """Evaluate assignments, fanning uncached subsets out first.
+
+        Workers compute only the (server capacity, workload subset)
+        groups missing from the driver cache; their results are merged
+        back via :meth:`PlacementEvaluator.install` before the ordinary
+        cached evaluation path scores each assignment. Results are
+        bit-identical to evaluating one by one.
+        """
+        validated = [self._validate_assignment(tuple(a)) for a in assignments]
+        self._prime_cache(validated, session)
+        return [self.evaluate(assignment) for assignment in validated]
+
+    def _prime_cache(
+        self, assignments: Sequence[Assignment], session: ExecutorSession
+    ) -> None:
+        if not (
+            hasattr(self.evaluator, "cache_key")
+            and hasattr(self.evaluator, "install")
+            and self._worker_payload() is not None
+        ):
+            return
+        pending: dict[object, tuple[float, tuple[int, ...]]] = {}
+        for assignment in assignments:
+            groups: dict[int, list[int]] = {}
+            for workload_index, server_index in enumerate(assignment):
+                groups.setdefault(server_index, []).append(workload_index)
+            for server_index, indices in groups.items():
+                server = self.servers[server_index]
+                key = self.evaluator.cache_key(indices, server, self.attribute)
+                if key in pending or self.evaluator.is_cached(key):
+                    continue
+                pending[key] = (
+                    server.capacity_of(self.attribute),
+                    tuple(sorted(indices)),
+                )
+        if not pending:
+            return
+        results = session.map(evaluate_group_worker, list(pending.values()))
+        for key, evaluation in zip(pending, results):
+            self.evaluator.install(key, evaluation)
+        self.engine.instrumentation.count(
+            "placement.group_evaluations", len(pending)
+        )
+
+    # ------------------------------------------------------------------
     # Evolution operators
     # ------------------------------------------------------------------
     def _next_generation(
-        self, population: list[EvaluatedAssignment], rng: np.random.Generator
+        self,
+        population: list[EvaluatedAssignment],
+        rng: np.random.Generator,
+        session: ExecutorSession,
     ) -> list[EvaluatedAssignment]:
         population = sorted(population, key=lambda member: member.score, reverse=True)
         next_population = population[: self.config.elite_count]
-        while len(next_population) < self.config.population_size:
+        children: list[Assignment] = []
+        while len(next_population) + len(children) < self.config.population_size:
             parent_a = self._tournament(population, rng)
             if rng.random() < self.config.crossover_probability:
                 parent_b = self._tournament(population, rng)
@@ -216,7 +301,8 @@ class GeneticPlacementSearch:
                 child = parent_a.assignment
             if rng.random() < self.config.mutation_probability:
                 child = self._mutate(child, rng)
-            next_population.append(self.evaluate(child))
+            children.append(child)
+        next_population.extend(self._evaluate_batch(children, session))
         return next_population
 
     def _tournament(

@@ -41,10 +41,19 @@ class AccessReport:
     cos1_fits: bool
     cos1_peak: float
     theta_measured: float
-    deadline_ok: bool
     max_deferred_slots: int
     cos2_demand_total: float
     cos2_satisfied_on_request: float
+
+    def deadline_ok(
+        self, commitment: CoSCommitment, calendar: TraceCalendar
+    ) -> bool:
+        """True when all deferred CoS2 demand drains within the deadline.
+
+        Deferral within the commitment's deadline ``s`` is allowed by the
+        CoS2 contract — only waits *longer* than the deadline violate it.
+        """
+        return self.max_deferred_slots <= commitment.deadline_slots(calendar)
 
     def satisfies(self, commitment: CoSCommitment, calendar: TraceCalendar) -> bool:
         """True when this capacity honours the pool's CoS commitments."""
@@ -52,10 +61,7 @@ class AccessReport:
             return False
         if self.theta_measured < commitment.theta - 1e-12:
             return False
-        deadline = commitment.deadline_slots(calendar)
-        if self.max_deferred_slots > deadline:
-            return False
-        return True
+        return self.deadline_ok(commitment, calendar)
 
 
 class SingleServerSimulator:
@@ -111,7 +117,6 @@ class SingleServerSimulator:
             cos1_fits=cos1_fits,
             cos1_peak=self._cos1_peak,
             theta_measured=theta,
-            deadline_ok=max_deferred == 0,
             max_deferred_slots=max_deferred,
             cos2_demand_total=float(self._cos2.sum()),
             cos2_satisfied_on_request=float(satisfied_now.sum()),

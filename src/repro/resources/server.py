@@ -69,6 +69,12 @@ class ServerSpec:
     def has_attribute(self, attribute: str) -> bool:
         return attribute in self.attributes
 
+    def __reduce__(self):
+        # The frozen attributes mapping is a MappingProxyType, which does
+        # not pickle; rebuild from plain data so specs can cross process
+        # boundaries (parallel failure what-ifs ship the pool to workers).
+        return (ServerSpec, (self.name, self.cpus, dict(self.attributes)))
+
     def __hash__(self) -> int:
         return hash((self.name, self.cpus, tuple(sorted(self.attributes.items()))))
 

@@ -26,7 +26,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import TraceError
-from repro.traces.calendar import TraceCalendar
 from repro.traces.trace import DemandTrace
 
 

@@ -13,7 +13,6 @@ from repro.resources.pool import ResourcePool
 from repro.resources.server import homogeneous_servers
 from repro.traces.calendar import TraceCalendar
 from repro.traces.ops import slice_weeks
-from repro.traces.trace import DemandTrace
 from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
 
 SEARCH = GeneticSearchConfig(

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.cos import PoolCommitments
-from repro.core.qos import ApplicationQoS, DegradedSpec, QoSRange, case_study_qos
+from repro.core.qos import case_study_qos
 from repro.core.translation import QoSTranslator
 from repro.exceptions import TranslationError
 from repro.traces.calendar import TraceCalendar

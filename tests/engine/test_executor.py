@@ -1,0 +1,107 @@
+"""Tests for the pluggable execution backends."""
+
+import pytest
+
+from repro.engine import (
+    ExecutionEngine,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.exceptions import ConfigurationError
+
+
+def _add_offset(shared, item):
+    """Module-level work unit so the parallel backend can pickle it."""
+    offset = shared if shared is not None else 0
+    return item + offset
+
+
+def _square(shared, item):
+    return item * item
+
+
+class TestSerialExecutor:
+    def test_map_preserves_order(self):
+        executor = SerialExecutor()
+        assert executor.map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_shared_payload_reaches_work_units(self):
+        executor = SerialExecutor()
+        assert executor.map(_add_offset, [1, 2], shared=10) == [11, 12]
+
+    def test_empty_items(self):
+        assert SerialExecutor().map(_square, []) == []
+
+    def test_session_reuse(self):
+        with SerialExecutor().session(shared=100) as session:
+            assert session.map(_add_offset, [1]) == [101]
+            assert session.map(_add_offset, [2]) == [102]
+
+
+class TestParallelExecutor:
+    def test_map_matches_serial(self):
+        items = list(range(17))
+        executor = ParallelExecutor(workers=2)
+        try:
+            assert executor.map(_square, items) == [i * i for i in items]
+        finally:
+            executor.close()
+
+    def test_shared_payload_broadcast(self):
+        executor = ParallelExecutor(workers=2)
+        assert executor.map(_add_offset, [1, 2, 3], shared=5) == [6, 7, 8]
+
+    def test_session_amortises_broadcast(self):
+        executor = ParallelExecutor(workers=2)
+        with executor.session(shared=1000) as session:
+            assert session.map(_add_offset, [1]) == [1001]
+            assert session.map(_add_offset, [2, 3]) == [1002, 1003]
+
+    def test_empty_items(self):
+        executor = ParallelExecutor(workers=2)
+        with executor.session() as session:
+            assert session.map(_square, []) == []
+
+    def test_explicit_chunksize(self):
+        executor = ParallelExecutor(workers=2, chunksize=2)
+        assert executor.map(_square, [1, 2, 3, 4, 5]) == [1, 4, 9, 16, 25]
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(workers=0)
+
+
+class TestMakeExecutor:
+    def test_none_is_serial(self):
+        assert isinstance(make_executor(None), SerialExecutor)
+
+    def test_one_is_serial(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+
+    def test_many_is_parallel(self):
+        executor = make_executor(3)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.workers == 3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            make_executor(0)
+        with pytest.raises(ConfigurationError):
+            make_executor(-2)
+
+
+class TestExecutionEngine:
+    def test_default_engine_is_serial(self):
+        engine = ExecutionEngine()
+        assert engine.executor.name == "serial"
+        assert engine.instrumentation.timings() == {}
+
+    def test_with_workers_selects_backend(self):
+        assert ExecutionEngine.with_workers(None).executor.name == "serial"
+        assert ExecutionEngine.with_workers(1).executor.name == "serial"
+        with ExecutionEngine.with_workers(2) as engine:
+            assert engine.executor.name == "parallel"
+
+    def test_repr_names_backend(self):
+        assert "serial" in repr(ExecutionEngine.serial())

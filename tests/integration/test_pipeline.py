@@ -6,7 +6,6 @@ per-container scheduler on each server must leave every application
 compliant with its QoS requirement.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.cos import PoolCommitments

@@ -1,6 +1,5 @@
 """Tests for capacity summaries and report rendering."""
 
-import numpy as np
 import pytest
 
 from repro.metrics.capacity import CapacityCase, capacity_case

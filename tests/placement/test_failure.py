@@ -1,6 +1,5 @@
 """Tests for single-failure what-if planning."""
 
-import numpy as np
 import pytest
 
 from repro.core.cos import PoolCommitments
@@ -13,7 +12,6 @@ from repro.placement.genetic import GeneticSearchConfig
 from repro.resources.pool import ResourcePool
 from repro.resources.server import homogeneous_servers
 from repro.traces.calendar import TraceCalendar
-from repro.traces.trace import DemandTrace
 from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
 
 SEARCH_CONFIG = GeneticSearchConfig(

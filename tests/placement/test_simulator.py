@@ -37,8 +37,10 @@ class TestEvaluate:
         report = simulator.evaluate(10.0)
         assert report.cos1_fits
         assert report.theta_measured == 1.0
-        assert report.deadline_ok
         assert report.max_deferred_slots == 0
+        assert report.deadline_ok(
+            CoSCommitment(theta=0.9, deadline_minutes=60), cal
+        )
 
     def test_cos1_does_not_fit(self, cal):
         simulator = SingleServerSimulator.from_pairs(
@@ -55,7 +57,10 @@ class TestEvaluate:
         )
         report = simulator.evaluate(2.0)
         assert report.theta_measured == pytest.approx(0.5)
-        assert not report.deadline_ok
+        # Permanently oversubscribed: deferred demand never drains in time.
+        assert not report.deadline_ok(
+            CoSCommitment(theta=0.5, deadline_minutes=60), cal
+        )
 
     def test_cos1_reduces_cos2_capacity(self, cal):
         simulator = SingleServerSimulator.from_pairs(
@@ -117,7 +122,33 @@ class TestDeferredSlots:
         )
         report = simulator.evaluate(2.0)
         assert report.max_deferred_slots == 2
-        assert not report.deadline_ok
+        # 2 deferred slots violate a 1-slot (60 min) deadline but honour
+        # a 2-slot (120 min) one.
+        assert not report.deadline_ok(
+            CoSCommitment(theta=0.1, deadline_minutes=60), cal
+        )
+        assert report.deadline_ok(
+            CoSCommitment(theta=0.1, deadline_minutes=120), cal
+        )
+
+    def test_deferral_within_deadline_satisfies(self, cal):
+        """Regression: deferral inside the commitment deadline is allowed.
+
+        The old ``deadline_ok`` field was True only for zero deferral,
+        contradicting ``satisfies()``; a trace that defers but drains
+        within ``s`` must pass both checks.
+        """
+        n = cal.n_observations
+        cos2 = np.zeros(n)
+        cos2[10] = 6.0  # needs 3 slots at capacity 2 -> 2 deferred slots
+        simulator = SingleServerSimulator.from_pairs(
+            [make_pair(cal, "a", np.zeros(n), cos2)]
+        )
+        report = simulator.evaluate(2.0)
+        commitment = CoSCommitment(theta=0.1, deadline_minutes=180)
+        assert report.max_deferred_slots == 2
+        assert report.deadline_ok(commitment, cal)
+        assert report.satisfies(commitment, cal)
 
     def test_never_served_counts_to_trace_end(self, cal):
         n = cal.n_observations

@@ -13,6 +13,8 @@ MODULES_WITH_DOCTESTS = [
     "repro.core.partition",
     "repro.core.degradation",
     "repro.core.qos",
+    "repro.engine.core",
+    "repro.engine.instrumentation",
     "repro.resources.server",
     "repro.resources.pool",
     "repro.resources.workload_manager",
