@@ -1,0 +1,64 @@
+"""Static analysis for the R-Opus pipeline's unwritten invariants.
+
+The execution engine's correctness contract — deterministic RNG flow,
+picklable work units, tolerance-based metric comparisons, invariants
+that survive ``python -O`` — cannot be expressed in tests alone, so
+this package enforces it at review time with a custom AST linter:
+
+* :mod:`repro.analysis.rules` — one :class:`Rule` per invariant
+  (ROP001-ROP007), registered in a global registry;
+* :mod:`repro.analysis.runner` — file walking, rule execution, inline
+  ``# ropus: ignore`` handling, exit codes;
+* :mod:`repro.analysis.baseline` — adopt-now-fix-later suppression;
+* :mod:`repro.analysis.reporters` — text and round-trippable JSON.
+
+Run it as ``python -m repro.analysis src`` or ``ropus lint``.
+"""
+
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.config import AnalysisConfig, resolve_config
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.reporters import (
+    finding_from_dict,
+    finding_to_dict,
+    parse_json,
+    render_json,
+    render_text,
+)
+from repro.analysis.rules import (
+    ModuleContext,
+    Rule,
+    iter_rule_classes,
+    register,
+    registered_rules,
+)
+from repro.analysis.runner import (
+    AnalysisResult,
+    analyze_file,
+    analyze_paths,
+    main,
+)
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisResult",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "analyze_file",
+    "analyze_paths",
+    "apply_baseline",
+    "finding_from_dict",
+    "finding_to_dict",
+    "iter_rule_classes",
+    "load_baseline",
+    "main",
+    "parse_json",
+    "register",
+    "registered_rules",
+    "render_json",
+    "render_text",
+    "resolve_config",
+    "write_baseline",
+]

@@ -1,0 +1,8 @@
+"""Allow ``python -m repro.analysis`` to run the invariant linter."""
+
+import sys
+
+from repro.analysis.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Baseline suppression: adopt the linter without boiling the ocean.
+
+A baseline file records the findings a codebase had when the analyzer
+was introduced; subsequent runs subtract them and fail only on *new*
+violations. Entries match on :meth:`Finding.fingerprint` (rule, path,
+message) rather than line numbers, so unrelated edits that shift code
+do not resurrect suppressed findings.
+
+The shipped R-Opus tree is clean, so the repo carries no baseline file;
+the mechanism exists for downstream forks and for staging new rules.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+from repro.exceptions import ConfigurationError
+
+BASELINE_VERSION = 1
+
+
+def write_baseline(findings: Iterable[Finding], path: Path) -> int:
+    """Record ``findings`` as the accepted baseline; returns the count."""
+    entries = sorted(
+        {finding.fingerprint() for finding in findings}
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "suppressions": [
+            {"rule": rule, "path": file_path, "message": message}
+            for rule, file_path, message in entries
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def load_baseline(path: Path) -> set[tuple[str, str, str]]:
+    """Fingerprints recorded in a baseline file."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise ConfigurationError(f"unreadable baseline {path}: {error}") from error
+    if payload.get("version") != BASELINE_VERSION:
+        raise ConfigurationError(
+            f"baseline {path} has unsupported version {payload.get('version')!r}"
+        )
+    suppressions = payload.get("suppressions", [])
+    fingerprints: set[tuple[str, str, str]] = set()
+    for entry in suppressions:
+        try:
+            fingerprints.add(
+                (str(entry["rule"]), str(entry["path"]), str(entry["message"]))
+            )
+        except (TypeError, KeyError) as error:
+            raise ConfigurationError(
+                f"malformed baseline entry in {path}: {entry!r}"
+            ) from error
+    return fingerprints
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: set[tuple[str, str, str]]
+) -> tuple[list[Finding], int]:
+    """Split findings into (surviving, suppressed-count)."""
+    surviving = [
+        finding
+        for finding in findings
+        if finding.fingerprint() not in baseline
+    ]
+    return surviving, len(findings) - len(surviving)

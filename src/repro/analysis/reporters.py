@@ -1,0 +1,93 @@
+"""Text and JSON rendering of analysis results.
+
+The text reporter is for humans (``path:line:col RULE message``); the
+JSON reporter is a stable machine interface whose output round-trips
+through :func:`parse_json` — CI tooling can consume findings without
+scraping text.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from repro.analysis.findings import Finding, Severity
+from repro.exceptions import ConfigurationError
+
+JSON_SCHEMA_VERSION = 1
+
+
+def finding_to_dict(finding: Finding) -> dict[str, Any]:
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "column": finding.column,
+        "rule": finding.rule,
+        "message": finding.message,
+        "hint": finding.hint,
+        "severity": finding.severity.value,
+    }
+
+
+def finding_from_dict(data: dict[str, Any]) -> Finding:
+    try:
+        return Finding(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            column=int(data["column"]),
+            rule=str(data["rule"]),
+            message=str(data["message"]),
+            hint=str(data["hint"]),
+            severity=Severity(str(data["severity"])),
+        )
+    except (KeyError, ValueError, TypeError) as error:
+        raise ConfigurationError(f"malformed finding record: {data!r}") from error
+
+
+def render_json(
+    findings: Sequence[Finding], *, suppressed: int = 0
+) -> str:
+    """Machine-readable report; stable field order, newline-terminated."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "suppressed": suppressed,
+        "findings": [
+            finding_to_dict(finding)
+            for finding in sorted(findings, key=Finding.sort_key)
+        ],
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def parse_json(text: str) -> list[Finding]:
+    """Inverse of :func:`render_json` (findings only)."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"invalid analysis JSON: {error}") from error
+    if payload.get("version") != JSON_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported analysis JSON version {payload.get('version')!r}"
+        )
+    return [finding_from_dict(entry) for entry in payload.get("findings", [])]
+
+
+def render_text(
+    findings: Sequence[Finding], *, suppressed: int = 0
+) -> str:
+    """Human-readable report, one line per finding plus a summary."""
+    lines = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        lines.append(
+            f"{finding.location}: {finding.severity} {finding.rule} "
+            f"{finding.message}"
+        )
+        if finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = sum(1 for f in findings if f.severity is Severity.WARNING)
+    summary = f"{errors} error(s), {warnings} warning(s)"
+    if suppressed:
+        summary += f", {suppressed} baseline-suppressed"
+    lines.append(summary if findings or suppressed else "clean: no findings")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,41 @@
+"""ROP005 — runtime invariants raise, they do not ``assert``.
+
+``python -O`` strips assert statements, so an invariant guarded by a
+bare ``assert`` silently stops being checked exactly when someone runs
+the pipeline "optimised" in production. Library code raises a
+:mod:`repro.exceptions` error instead; ``assert`` remains the right
+tool in *tests*, which this analyzer does not scan by default.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar
+
+from repro.analysis.rules.base import Rule, register
+
+
+@register
+class BareAssertRule(Rule):
+    """Flags ``assert`` statements in library code."""
+
+    rule_id: ClassVar[str] = "ROP005"
+    name: ClassVar[str] = "no-bare-assert"
+    description: ClassVar[str] = (
+        "runtime invariants in src/ must raise; assert statements vanish "
+        "under python -O."
+    )
+    hint: ClassVar[str] = (
+        "raise a repro.exceptions error (e.g. InvariantError) with a "
+        "message naming the violated invariant"
+    )
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        condition = ast.unparse(node.test)
+        if len(condition) > 60:
+            condition = condition[:57] + "..."
+        self.report(
+            node,
+            f"bare assert ({condition}) is stripped under python -O",
+        )
+        self.generic_visit(node)

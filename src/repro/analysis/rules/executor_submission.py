@@ -1,0 +1,103 @@
+"""ROP004 — only picklable module-level callables go to the executor.
+
+The process-pool backend pickles every work function. Lambdas and
+functions defined inside another function are not picklable, so code
+that hands them to an executor works under :class:`SerialExecutor` and
+then explodes the first time ``--workers`` is raised — exactly the
+"passes in dev, fails at scale" failure this subsystem exists to stop
+at review time.
+
+The rule looks at ``<receiver>.map(...)`` / ``<receiver>.submit(...)``
+calls where the receiver plausibly names an executor (``executor``,
+``session``, ``pool``, ``engine``) and flags lambda arguments and
+arguments naming a function defined in a nested scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule, dotted_name, register
+
+_SUBMIT_METHODS = frozenset({"map", "submit"})
+_EXECUTOR_NAME_PARTS = ("executor", "session", "pool", "engine")
+
+
+def _looks_like_executor(receiver: ast.expr) -> bool:
+    dotted = dotted_name(receiver)
+    if dotted is None:
+        return False
+    tail = dotted.split(".")[-1].lower()
+    return any(part in tail for part in _EXECUTOR_NAME_PARTS)
+
+
+class _NestedFunctionCollector(ast.NodeVisitor):
+    """Names of functions defined inside another function's body."""
+
+    def __init__(self) -> None:
+        self.nested: set[str] = set()
+        self._depth = 0
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        if self._depth:
+            self.nested.add(node.name)
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+
+@register
+class ExecutorSubmissionRule(Rule):
+    """Flags lambdas/closures handed to ``Executor.map``/``submit``."""
+
+    rule_id: ClassVar[str] = "ROP004"
+    name: ClassVar[str] = "no-unpicklable-work-unit"
+    description: ClassVar[str] = (
+        "work functions submitted to an executor must be module-level "
+        "callables; lambdas and closures break the process-pool backend."
+    )
+    hint: ClassVar[str] = (
+        "define the work unit as a module-level function fn(shared, item) "
+        "and pass data through the shared payload"
+    )
+
+    _nested_names: set[str]
+
+    def check(self) -> list[Finding]:
+        collector = _NestedFunctionCollector()
+        collector.visit(self.context.tree)
+        self._nested_names = collector.nested
+        return super().check()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SUBMIT_METHODS
+            and _looks_like_executor(node.func.value)
+        ):
+            for arg in node.args:
+                self._check_work_arg(node, arg)
+        self.generic_visit(node)
+
+    def _check_work_arg(self, call: ast.Call, arg: ast.expr) -> None:
+        if isinstance(arg, ast.Lambda):
+            self.report(
+                call,
+                "lambda submitted to an executor is not picklable",
+            )
+        elif isinstance(arg, ast.Name) and arg.id in self._nested_names:
+            self.report(
+                call,
+                f"nested function {arg.id!r} submitted to an executor is "
+                "not picklable",
+            )

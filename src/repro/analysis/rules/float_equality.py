@@ -1,0 +1,61 @@
+"""ROP003 — no ``==``/``!=`` against float literals.
+
+The paper's acceptance clauses (formulas 1-11) compare accumulated
+fractions and utilizations against thresholds like ``U_high`` and
+``M_degr``. Exact equality on such floats flips verdicts on one-ulp
+error — ``violation_fraction == 0.0`` is the canonical bug this rule
+exists to keep out. Integer-literal comparisons are exact and remain
+allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar
+
+from repro.analysis.rules.base import Rule, register
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    # Cover ``-1.0`` / ``+0.5``: a unary sign around a float literal.
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.UAdd, ast.USub)
+    ):
+        return _is_float_literal(node.operand)
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    """Flags ``x == 0.0``-style comparisons on metric/threshold values."""
+
+    rule_id: ClassVar[str] = "ROP003"
+    name: ClassVar[str] = "no-float-equality"
+    description: ClassVar[str] = (
+        "metric and threshold comparisons must be tolerance-based; raw "
+        "==/!= against a float literal silently misfires on accumulated "
+        "rounding error."
+    )
+    hint: ClassVar[str] = (
+        "use repro.util.floats.isclose / is_zero / at_most with an "
+        "explicit tolerance"
+    )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            for side in (left, right):
+                if _is_float_literal(side):
+                    literal = ast.unparse(side)
+                    self.report(
+                        node,
+                        f"float equality against literal {literal} "
+                        "(use a tolerance)",
+                    )
+                    break
+        self.generic_visit(node)

@@ -1,0 +1,62 @@
+"""ROP006 — no mutable default arguments.
+
+A ``def f(acc=[])`` default is created once at function-definition time
+and shared across every call — state leaks between calls, and between
+*work units* when such a function is mapped over an executor. Defaults
+must be immutable; mutable ones are constructed inside the body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar
+
+from repro.analysis.rules.base import Rule, register
+
+#: Builtin constructors whose call-as-default is just as shared as a
+#: literal (``dict()`` default is one dict for every call).
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                         ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """Flags mutable default argument values."""
+
+    rule_id: ClassVar[str] = "ROP006"
+    name: ClassVar[str] = "no-mutable-default-arg"
+    description: ClassVar[str] = (
+        "default argument values are evaluated once and shared across "
+        "calls; mutable defaults leak state between calls and workers."
+    )
+    hint: ClassVar[str] = (
+        "default to None and construct the container in the body, or use "
+        "dataclasses.field(default_factory=...)"
+    )
+
+    def _check_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        defaults = [*node.args.defaults, *node.args.kw_defaults]
+        for default in defaults:
+            if default is not None and _is_mutable_default(default):
+                self.report(
+                    default,
+                    f"mutable default {ast.unparse(default)} in "
+                    f"{node.name}()",
+                )
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)

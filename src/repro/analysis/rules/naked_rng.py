@@ -1,0 +1,56 @@
+"""ROP001 — all randomness flows through :mod:`repro.util.rng`.
+
+Backend-independent determinism (serial vs process-pool runs producing
+bit-identical results) relies on every random stream being derived from
+one root seed in the driver process. A single
+``np.random.default_rng()`` or ``random.random()`` call elsewhere
+reintroduces nondeterminism that only shows up as occasional
+irreproducible experiment results.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar
+
+from repro.analysis.rules.base import ModuleContext, Rule, register
+
+#: The module that owns RNG construction — exempt by design.
+SANCTIONED_MODULE_SUFFIX = "repro/util/rng.py"
+
+#: Canonical call prefixes that construct or draw from naked RNG state.
+_BANNED_PREFIXES = ("random.", "numpy.random.")
+
+
+@register
+class NakedRngRule(Rule):
+    """Flags RNG construction/use outside ``repro/util/rng.py``."""
+
+    rule_id: ClassVar[str] = "ROP001"
+    name: ClassVar[str] = "no-naked-rng"
+    description: ClassVar[str] = (
+        "random.* and numpy.random.* calls are only allowed inside "
+        "repro/util/rng.py; everywhere else randomness must come from a "
+        "seeded generator passed in by the caller."
+    )
+    hint: ClassVar[str] = (
+        "derive a generator via repro.util.rng.derive_rng / "
+        "SeedSequenceFactory and thread it through as an argument"
+    )
+
+    @classmethod
+    def applies_to(cls, context: ModuleContext) -> bool:
+        return not context.posix_path().endswith(SANCTIONED_MODULE_SUFFIX)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.context.imports.resolve_imported(node.func)
+        if resolved is not None and self._is_banned(resolved):
+            self.report(
+                node,
+                f"naked RNG call {resolved}() outside repro/util/rng.py",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_banned(resolved: str) -> bool:
+        return any(resolved.startswith(prefix) for prefix in _BANNED_PREFIXES)

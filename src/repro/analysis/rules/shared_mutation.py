@@ -1,0 +1,155 @@
+"""ROP007 — engine work units never mutate their broadcast payload.
+
+The executor contract (:mod:`repro.engine.executor`) broadcasts the
+``shared`` payload once per worker process. Under the serial backend a
+mutation is visible to every later work unit; under the process pool it
+is visible only within one worker — the two backends diverge silently.
+Work units must treat the payload as immutable and communicate only
+through their return value.
+
+A *work unit* is detected as a module-level function that is either
+passed to an executor-ish ``.map(...)``/``submit(...)`` call in the
+same module, or follows the naming convention (``worker`` in the
+function name). Within one, the rule flags writes through the first
+parameter: attribute/subscript assignment, augmented assignment,
+``del``, and calls to known mutating methods.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule, dotted_name, register
+
+_SUBMIT_METHODS = frozenset({"map", "submit"})
+
+#: Method names that mutate common containers/objects in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "add",
+        "discard",
+        "setdefault",
+        "sort",
+        "reverse",
+        "fill",
+        "resize",
+        "put",
+    }
+)
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """The base ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+class _WorkerNameCollector(ast.NodeVisitor):
+    """Function names passed to ``*.map(...)``/``*.submit(...)`` calls."""
+
+    def __init__(self) -> None:
+        self.submitted: set[str] = set()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SUBMIT_METHODS
+            and dotted_name(node.func.value) is not None
+        ):
+            for arg in node.args:
+                if isinstance(arg, ast.Name):
+                    self.submitted.add(arg.id)
+        self.generic_visit(node)
+
+
+@register
+class SharedMutationRule(Rule):
+    """Flags mutation of the broadcast payload inside work units."""
+
+    rule_id: ClassVar[str] = "ROP007"
+    name: ClassVar[str] = "no-shared-payload-mutation"
+    description: ClassVar[str] = (
+        "executor work units must treat the broadcast shared payload as "
+        "immutable; in-place writes diverge between serial and "
+        "process-pool backends."
+    )
+    hint: ClassVar[str] = (
+        "return new values from the work unit and fold them in the "
+        "driver; keep the payload a frozen dataclass of plain data"
+    )
+
+    def check(self) -> list[Finding]:
+        collector = _WorkerNameCollector()
+        collector.visit(self.context.tree)
+        submitted = collector.submitted
+        for node in self.context.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            is_worker = "worker" in node.name.lower() or node.name in submitted
+            if is_worker:
+                self._check_worker(node)
+        return self.findings
+
+    def _check_worker(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        params = node.args.posonlyargs + node.args.args
+        if not params:
+            return
+        payload = params[0].arg
+        if payload in ("self", "cls"):
+            return
+        for statement in ast.walk(node):
+            self._check_statement(statement, payload, node.name)
+
+    def _check_statement(
+        self, node: ast.AST, payload: str, worker: str
+    ) -> None:
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, (ast.Attribute, ast.Subscript))
+                    and _root_name(target) == payload
+                ):
+                    self.report(
+                        node,
+                        f"work unit {worker}() writes through its shared "
+                        f"payload {payload!r}",
+                    )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if (
+                    isinstance(target, (ast.Attribute, ast.Subscript))
+                    and _root_name(target) == payload
+                ):
+                    self.report(
+                        node,
+                        f"work unit {worker}() deletes from its shared "
+                        f"payload {payload!r}",
+                    )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATING_METHODS
+                and _root_name(func.value) == payload
+            ):
+                self.report(
+                    node,
+                    f"work unit {worker}() calls mutating method "
+                    f".{func.attr}() on its shared payload {payload!r}",
+                )

@@ -1,0 +1,56 @@
+"""ROP002 — no wall-clock reads in library code.
+
+Experiment results must be a pure function of traces, seeds, and
+configuration. ``time.time()`` / ``datetime.now()`` in a compute path
+makes behaviour depend on when the run happened — and makes the serial
+and process-pool backends observably different. Timing measurement is
+the job of the engine's injectable clock
+(:class:`repro.engine.instrumentation.Instrumentation`), which tests
+replace with a deterministic counter.
+
+``time.perf_counter``/``time.monotonic`` *references* (e.g. as an
+injectable default) are allowed; it is the *call sites* scattered
+through compute code that this rule bans.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar
+
+from repro.analysis.rules.base import Rule, register
+
+#: Canonical callables that read the wall clock.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class WallClockRule(Rule):
+    """Flags direct wall-clock reads (``time.time()``, ``datetime.now()``)."""
+
+    rule_id: ClassVar[str] = "ROP002"
+    name: ClassVar[str] = "no-wall-clock"
+    description: ClassVar[str] = (
+        "library code must not read the wall clock; results have to be "
+        "reproducible functions of traces, seeds, and configuration."
+    )
+    hint: ClassVar[str] = (
+        "accept an injectable clock (see "
+        "repro.engine.instrumentation.Instrumentation(clock=...)) or take "
+        "timestamps as parameters"
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.context.imports.resolve_imported(node.func)
+        if resolved in _WALL_CLOCK_CALLS:
+            self.report(node, f"wall-clock read {resolved}() in library code")
+        self.generic_visit(node)

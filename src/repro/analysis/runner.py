@@ -1,0 +1,306 @@
+"""Analysis driver: file discovery, rule execution, suppression, CLI.
+
+``python -m repro.analysis src`` (or ``ropus lint``) walks the given
+paths, parses every ``.py`` file once, runs each enabled rule's visitor
+over the tree, then applies the two suppression layers:
+
+* inline ``# ropus: ignore`` / ``# ropus: ignore[ROP001]`` comments on
+  the flagged line;
+* the optional JSON baseline file (:mod:`repro.analysis.baseline`).
+
+Exit codes: ``0`` clean, ``1`` at least one error-severity finding,
+``2`` configuration/usage failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis import baseline as baseline_module
+from repro.analysis.config import (
+    DEFAULT_EXCLUDED_DIRS,
+    AnalysisConfig,
+    load_pyproject_table,
+    resolve_config,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules.base import ModuleContext, iter_rule_classes
+from repro.exceptions import ConfigurationError
+
+#: Inline suppression marker: ``# ropus: ignore`` silences every rule on
+#: the line; ``# ropus: ignore[ROP001,ROP003]`` silences the listed ids.
+_IGNORE_PATTERN = re.compile(
+    r"#\s*ropus:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Everything one run produced, before rendering."""
+
+    findings: tuple[Finding, ...]
+    suppressed_inline: int
+    suppressed_baseline: int
+    files_analyzed: int
+
+    @property
+    def error_count(self) -> int:
+        return sum(
+            1 for finding in self.findings if finding.severity is Severity.ERROR
+        )
+
+    @property
+    def clean(self) -> bool:
+        return self.error_count == 0
+
+
+def iter_python_files(
+    paths: Sequence[Path], config: AnalysisConfig
+) -> list[Path]:
+    """Every ``.py`` file under ``paths``, deterministic order."""
+    files: list[Path] = []
+    seen: set[Path] = set()
+    for path in paths:
+        if not path.exists():
+            raise ConfigurationError(f"no such path: {path}")
+        if path.is_file():
+            candidates = [path] if path.suffix == ".py" else []
+        else:
+            candidates = sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not (
+                    set(candidate.parts) & DEFAULT_EXCLUDED_DIRS
+                )
+            )
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen or config.path_excluded(candidate):
+                continue
+            seen.add(resolved)
+            files.append(candidate)
+    return files
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.resolve().as_posix()
+
+
+def _inline_suppressed(finding: Finding, source_lines: list[str]) -> bool:
+    if not 1 <= finding.line <= len(source_lines):
+        return False
+    match = _IGNORE_PATTERN.search(source_lines[finding.line - 1])
+    if match is None:
+        return False
+    rules = match.group("rules")
+    if rules is None:
+        return True
+    listed = {item.strip() for item in rules.split(",")}
+    return finding.rule in listed
+
+
+def analyze_file(
+    path: Path, config: AnalysisConfig
+) -> tuple[list[Finding], int]:
+    """Run every enabled rule over one file.
+
+    Returns ``(findings, inline_suppressed_count)``. A file that does
+    not parse yields a single ``ROP000`` syntax-error finding rather
+    than aborting the run.
+    """
+    display = _display_path(path)
+    source = path.read_text(encoding="utf-8")
+    source_lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return (
+            [
+                Finding(
+                    path=display,
+                    line=error.lineno or 1,
+                    column=(error.offset or 0) + 1,
+                    rule="ROP000",
+                    message=f"file does not parse: {error.msg}",
+                    hint="fix the syntax error; no rules were run",
+                )
+            ],
+            0,
+        )
+
+    context = ModuleContext(
+        path=path, display_path=display, tree=tree, source_lines=source_lines
+    )
+    raw: list[Finding] = []
+    for rule_class in iter_rule_classes():
+        if not config.rule_enabled(rule_class.rule_id):
+            continue
+        if not rule_class.applies_to(context):
+            continue
+        for finding in rule_class(context).check():
+            severity = config.severity_for(finding.rule, finding.severity)
+            if severity is not finding.severity:
+                finding = replace(finding, severity=severity)
+            raw.append(finding)
+
+    findings = [
+        finding
+        for finding in raw
+        if not _inline_suppressed(finding, source_lines)
+    ]
+    return findings, len(raw) - len(findings)
+
+
+def analyze_paths(
+    paths: Sequence[str | Path], config: AnalysisConfig | None = None
+) -> AnalysisResult:
+    """Analyze files/directories and apply every suppression layer."""
+    config = config if config is not None else AnalysisConfig()
+    files = iter_python_files([Path(path) for path in paths], config)
+    findings: list[Finding] = []
+    inline_suppressed = 0
+    for path in files:
+        file_findings, suppressed = analyze_file(path, config)
+        findings.extend(file_findings)
+        inline_suppressed += suppressed
+
+    baseline_suppressed = 0
+    if config.baseline is not None and config.baseline.exists():
+        fingerprints = baseline_module.load_baseline(config.baseline)
+        findings, baseline_suppressed = baseline_module.apply_baseline(
+            findings, fingerprints
+        )
+
+    return AnalysisResult(
+        findings=tuple(sorted(findings, key=Finding.sort_key)),
+        suppressed_inline=inline_suppressed,
+        suppressed_baseline=baseline_suppressed,
+        files_analyzed=len(files),
+    )
+
+
+def add_analysis_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the analyzer's options on ``parser``.
+
+    Shared between the standalone ``python -m repro.analysis`` parser
+    and the ``ropus lint`` subcommand so both speak the same flags.
+    """
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)",
+    )
+    parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", default=None,
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--exclude", action="append", default=[],
+        help="path substring to skip (repeatable)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="JSON baseline file of accepted findings",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record current findings into --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--no-config", action="store_true",
+        help="skip the [tool.repro-analysis] pyproject table",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every registered rule and exit",
+    )
+
+
+def build_parser(prog: str = "repro.analysis") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "AST-based invariant linter for the R-Opus pipeline "
+            "(determinism, pickle-safety, tolerance discipline)"
+        ),
+    )
+    add_analysis_arguments(parser)
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule_class in iter_rule_classes():
+        lines.append(
+            f"{rule_class.rule_id} {rule_class.name} "
+            f"[{rule_class.default_severity}]"
+        )
+        lines.append(f"    {rule_class.description}")
+    return "\n".join(lines) + "\n"
+
+
+def run_analysis_command(args: argparse.Namespace) -> int:
+    """Execute an already-parsed analyzer invocation."""
+    if args.list_rules:
+        sys.stdout.write(_list_rules())
+        return 0
+
+    try:
+        pyproject = (
+            {} if args.no_config else load_pyproject_table(Path(args.paths[0]))
+        )
+        config = resolve_config(
+            select=args.select,
+            ignore=args.ignore,
+            exclude=args.exclude,
+            baseline=args.baseline,
+            pyproject=pyproject,
+        )
+        if args.write_baseline:
+            if config.baseline is None:
+                raise ConfigurationError(
+                    "--write-baseline requires --baseline PATH"
+                )
+            # Record findings pre-baseline so the file is complete.
+            scan_config = replace(config, baseline=None)
+            result = analyze_paths(args.paths, scan_config)
+            count = baseline_module.write_baseline(
+                result.findings, config.baseline
+            )
+            sys.stdout.write(
+                f"wrote {count} suppression(s) to {config.baseline}\n"
+            )
+            return 0
+        result = analyze_paths(args.paths, config)
+    except ConfigurationError as error:
+        sys.stderr.write(f"repro.analysis: {error}\n")
+        return 2
+
+    suppressed = result.suppressed_baseline
+    if args.format == "json":
+        sys.stdout.write(render_json(result.findings, suppressed=suppressed))
+    else:
+        sys.stdout.write(render_text(result.findings, suppressed=suppressed))
+    return 0 if result.clean else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    return run_analysis_command(parser.parse_args(argv))

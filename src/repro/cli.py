@@ -16,6 +16,9 @@ Subcommands
     Screen an ensemble for trace-quality problems.
 ``outlook``
     Long-term capacity outlook: when does the pool run out?
+``lint``
+    Run the AST invariant linter (:mod:`repro.analysis`) over source
+    trees; same engine as ``python -m repro.analysis``.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.analysis.runner import add_analysis_arguments, run_analysis_command
 from repro.core.cos import PoolCommitments
 from repro.core.framework import ROpus
 from repro.core.qos import QoSPolicy, case_study_qos
@@ -252,6 +256,10 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0 if dirty == 0 else 1
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    return run_analysis_command(args)
+
+
 def cmd_outlook(args: argparse.Namespace) -> int:
     from repro.core.manager import CapacityManager
 
@@ -367,6 +375,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: fitted per workload)",
     )
     outlook.set_defaults(handler=cmd_outlook)
+
+    lint = subparsers.add_parser(
+        "lint", help="run the AST invariant linter over source trees"
+    )
+    add_analysis_arguments(lint)
+    lint.set_defaults(handler=cmd_lint)
 
     return parser
 

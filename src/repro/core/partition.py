@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import PartitionError
+from repro.util.floats import isclose
 from repro.util.validation import require_fraction, require_positive
 
 
@@ -43,9 +44,10 @@ def breakpoint_fraction(u_low: float, u_high: float, theta: float) -> float:
     if ratio <= theta:
         # CoS2's access probability alone keeps utilization acceptable.
         return 0.0
-    if theta == 1.0:
-        # ratio > theta is impossible when theta == 1 (ratio <= 1), so
-        # this branch is unreachable; kept for clarity.
+    if isclose(theta, 1.0):
+        # ratio > theta is (numerically) impossible at theta ~= 1
+        # (ratio <= 1); guarding here also keeps the 1 - theta divisor
+        # below from blowing up on a theta within rounding of 1.
         return 0.0
     p = (ratio - theta) / (1.0 - theta)
     # Clamp tiny floating-point excursions.
@@ -110,7 +112,7 @@ def worst_case_granted_allocation(
     classification in the ``T_degr`` analysis is computed against
     (formula 8 of the paper).
     """
-    theta = require_fraction(theta, "theta") if theta != 1.0 else 1.0
+    theta = 1.0 if isclose(theta, 1.0) else require_fraction(theta, "theta")
     u_low = require_positive(u_low, "u_low")
     cos1 = np.asarray(cos1_demand, dtype=float)
     cos2 = np.asarray(cos2_demand, dtype=float)

@@ -55,3 +55,13 @@ class SimulationError(ROpusError):
 
 class ConfigurationError(ROpusError):
     """A component was configured with invalid parameters."""
+
+
+class InvariantError(ROpusError):
+    """An internal invariant the library relies on was violated.
+
+    Used where a bare ``assert`` would be wrong: asserts are stripped
+    under ``python -O``, so invariants that must hold in production are
+    checked with an explicit raise (enforced by the ``no-bare-assert``
+    rule of :mod:`repro.analysis`).
+    """

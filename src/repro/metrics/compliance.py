@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.qos import ApplicationQoS
 from repro.exceptions import TraceError
+from repro.util.floats import METRIC_ATOL, at_most, is_zero
 from repro.traces.calendar import TraceCalendar
 from repro.traces.ops import longest_run_above
 from repro.traces.trace import DemandTrace
@@ -81,7 +82,7 @@ def check_compliance(
     active = demand.values > 0
     degraded_mask = (utilization > qos.u_high) & active
     ceiling = qos.u_degr if qos.u_degr is not None else qos.u_high
-    violation_mask = (utilization > ceiling + 1e-9) & active
+    violation_mask = (utilization > ceiling + METRIC_ATOL) & active
 
     degraded_fraction = float(np.count_nonzero(degraded_mask)) / n if n else 0.0
     violation_fraction = float(np.count_nonzero(violation_mask)) / n if n else 0.0
@@ -91,12 +92,12 @@ def check_compliance(
     run_minutes = run_slots * calendar.slot_minutes
 
     budget = qos.m_degr_percent / 100.0
-    meets_band_budget = degraded_fraction <= budget + 1e-12
-    meets_ceiling = violation_fraction == 0.0
+    meets_band_budget = at_most(degraded_fraction, budget)
+    meets_ceiling = is_zero(violation_fraction)
     if qos.t_degr_minutes is None:
         meets_time_limit = True
     else:
-        meets_time_limit = run_minutes <= qos.t_degr_minutes + 1e-9
+        meets_time_limit = at_most(run_minutes, qos.t_degr_minutes)
 
     return ComplianceReport(
         workload=demand.name,

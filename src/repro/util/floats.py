@@ -1,0 +1,62 @@
+"""Tolerance-aware float comparisons shared by the metrics and core layers.
+
+Thresholds throughout the pipeline (``U_high``, ``M_degr`` budgets,
+``theta`` commitments, measured fractions) are accumulated floats, so
+raw ``==``/``!=`` against them is fragile: a fraction assembled from
+8064 five-minute slots can miss ``0.0`` by one ulp and silently flip a
+compliance verdict. Every metric-style comparison routes through these
+helpers instead; the ``no-float-equality`` rule of
+:mod:`repro.analysis` enforces that convention statically.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Absolute tolerance for metric/threshold comparisons. Measured
+#: fractions are multiples of ``1/n`` with ``n`` in the thousands, so
+#: ``1e-9`` is far below the smallest meaningful difference while
+#: absorbing accumulated rounding error.
+METRIC_ATOL: float = 1e-9
+
+
+def isclose(a: float, b: float, *, atol: float = METRIC_ATOL) -> bool:
+    """True when ``a`` and ``b`` differ by at most ``atol``.
+
+    Absolute (not relative) tolerance: the quantities compared here are
+    fractions, probabilities, and utilizations of order one, where an
+    absolute epsilon is the meaningful notion of "equal".
+
+    >>> isclose(0.1 + 0.2, 0.3)
+    True
+    >>> isclose(0.3, 0.31)
+    False
+    """
+    return math.isclose(a, b, rel_tol=0.0, abs_tol=atol)
+
+
+def is_zero(value: float, *, atol: float = METRIC_ATOL) -> bool:
+    """True when ``value`` is zero up to ``atol``.
+
+    >>> is_zero(0.0)
+    True
+    >>> is_zero(1e-12)
+    True
+    >>> is_zero(0.001)
+    False
+    """
+    return abs(value) <= atol
+
+
+def at_most(value: float, limit: float, *, atol: float = METRIC_ATOL) -> bool:
+    """True when ``value <= limit`` up to ``atol`` of slack.
+
+    The standard shape of every budget clause in the paper's formulas
+    (degraded fraction vs ``M_degr``, run minutes vs ``T_degr``).
+
+    >>> at_most(0.03 + 1e-12, 0.03)
+    True
+    >>> at_most(0.031, 0.03)
+    False
+    """
+    return value <= limit + atol

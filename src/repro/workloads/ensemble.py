@@ -19,6 +19,7 @@ two hundred 1-CPU units, consolidated onto a handful of 16-way servers.
 
 from __future__ import annotations
 
+from repro.exceptions import InvariantError
 from repro.traces.calendar import TraceCalendar
 from repro.traces.trace import DemandTrace
 from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
@@ -129,7 +130,13 @@ def case_study_specs() -> list[WorkloadSpec]:
             )
         )
 
-    assert len(specs) == CASE_STUDY_APP_COUNT
+    if len(specs) != CASE_STUDY_APP_COUNT:
+        # Not an assert: the Table I reproduction depends on exactly 26
+        # applications, and asserts are stripped under ``python -O``.
+        raise InvariantError(
+            f"case_study_specs built {len(specs)} specs, expected "
+            f"{CASE_STUDY_APP_COUNT}"
+        )
     return specs
 
 

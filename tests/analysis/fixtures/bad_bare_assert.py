@@ -1,0 +1,6 @@
+"""ROP005 fixture: runtime invariant guarded by a bare assert."""
+
+
+def ensure_positive(value):
+    assert value > 0
+    return value

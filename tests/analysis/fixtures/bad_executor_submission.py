@@ -1,0 +1,12 @@
+"""ROP004 fixture: unpicklable work units handed to an executor."""
+
+
+def fan_out_lambda(executor, items):
+    return executor.map(lambda shared, item: item, items)
+
+
+def fan_out_closure(session, items):
+    def work(shared, item):
+        return item
+
+    return session.map(work, items)

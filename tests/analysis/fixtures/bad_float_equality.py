@@ -1,0 +1,13 @@
+"""ROP003 fixture: exact equality against float literals."""
+
+
+def meets_ceiling(violation_fraction):
+    return violation_fraction == 0.0
+
+
+def is_hard_guarantee(theta):
+    return 1.0 == theta
+
+
+def differs(value):
+    return value != -2.5

@@ -1,0 +1,11 @@
+"""ROP006 fixture: mutable default arguments."""
+
+
+def collect(item, acc=[]):
+    acc.append(item)
+    return acc
+
+
+def tally(item, counts=dict()):
+    counts[item] = counts.get(item, 0) + 1
+    return counts

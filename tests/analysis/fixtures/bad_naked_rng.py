@@ -1,0 +1,13 @@
+"""ROP001 fixture: draws randomness outside repro/util/rng.py."""
+
+import random
+
+import numpy as np
+
+
+def jitter(scale):
+    return random.random() * scale
+
+
+def make_generator(seed):
+    return np.random.default_rng(seed)

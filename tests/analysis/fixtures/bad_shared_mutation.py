@@ -1,0 +1,7 @@
+"""ROP007 fixture: a work unit mutating its broadcast payload."""
+
+
+def tally_worker(shared, item):
+    shared["seen"] += 1
+    shared.results.append(item)
+    return item

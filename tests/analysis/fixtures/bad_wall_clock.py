@@ -1,0 +1,12 @@
+"""ROP002 fixture: reads the wall clock in library-style code."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()
+
+
+def today():
+    return datetime.now()

@@ -1,0 +1,9 @@
+"""ROP005 negative fixture: invariants raise a library error."""
+
+from repro.exceptions import InvariantError
+
+
+def ensure_positive(value):
+    if value <= 0:
+        raise InvariantError(f"value must be positive, got {value}")
+    return value

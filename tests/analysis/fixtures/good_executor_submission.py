@@ -1,0 +1,14 @@
+"""ROP004 negative fixture: module-level work unit; lambdas stay local."""
+
+
+def work(shared, item):
+    return item
+
+
+def fan_out(executor, items):
+    return executor.map(work, items)
+
+
+def rank(items):
+    # Sort-key lambdas never leave the driver process.
+    return sorted(items, key=lambda item: item[1])

@@ -1,0 +1,16 @@
+"""ROP003 negative fixture: tolerance helpers and exact int equality."""
+
+from repro.util.floats import is_zero, isclose
+
+
+def meets_ceiling(violation_fraction):
+    return is_zero(violation_fraction)
+
+
+def is_hard_guarantee(theta):
+    return isclose(theta, 1.0)
+
+
+def exactly_empty(count):
+    # Integer equality is exact and allowed.
+    return count == 0

@@ -1,0 +1,8 @@
+"""ROP006 negative fixture: None default, container built per call."""
+
+
+def collect(item, acc=None):
+    if acc is None:
+        acc = []
+    acc.append(item)
+    return acc

@@ -1,0 +1,10 @@
+"""ROP001 negative fixture: randomness arrives as a seeded generator."""
+
+from repro.util.rng import derive_rng
+
+
+def jitter(seed, scale):
+    rng = derive_rng(seed)
+    # Drawing from a passed-in generator is the sanctioned pattern; the
+    # local name ``rng`` must not be mistaken for the random module.
+    return rng.random() * scale

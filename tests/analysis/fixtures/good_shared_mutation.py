@@ -1,0 +1,8 @@
+"""ROP007 negative fixture: the payload is read; results are returned."""
+
+
+def tally_worker(shared, item):
+    limit = shared["limit"]
+    local = dict(shared)
+    local["seen"] = item
+    return (item, limit, local)

@@ -1,0 +1,9 @@
+"""ROP002 negative fixture: time is injected, never read directly."""
+
+import time
+
+
+def stamp(clock=time.perf_counter):
+    # Referencing a clock as an injectable default is fine; only call
+    # sites that read the wall clock directly are banned.
+    return clock()

@@ -1,0 +1,93 @@
+"""Baseline workflow: record findings once, fail only on new ones."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    AnalysisConfig,
+    analyze_paths,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.runner import main
+from repro.exceptions import ConfigurationError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestBaselineApi:
+    def test_baseline_suppresses_recorded_findings(self, tmp_path):
+        target = FIXTURES / "bad_float_equality.py"
+        initial = analyze_paths([target])
+        assert initial.findings
+
+        baseline_path = tmp_path / "baseline.json"
+        count = write_baseline(initial.findings, baseline_path)
+        assert count == len(initial.findings)
+
+        rerun = analyze_paths(
+            [target], AnalysisConfig(baseline=baseline_path)
+        )
+        assert rerun.findings == ()
+        assert rerun.suppressed_baseline == count
+        assert rerun.clean
+
+    def test_new_findings_survive_baseline(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(
+            analyze_paths([FIXTURES / "bad_float_equality.py"]).findings,
+            baseline_path,
+        )
+        # A different file's findings are not in the baseline.
+        result = analyze_paths(
+            [FIXTURES / "bad_bare_assert.py"],
+            AnalysisConfig(baseline=baseline_path),
+        )
+        assert result.findings
+        assert not result.clean
+
+    def test_round_trip_through_loader(self, tmp_path):
+        findings = analyze_paths([FIXTURES / "bad_naked_rng.py"]).findings
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(findings, baseline_path)
+        fingerprints = load_baseline(baseline_path)
+        assert fingerprints == {
+            finding.fingerprint() for finding in findings
+        }
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{'nope")
+        with pytest.raises(ConfigurationError):
+            load_baseline(path)
+
+
+class TestBaselineCli:
+    def test_write_then_enforce(self, tmp_path, capsys):
+        target = str(FIXTURES / "bad_mutable_default.py")
+        baseline_path = tmp_path / "baseline.json"
+
+        code = main(
+            [
+                target,
+                "--baseline",
+                str(baseline_path),
+                "--write-baseline",
+                "--no-config",
+            ]
+        )
+        assert code == 0
+        assert baseline_path.exists()
+        assert "wrote" in capsys.readouterr().out
+
+        code = main(
+            [target, "--baseline", str(baseline_path), "--no-config"]
+        )
+        assert code == 0
+
+    def test_write_baseline_requires_path(self, capsys):
+        target = str(FIXTURES / "bad_mutable_default.py")
+        assert main([target, "--write-baseline", "--no-config"]) == 2

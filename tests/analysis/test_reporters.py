@@ -1,0 +1,73 @@
+"""Reporter contracts: JSON round-trips, text stays human-readable."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths, parse_json, render_json, render_text
+from repro.analysis.findings import Finding, Severity
+from repro.exceptions import ConfigurationError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _sample_findings() -> list[Finding]:
+    result = analyze_paths([FIXTURES / "bad_float_equality.py"])
+    assert result.findings
+    return list(result.findings)
+
+
+class TestJsonReporter:
+    def test_round_trip_preserves_findings(self):
+        findings = _sample_findings()
+        assert parse_json(render_json(findings)) == findings
+
+    def test_round_trip_of_hand_built_finding(self):
+        finding = Finding(
+            path="src/x.py",
+            line=3,
+            column=7,
+            rule="ROP999",
+            message="synthetic",
+            hint="none",
+            severity=Severity.WARNING,
+        )
+        (recovered,) = parse_json(render_json([finding]))
+        assert recovered == finding
+        assert recovered.severity is Severity.WARNING
+
+    def test_suppressed_count_serialized(self):
+        import json
+
+        payload = json.loads(render_json([], suppressed=4))
+        assert payload["suppressed"] == 4
+        assert payload["findings"] == []
+
+    def test_rejects_malformed_text(self):
+        with pytest.raises(ConfigurationError):
+            parse_json("not json at all")
+
+    def test_rejects_unknown_version(self):
+        with pytest.raises(ConfigurationError):
+            parse_json('{"version": 99, "findings": []}')
+
+
+class TestTextReporter:
+    def test_lists_location_rule_and_hint(self):
+        findings = _sample_findings()
+        text = render_text(findings)
+        first = findings[0]
+        assert first.location in text
+        assert first.rule in text
+        assert "hint:" in text
+
+    def test_clean_report(self):
+        assert "clean" in render_text([])
+
+    def test_summary_counts(self):
+        findings = _sample_findings()
+        text = render_text(findings, suppressed=2)
+        assert f"{len(findings)} error(s)" in text
+        assert "2 baseline-suppressed" in text

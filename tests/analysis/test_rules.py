@@ -1,0 +1,82 @@
+"""Per-rule positive/negative coverage against the fixture files.
+
+Every rule must fire on its ``bad_*`` fixture and stay silent on its
+``good_*`` fixture; the good fixtures double as regression tests for
+the false-positive traps each rule deliberately avoids (local names
+shadowing modules, sort-key lambdas, injectable clock defaults, ...).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths, registered_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+RULE_FIXTURES = [
+    ("ROP001", "bad_naked_rng.py", "good_naked_rng.py"),
+    ("ROP002", "bad_wall_clock.py", "good_wall_clock.py"),
+    ("ROP003", "bad_float_equality.py", "good_float_equality.py"),
+    ("ROP004", "bad_executor_submission.py", "good_executor_submission.py"),
+    ("ROP005", "bad_bare_assert.py", "good_bare_assert.py"),
+    ("ROP006", "bad_mutable_default.py", "good_mutable_default.py"),
+    ("ROP007", "bad_shared_mutation.py", "good_shared_mutation.py"),
+]
+
+
+class TestRegistry:
+    def test_every_domain_rule_registered(self):
+        ids = set(registered_rules())
+        assert {case[0] for case in RULE_FIXTURES} <= ids
+
+    def test_rules_carry_metadata(self):
+        for rule_id, rule_class in registered_rules().items():
+            assert rule_class.rule_id == rule_id
+            assert rule_class.name
+            assert rule_class.description
+            assert rule_class.hint
+
+
+@pytest.mark.parametrize(
+    "rule_id,bad_fixture,good_fixture", RULE_FIXTURES
+)
+class TestRuleFixtures:
+    def test_bad_fixture_is_flagged(self, rule_id, bad_fixture, good_fixture):
+        result = analyze_paths([FIXTURES / bad_fixture])
+        fired = {finding.rule for finding in result.findings}
+        assert rule_id in fired
+        assert not result.clean
+
+    def test_good_fixture_is_clean(self, rule_id, bad_fixture, good_fixture):
+        result = analyze_paths([FIXTURES / good_fixture])
+        assert result.findings == ()
+        assert result.clean
+
+    def test_findings_carry_location_and_hint(
+        self, rule_id, bad_fixture, good_fixture
+    ):
+        result = analyze_paths([FIXTURES / bad_fixture])
+        for finding in result.findings:
+            assert finding.line >= 1
+            assert finding.column >= 1
+            assert bad_fixture in finding.path
+            assert finding.hint
+
+
+class TestSpecificDetections:
+    def test_lambda_and_closure_both_flagged(self):
+        result = analyze_paths([FIXTURES / "bad_executor_submission.py"])
+        messages = [finding.message for finding in result.findings]
+        assert any("lambda" in message for message in messages)
+        assert any("nested function" in message for message in messages)
+
+    def test_both_mutation_forms_flagged(self):
+        result = analyze_paths([FIXTURES / "bad_shared_mutation.py"])
+        assert len(result.findings) == 2
+
+    def test_float_equality_counts_each_comparison(self):
+        result = analyze_paths([FIXTURES / "bad_float_equality.py"])
+        assert len(result.findings) == 3

@@ -1,0 +1,159 @@
+"""Runner behaviour: tree walking, suppression layers, exit codes."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.analysis import AnalysisConfig, analyze_paths, resolve_config
+from repro.analysis.findings import Severity
+from repro.analysis.runner import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestShippedTreeClean:
+    def test_src_tree_has_no_findings(self):
+        """The invariants hold over the library we actually ship."""
+        package_dir = Path(repro.__file__).parent
+        result = analyze_paths([package_dir])
+        assert result.findings == (), [
+            finding.location + " " + finding.rule
+            for finding in result.findings
+        ]
+        assert result.files_analyzed > 50
+
+    def test_fixture_directory_is_dirty(self):
+        """Sanity check: the analyzer is not trivially green."""
+        result = analyze_paths([FIXTURES])
+        fired = {finding.rule for finding in result.findings}
+        assert len(fired) >= 7
+
+
+class TestInlineSuppression:
+    def test_scoped_ignore_silences_one_rule(self, tmp_path):
+        path = tmp_path / "module.py"
+        path.write_text(
+            "def check(x):\n"
+            "    return x == 0.0  # ropus: ignore[ROP003]\n"
+        )
+        result = analyze_paths([path])
+        assert result.findings == ()
+        assert result.suppressed_inline == 1
+
+    def test_scoped_ignore_keeps_other_rules(self, tmp_path):
+        path = tmp_path / "module.py"
+        path.write_text(
+            "def check(x):\n"
+            "    assert x == 0.0  # ropus: ignore[ROP003]\n"
+        )
+        result = analyze_paths([path])
+        assert {finding.rule for finding in result.findings} == {"ROP005"}
+        assert result.suppressed_inline == 1
+
+    def test_unscoped_ignore_silences_everything_on_line(self, tmp_path):
+        path = tmp_path / "module.py"
+        path.write_text(
+            "def check(x):\n"
+            "    assert x == 0.0  # ropus: ignore\n"
+        )
+        result = analyze_paths([path])
+        assert result.findings == ()
+        assert result.suppressed_inline == 2
+
+
+class TestConfig:
+    def test_select_restricts_rules(self):
+        config = AnalysisConfig(select=frozenset({"ROP001"}))
+        result = analyze_paths([FIXTURES / "bad_float_equality.py"], config)
+        assert result.findings == ()
+
+    def test_ignore_drops_rules(self):
+        config = AnalysisConfig(ignore=frozenset({"ROP003"}))
+        result = analyze_paths([FIXTURES / "bad_float_equality.py"], config)
+        assert result.findings == ()
+
+    def test_exclude_skips_paths(self):
+        config = AnalysisConfig(exclude=("fixtures",))
+        result = analyze_paths([FIXTURES], config)
+        assert result.files_analyzed == 0
+
+    def test_severity_override_downgrades_to_warning(self):
+        config = resolve_config(
+            pyproject={"severity": {"ROP003": "warning"}}
+        )
+        result = analyze_paths([FIXTURES / "bad_float_equality.py"], config)
+        assert result.findings
+        assert all(
+            finding.severity is Severity.WARNING
+            for finding in result.findings
+        )
+        assert result.clean  # warnings do not fail the run
+
+    def test_pyproject_table_flows_into_config(self):
+        config = resolve_config(
+            pyproject={"select": "ROP001,ROP002", "exclude": ["fixtures"]}
+        )
+        assert config.select == frozenset({"ROP001", "ROP002"})
+        assert config.exclude == ("fixtures",)
+
+
+class TestSyntaxErrors:
+    def test_unparsable_file_reports_rop000(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def broken(:\n")
+        result = analyze_paths([path])
+        assert [finding.rule for finding in result.findings] == ["ROP000"]
+        assert not result.clean
+
+
+class TestExitCodes:
+    def test_main_clean_returns_zero(self):
+        assert main([str(FIXTURES / "good_naked_rng.py"), "--no-config"]) == 0
+
+    def test_main_findings_return_one(self, capsys):
+        code = main([str(FIXTURES / "bad_naked_rng.py"), "--no-config"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "ROP001" in out
+
+    def test_main_missing_path_returns_two(self, capsys):
+        assert main(["definitely/not/a/path.py"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("ROP001", "ROP004", "ROP007"):
+            assert rule_id in out
+
+    def test_module_entry_point(self):
+        """``python -m repro.analysis`` is the CI gate — must exit 0/1."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        clean = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "src"],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert clean.returncode == 0, clean.stdout + clean.stderr
+        dirty = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.analysis",
+                str(FIXTURES / "bad_bare_assert.py"),
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert dirty.returncode == 1, dirty.stdout + dirty.stderr

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -155,3 +157,41 @@ class TestPlan:
         out = capsys.readouterr().out
         assert "servers_used" in out
         assert "sharing_savings" in out
+
+
+class TestLint:
+    FIXTURES = Path(__file__).parent / "analysis" / "fixtures"
+
+    def test_lint_clean_fixture(self, capsys):
+        code = main(
+            ["lint", str(self.FIXTURES / "good_naked_rng.py"), "--no-config"]
+        )
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_dirty_fixture(self, capsys):
+        code = main(
+            ["lint", str(self.FIXTURES / "bad_naked_rng.py"), "--no-config"]
+        )
+        assert code == 1
+        assert "ROP001" in capsys.readouterr().out
+
+    def test_lint_json_format(self, capsys):
+        import json
+
+        code = main(
+            [
+                "lint",
+                str(self.FIXTURES / "bad_wall_clock.py"),
+                "--no-config",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["rule"] for entry in payload["findings"]} == {"ROP002"}
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        assert "ROP007" in capsys.readouterr().out

@@ -10,6 +10,7 @@ import importlib
 import pytest
 
 MODULES_WITH_DOCTESTS = [
+    "repro.analysis.rules.base",
     "repro.core.partition",
     "repro.core.degradation",
     "repro.core.qos",
@@ -20,6 +21,7 @@ MODULES_WITH_DOCTESTS = [
     "repro.resources.workload_manager",
     "repro.traces.calendar",
     "repro.traces.ops",
+    "repro.util.floats",
     "repro.util.rng",
     "repro.util.tables",
     "repro.workloads.generator",
