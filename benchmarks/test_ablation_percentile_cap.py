@@ -10,7 +10,6 @@ keeping a comparable capacity saving.
 """
 
 import numpy as np
-import pytest
 
 from repro.baselines.percentile_cap import degraded_run_profile
 from repro.core.cos import PoolCommitments

@@ -23,6 +23,7 @@ from repro import (
     case_study_qos,
     homogeneous_servers,
 )
+from repro.exceptions import InvariantError
 
 
 def main() -> None:
@@ -54,11 +55,17 @@ def main() -> None:
     )
 
     report = plan.failure_report
-    assert report is not None
+    if report is None:
+        raise InvariantError(
+            "plan(relax_all_on_failure=True) must attach a failure report"
+        )
     print("Single-failure what-ifs (relaxed failure-mode QoS):")
     for case in report.cases:
         if case.feasible:
-            assert case.result is not None
+            if case.result is None:
+                raise InvariantError(
+                    f"feasible case {case.failed_server} carries no result"
+                )
             print(
                 f"  lose {case.failed_server}: OK on "
                 f"{case.servers_used} surviving servers "

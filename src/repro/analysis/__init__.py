@@ -6,11 +6,15 @@ that survive ``python -O`` — cannot be expressed in tests alone, so
 this package enforces it at review time with a custom AST linter:
 
 * :mod:`repro.analysis.rules` — one :class:`Rule` per invariant
-  (ROP001-ROP007), registered in a global registry;
+  (ROP001-ROP011), registered in a global registry;
+* :mod:`repro.analysis.dataflow` — the intraprocedural abstract
+  interpreter (CFG, intervals, units) behind the flow-sensitive rules
+  ROP008-ROP010;
 * :mod:`repro.analysis.runner` — file walking, rule execution, inline
   ``# ropus: ignore`` handling, exit codes;
 * :mod:`repro.analysis.baseline` — adopt-now-fix-later suppression;
-* :mod:`repro.analysis.reporters` — text and round-trippable JSON.
+* :mod:`repro.analysis.reporters` — text, round-trippable JSON, and
+  SARIF 2.1.0 for code-scanning upload.
 
 Run it as ``python -m repro.analysis src`` or ``ropus lint``.
 """
@@ -23,6 +27,7 @@ from repro.analysis.reporters import (
     finding_to_dict,
     parse_json,
     render_json,
+    render_sarif,
     render_text,
 )
 from repro.analysis.rules import (
@@ -58,6 +63,7 @@ __all__ = [
     "register",
     "registered_rules",
     "render_json",
+    "render_sarif",
     "render_text",
     "resolve_config",
     "write_baseline",

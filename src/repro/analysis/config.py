@@ -69,6 +69,25 @@ def _parse_rule_list(value: Any, option: str) -> frozenset[str]:
     return frozenset(str(item) for item in value)
 
 
+def _validate_rule_ids(ids: frozenset[str], option: str) -> None:
+    """Reject ids no registered rule answers to.
+
+    A typo in ``--select`` would otherwise silently run *zero* rules
+    (or, in ``--ignore``, suppress nothing) — the worst possible
+    failure mode for a linter gate.
+    """
+    # Imported here: the registry fills in when the rules package runs,
+    # and config must stay importable before that happens.
+    from repro.analysis.rules import registered_rules
+
+    unknown = sorted(ids - set(registered_rules()))
+    if unknown:
+        raise ConfigurationError(
+            f"{option} names unknown rule id(s): {', '.join(unknown)} "
+            "(see --list-rules)"
+        )
+
+
 def load_pyproject_table(start: Path) -> dict[str, Any]:
     """The ``[tool.repro-analysis]`` table nearest ``start``, or ``{}``."""
     if tomllib is None:
@@ -120,9 +139,18 @@ def resolve_config(
                 f"unknown severity {name!r} for rule {rule_id}"
             ) from error
 
+    selected = _parse_rule_list(select, "select") if select is not None else None
+    ignored = (
+        _parse_rule_list(ignore, "ignore") if ignore is not None else frozenset()
+    )
+    if selected is not None:
+        _validate_rule_ids(selected, "select")
+    if ignored:
+        _validate_rule_ids(ignored, "ignore")
+
     return AnalysisConfig(
-        select=_parse_rule_list(select, "select") if select is not None else None,
-        ignore=_parse_rule_list(ignore, "ignore") if ignore is not None else frozenset(),
+        select=selected,
+        ignore=ignored,
         exclude=tuple(exclude or ()),
         baseline=Path(baseline) if baseline is not None else None,
         severity_overrides=overrides,

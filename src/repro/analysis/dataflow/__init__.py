@@ -1,0 +1,50 @@
+"""Flow-sensitive unit/interval analysis underpinning ROP008–ROP010.
+
+The per-node rules of :mod:`repro.analysis.rules` see one AST node at a
+time; the unit-discipline rules need to know what *value* reaches each
+expression. This package supplies that:
+
+* :mod:`~repro.analysis.dataflow.cfg` — per-function control-flow
+  graphs (basic blocks, guarded edges, loop back-edges);
+* :mod:`~repro.analysis.dataflow.domain` — the abstract domain: an
+  interval lattice paired with a :class:`repro.units.Unit` tag and the
+  reaching-definition lines that produced the value;
+* :mod:`~repro.analysis.dataflow.signatures` — unit knowledge: marker
+  annotations, validation-helper contracts, known repro call
+  signatures, and paper-symbol attribute conventions;
+* :mod:`~repro.analysis.dataflow.interp` — the abstract interpreter: a
+  worklist fixpoint over the CFG whose transfer functions evaluate
+  expressions in the domain and emit :class:`Diagnostic` events for
+  unit confusion, provable interval violations, and unconverted
+  returns.
+
+Rules call :func:`analyze_module` — results are computed once per
+module and shared across every dataflow rule via a cache on the
+:class:`~repro.analysis.rules.base.ModuleContext`.
+"""
+
+from repro.analysis.dataflow.cfg import BasicBlock, ControlFlowGraph, build_cfg
+from repro.analysis.dataflow.domain import (
+    AbstractValue,
+    Environment,
+    Interval,
+)
+from repro.analysis.dataflow.interp import (
+    Diagnostic,
+    FunctionAnalysis,
+    ModuleAnalysis,
+    analyze_module,
+)
+
+__all__ = [
+    "AbstractValue",
+    "BasicBlock",
+    "ControlFlowGraph",
+    "Diagnostic",
+    "Environment",
+    "FunctionAnalysis",
+    "Interval",
+    "ModuleAnalysis",
+    "analyze_module",
+    "build_cfg",
+]

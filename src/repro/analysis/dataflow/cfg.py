@@ -1,0 +1,253 @@
+"""Per-function control-flow graphs for the abstract interpreter.
+
+One :class:`ControlFlowGraph` is built per ``def``. Blocks hold simple
+statements only; branching constructs (``if``/``while``/``for``) end a
+block and contribute *guarded edges* — the edge records the test
+expression and which boolean outcome takes it, so the interpreter can
+refine intervals along each branch (``if theta > 0:`` narrows
+``theta`` on the true edge).
+
+Constructs the interpreter cannot usefully model are handled
+conservatively rather than rejected: ``try`` bodies flow into their
+handlers with no guard, ``with`` bodies are inlined, ``match`` arms
+become unguarded alternatives. Nested function/class definitions are
+opaque single statements (the analysis is intraprocedural; inner defs
+get their own CFGs).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Edge:
+    """A directed edge, optionally guarded by a branch condition."""
+
+    source: int
+    target: int
+    guard: ast.expr | None = None
+    guard_value: bool = True
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of simple statements."""
+
+    index: int
+    statements: list[ast.stmt] = field(default_factory=list)
+
+
+@dataclass
+class ControlFlowGraph:
+    """Blocks plus guarded edges; block 0 is the unique entry."""
+
+    blocks: list[BasicBlock] = field(default_factory=list)
+    edges: list[Edge] = field(default_factory=list)
+
+    def new_block(self) -> BasicBlock:
+        block = BasicBlock(index=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def connect(
+        self,
+        source: BasicBlock,
+        target: BasicBlock,
+        guard: ast.expr | None = None,
+        guard_value: bool = True,
+    ) -> None:
+        self.edges.append(Edge(source.index, target.index, guard, guard_value))
+
+    def predecessors(self, index: int) -> list[Edge]:
+        return [edge for edge in self.edges if edge.target == index]
+
+    def successors(self, index: int) -> list[Edge]:
+        return [edge for edge in self.edges if edge.source == index]
+
+
+#: Statements that end a block with no fall-through successor.
+_TERMINATORS = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+#: ``try`` statement types; ``ast.TryStar`` exists on 3.11+ only.
+_TRY_TYPES: tuple[type, ...] = tuple(
+    t
+    for t in (ast.Try, getattr(ast, "TryStar", None))
+    if isinstance(t, type)
+)
+
+
+class _Builder:
+    """Recursive-descent CFG construction with loop/exit bookkeeping."""
+
+    def __init__(self) -> None:
+        self.cfg = ControlFlowGraph()
+        # (loop_head, loop_exit) stack for break/continue targets.
+        self._loops: list[tuple[BasicBlock, BasicBlock]] = []
+
+    def build(self, body: list[ast.stmt]) -> ControlFlowGraph:
+        entry = self.cfg.new_block()
+        self._sequence(body, entry)
+        return self.cfg
+
+    def _sequence(
+        self, statements: list[ast.stmt], current: BasicBlock
+    ) -> BasicBlock | None:
+        """Append ``statements`` starting in ``current``.
+
+        Returns the live fall-through block, or ``None`` when every
+        path through the statements terminates (return/raise/...).
+        """
+        block: BasicBlock | None = current
+        for statement in statements:
+            if block is None:
+                # Unreachable code after a terminator: give it its own
+                # disconnected block so rules still see the nodes.
+                block = self.cfg.new_block()
+            block = self._statement(statement, block)
+        return block
+
+    def _statement(
+        self, statement: ast.stmt, block: BasicBlock
+    ) -> BasicBlock | None:
+        if isinstance(statement, ast.If):
+            return self._if(statement, block)
+        if isinstance(statement, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(statement, block)
+        if isinstance(statement, _TRY_TYPES):
+            return self._try(statement, block)
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            block.statements.append(statement)
+            return self._sequence(statement.body, block)
+        if isinstance(statement, ast.Match):
+            return self._match(statement, block)
+
+        block.statements.append(statement)
+        if isinstance(statement, _TERMINATORS):
+            if isinstance(statement, ast.Break) and self._loops:
+                self.cfg.connect(block, self._loops[-1][1])
+            elif isinstance(statement, ast.Continue) and self._loops:
+                self.cfg.connect(block, self._loops[-1][0])
+            return None
+        return block
+
+    def _if(self, statement: ast.If, block: BasicBlock) -> BasicBlock | None:
+        then_entry = self.cfg.new_block()
+        self.cfg.connect(block, then_entry, statement.test, True)
+        then_exit = self._sequence(statement.body, then_entry)
+
+        if statement.orelse:
+            else_entry = self.cfg.new_block()
+            self.cfg.connect(block, else_entry, statement.test, False)
+            else_exit = self._sequence(statement.orelse, else_entry)
+        else:
+            else_exit = None
+
+        live = [exit_ for exit_ in (then_exit, else_exit) if exit_ is not None]
+        if not statement.orelse:
+            # No else: the false edge falls through to the merge block.
+            merge = self.cfg.new_block()
+            self.cfg.connect(block, merge, statement.test, False)
+            for exit_ in live:
+                self.cfg.connect(exit_, merge)
+            return merge
+        if not live:
+            return None
+        merge = self.cfg.new_block()
+        for exit_ in live:
+            self.cfg.connect(exit_, merge)
+        return merge
+
+    def _loop(
+        self,
+        statement: ast.While | ast.For | ast.AsyncFor,
+        block: BasicBlock,
+    ) -> BasicBlock:
+        head = self.cfg.new_block()
+        exit_block = self.cfg.new_block()
+        self.cfg.connect(block, head)
+
+        if isinstance(statement, ast.While):
+            guard: ast.expr | None = statement.test
+            body_entry = self.cfg.new_block()
+            self.cfg.connect(head, body_entry, guard, True)
+            self.cfg.connect(head, exit_block, guard, False)
+        else:
+            # ``for target in iter``: bind the target opaquely in the
+            # head, then branch unguarded (iteration count unknown).
+            head.statements.append(statement)
+            body_entry = self.cfg.new_block()
+            self.cfg.connect(head, body_entry)
+            self.cfg.connect(head, exit_block)
+
+        self._loops.append((head, exit_block))
+        body_exit = self._sequence(statement.body, body_entry)
+        self._loops.pop()
+        if body_exit is not None:
+            self.cfg.connect(body_exit, head)
+
+        if statement.orelse:
+            # The else arm runs on normal loop exit; fold it into the
+            # exit path conservatively.
+            else_exit = self._sequence(statement.orelse, exit_block)
+            return else_exit if else_exit is not None else exit_block
+        return exit_block
+
+    def _try(self, statement: ast.stmt, block: BasicBlock) -> BasicBlock | None:
+        body = getattr(statement, "body", [])
+        handlers = getattr(statement, "handlers", [])
+        orelse = getattr(statement, "orelse", [])
+        finalbody = getattr(statement, "finalbody", [])
+
+        body_entry = self.cfg.new_block()
+        self.cfg.connect(block, body_entry)
+        body_exit = self._sequence([*body, *orelse], body_entry)
+
+        exits: list[BasicBlock] = []
+        if body_exit is not None:
+            exits.append(body_exit)
+        for handler in handlers:
+            handler_entry = self.cfg.new_block()
+            # Any point in the body may raise: conservatively enter the
+            # handler straight from the pre-try block with no facts
+            # from the body.
+            self.cfg.connect(block, handler_entry)
+            handler_exit = self._sequence(handler.body, handler_entry)
+            if handler_exit is not None:
+                exits.append(handler_exit)
+
+        if not exits:
+            merge: BasicBlock | None = None
+        else:
+            merge = self.cfg.new_block()
+            for exit_ in exits:
+                self.cfg.connect(exit_, merge)
+        if finalbody:
+            if merge is None:
+                merge = self.cfg.new_block()
+            return self._sequence(finalbody, merge)
+        return merge
+
+    def _match(self, statement: ast.Match, block: BasicBlock) -> BasicBlock | None:
+        block.statements.append(statement)
+        exits: list[BasicBlock] = []
+        for case in statement.cases:
+            case_entry = self.cfg.new_block()
+            self.cfg.connect(block, case_entry)
+            case_exit = self._sequence(case.body, case_entry)
+            if case_exit is not None:
+                exits.append(case_exit)
+        merge = self.cfg.new_block()
+        # No case may match: fall through.
+        self.cfg.connect(block, merge)
+        for exit_ in exits:
+            self.cfg.connect(exit_, merge)
+        return merge
+
+
+def build_cfg(
+    function: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> ControlFlowGraph:
+    """The control-flow graph of one function body."""
+    return _Builder().build(function.body)

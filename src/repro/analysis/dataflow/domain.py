@@ -1,0 +1,239 @@
+"""The abstract domain: intervals tagged with units and defining lines.
+
+Each tracked variable maps to an :class:`AbstractValue` — the product
+of three lattices:
+
+* an **interval** ``[low, high]`` over the extended reals
+  (:class:`Interval`), joined by convex hull and widened to infinity
+  at loop heads so the fixpoint terminates;
+* a **unit** tag (:class:`repro.units.Unit` or ``None`` for unknown),
+  joined to ``None`` on disagreement — the *diagnosis* of disagreement
+  happens at operation sites in the interpreter, where the offending
+  expression is known, never at joins;
+* the **reaching definitions**: the set of source lines whose
+  assignments may have produced the value, giving diagnostics their
+  "defined at line N" provenance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.units import Unit
+
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval over the extended reals; ``[-inf, inf]`` is top.
+
+    The analysis only needs *provable* facts, so bounds are kept
+    conservative: any operation it cannot model precisely widens to
+    top rather than guessing.
+    """
+
+    low: float = -_INF
+    high: float = _INF
+
+    @classmethod
+    def top(cls) -> "Interval":
+        return cls()
+
+    @classmethod
+    def point(cls, value: float) -> "Interval":
+        return cls(value, value)
+
+    @property
+    def is_top(self) -> bool:
+        return self.low == -_INF and self.high == _INF
+
+    @property
+    def is_empty(self) -> bool:
+        return self.low > self.high
+
+    def join(self, other: "Interval") -> "Interval":
+        """Convex hull: the smallest interval containing both."""
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        return Interval(min(self.low, other.low), max(self.high, other.high))
+
+    def meet(self, other: "Interval") -> "Interval":
+        """Intersection; may be empty (an infeasible path)."""
+        return Interval(max(self.low, other.low), min(self.high, other.high))
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Classic interval widening: any bound that moved jumps to inf."""
+        low = self.low if newer.low >= self.low else -_INF
+        high = self.high if newer.high <= self.high else _INF
+        return Interval(low, high)
+
+    # -- arithmetic ----------------------------------------------------
+    def add(self, other: "Interval") -> "Interval":
+        return Interval(self.low + other.low, self.high + other.high)
+
+    def sub(self, other: "Interval") -> "Interval":
+        return Interval(self.low - other.high, self.high - other.low)
+
+    def mul(self, other: "Interval") -> "Interval":
+        corners = [
+            a * b
+            for a in (self.low, self.high)
+            for b in (other.low, other.high)
+            if not math.isnan(a * b)
+        ]
+        if not corners:
+            return Interval.top()
+        return Interval(min(corners), max(corners))
+
+    def div(self, other: "Interval") -> "Interval":
+        # Division by an interval containing zero is unbounded.
+        if other.low <= 0.0 <= other.high:
+            return Interval.top()
+        corners = [
+            a / b
+            for a in (self.low, self.high)
+            for b in (other.low, other.high)
+            if not math.isnan(a / b)
+        ]
+        if not corners:
+            return Interval.top()
+        return Interval(min(corners), max(corners))
+
+    def neg(self) -> "Interval":
+        return Interval(-self.high, -self.low)
+
+    # -- queries -------------------------------------------------------
+    def entirely_outside(self, unit: Unit, *, atol: float = 0.0) -> bool:
+        """Provably no point of this interval lies in ``unit``'s domain.
+
+        ``atol`` widens the unit's domain before deciding, so values a
+        rounding error past a bound are not reported as violations.
+        """
+        if self.is_empty or self.is_top:
+            return False
+        return self.high < unit.low - atol or self.low > unit.high + atol
+
+    def __str__(self) -> str:
+        return f"[{self.low:g}, {self.high:g}]"
+
+
+#: Singleton top for cheap comparisons.
+TOP_INTERVAL = Interval.top()
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """What the analysis knows about one value at one program point."""
+
+    unit: Unit | None = None
+    interval: Interval = TOP_INTERVAL
+    defs: frozenset[int] = frozenset()
+
+    @classmethod
+    def top(cls) -> "AbstractValue":
+        return _TOP_VALUE
+
+    @classmethod
+    def constant(cls, value: float, line: int | None = None) -> "AbstractValue":
+        defs = frozenset() if line is None else frozenset({line})
+        return cls(unit=None, interval=Interval.point(value), defs=defs)
+
+    @classmethod
+    def of_unit(
+        cls, unit: Unit | None, line: int | None = None
+    ) -> "AbstractValue":
+        """A value known only by its unit: interval = declared domain."""
+        defs = frozenset() if line is None else frozenset({line})
+        if unit is None:
+            return cls(defs=defs)
+        return cls(unit=unit, interval=Interval(unit.low, unit.high), defs=defs)
+
+    def join(self, other: "AbstractValue") -> "AbstractValue":
+        unit = self.unit if self.unit is other.unit else None
+        return AbstractValue(
+            unit=unit,
+            interval=self.interval.join(other.interval),
+            defs=self.defs | other.defs,
+        )
+
+    def widen(self, newer: "AbstractValue") -> "AbstractValue":
+        unit = self.unit if self.unit is newer.unit else None
+        return AbstractValue(
+            unit=unit,
+            interval=self.interval.widen(newer.interval),
+            defs=self.defs | newer.defs,
+        )
+
+    def with_interval(self, interval: Interval) -> "AbstractValue":
+        return AbstractValue(unit=self.unit, interval=interval, defs=self.defs)
+
+    def with_unit(self, unit: Unit | None) -> "AbstractValue":
+        return AbstractValue(unit=unit, interval=self.interval, defs=self.defs)
+
+    def describe(self) -> str:
+        """Human form for diagnostics: ``Percent [0, 100]``."""
+        unit = self.unit.name if self.unit is not None else "unitless"
+        return f"{unit} {self.interval}"
+
+
+_TOP_VALUE = AbstractValue()
+
+
+class Environment:
+    """An immutable-by-convention map from variable name to value.
+
+    Join is pointwise; a variable bound on only one side joins with top
+    (it *may* hold anything on the unbound path).
+    """
+
+    __slots__ = ("bindings",)
+
+    def __init__(self, bindings: Mapping[str, AbstractValue] | None = None):
+        self.bindings: dict[str, AbstractValue] = dict(bindings or {})
+
+    def get(self, name: str) -> AbstractValue:
+        return self.bindings.get(name, _TOP_VALUE)
+
+    def set(self, name: str, value: AbstractValue) -> "Environment":
+        updated = dict(self.bindings)
+        updated[name] = value
+        return Environment(updated)
+
+    def copy(self) -> "Environment":
+        return Environment(self.bindings)
+
+    def join(self, other: "Environment") -> "Environment":
+        joined: dict[str, AbstractValue] = {}
+        for name in self.bindings.keys() | other.bindings.keys():
+            joined[name] = self.get(name).join(other.get(name))
+        return Environment(joined)
+
+    def widen(self, newer: "Environment") -> "Environment":
+        widened: dict[str, AbstractValue] = {}
+        for name in self.bindings.keys() | newer.bindings.keys():
+            widened[name] = self.get(name).widen(newer.get(name))
+        return Environment(widened)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Environment):
+            return NotImplemented
+        return self.bindings == other.bindings
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(
+            f"{name}={value.describe()}"
+            for name, value in sorted(self.bindings.items())
+        )
+        return f"Environment({inner})"
+
+
+def join_all(environments: Iterable[Environment]) -> Environment:
+    result: Environment | None = None
+    for environment in environments:
+        result = environment if result is None else result.join(environment)
+    return result if result is not None else Environment()

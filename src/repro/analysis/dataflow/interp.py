@@ -1,0 +1,875 @@
+"""Abstract interpretation of one function over the unit/interval domain.
+
+The interpreter runs each function's CFG to a fixpoint (worklist order,
+interval widening at frequently revisited blocks), then replays every
+block once on the stable input states, emitting :class:`Diagnostic`
+events the ROP008–ROP010 rules translate into findings:
+
+``unit-mix``
+    additive arithmetic or comparison over scale-incompatible units
+    (``Percent`` meets ``Fraction01`` with no ``/100``/``*100``), and
+    unit-annotated assignments fed a mismatched unit;
+``call-arg``
+    a value of one unit flowing into a parameter declared as an
+    incompatible unit;
+``interval``
+    a value whose interval provably misses its declared domain — an
+    out-of-domain annotated assignment, argument, return, or a
+    comparison against a constant the unit can never reach;
+``return``
+    a function annotated to return one unit returning an expression of
+    an incompatible unit.
+
+Everything the interpreter cannot prove stays silent: unknown calls,
+attribute stores, numpy expressions and comprehensions all evaluate to
+top. The goal is zero false positives on idiomatic code, at the price
+of missing some true ones — the same contract as the per-node rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.analysis.dataflow.cfg import ControlFlowGraph, build_cfg
+from repro.analysis.dataflow.domain import (
+    AbstractValue,
+    Environment,
+    Interval,
+)
+from repro.analysis.dataflow.signatures import (
+    KNOWN_SIGNATURES,
+    REFINING_VALIDATORS,
+    Signature,
+    annotation_unit,
+    attribute_unit,
+    collect_local_signatures,
+)
+from repro.units import VALIDATOR_UNITS, Unit, unit_for_annotation
+from repro.util.floats import METRIC_ATOL
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.rules.base import ImportMap, ModuleContext
+
+#: Blocks revisited more often than this are widened to force
+#: termination of the interval fixpoint.
+_WIDEN_AFTER = 3
+
+#: Canonical names treated as tolerance-equality guards.
+_ISCLOSE_FUNCTIONS = {
+    "repro.util.floats.isclose",
+    "math.isclose",
+}
+
+_NUMERIC = (int, float)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One unit-discipline fact the interpreter could prove."""
+
+    kind: str
+    node: ast.AST
+    message: str
+
+
+@dataclass
+class FunctionAnalysis:
+    """The diagnostics produced for one function definition."""
+
+    function: ast.FunctionDef | ast.AsyncFunctionDef
+    qualname: str
+    cfg: ControlFlowGraph
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+
+@dataclass
+class ModuleAnalysis:
+    """Per-function results for one module, computed once and cached."""
+
+    functions: list[FunctionAnalysis] = field(default_factory=list)
+
+    def diagnostics(self, kind: str) -> list[tuple[FunctionAnalysis, Diagnostic]]:
+        return [
+            (function, diagnostic)
+            for function in self.functions
+            for diagnostic in function.diagnostics
+            if diagnostic.kind == kind
+        ]
+
+
+def _constant_value(node: ast.expr) -> float | None:
+    """The numeric value of a literal (allowing a unary sign), else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, _NUMERIC):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        inner = _constant_value(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    return None
+
+
+class _Interpreter:
+    """Transfer functions and expression evaluation for one function."""
+
+    def __init__(
+        self,
+        imports: "ImportMap",
+        local_signatures: dict[str, Signature],
+        module_constants: dict[str, AbstractValue],
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> None:
+        self.imports = imports
+        self.local_signatures = local_signatures
+        self.module_constants = module_constants
+        self.function = function
+        self.return_unit = annotation_unit(function.returns, imports)
+        self.sink: list[Diagnostic] | None = None
+
+    # -- diagnostics ---------------------------------------------------
+    def _emit(self, kind: str, node: ast.AST, message: str) -> None:
+        if self.sink is not None:
+            self.sink.append(Diagnostic(kind=kind, node=node, message=message))
+
+    # -- seeding -------------------------------------------------------
+    def initial_environment(self) -> Environment:
+        environment = Environment(self.module_constants)
+        args = self.function.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            unit = annotation_unit(arg.annotation, self.imports)
+            environment = environment.set(
+                arg.arg, AbstractValue.of_unit(unit, self.function.lineno)
+            )
+        if args.vararg is not None:
+            environment = environment.set(args.vararg.arg, AbstractValue.top())
+        if args.kwarg is not None:
+            environment = environment.set(args.kwarg.arg, AbstractValue.top())
+        return environment
+
+    # -- statements ----------------------------------------------------
+    def execute_block(
+        self, statements: list[ast.stmt], environment: Environment
+    ) -> Environment:
+        env = environment.copy()
+        for statement in statements:
+            env = self._statement(statement, env)
+        return env
+
+    def _statement(self, statement: ast.stmt, env: Environment) -> Environment:
+        if isinstance(statement, ast.Assign):
+            value, env = self._eval(statement.value, env)
+            for target in statement.targets:
+                env = self._assign_target(target, value, statement, env)
+            return env
+        if isinstance(statement, ast.AnnAssign):
+            declared = annotation_unit(statement.annotation, self.imports)
+            if statement.value is not None:
+                value, env = self._eval(statement.value, env)
+            else:
+                value = AbstractValue.top()
+            if declared is not None and statement.value is not None:
+                self._check_against_unit(
+                    statement, value, declared, context="assignment to"
+                )
+                value = AbstractValue(
+                    unit=declared,
+                    interval=value.interval,
+                    defs=frozenset({statement.lineno}),
+                )
+            if isinstance(statement.target, ast.Name):
+                env = env.set(statement.target.id, value)
+            return env
+        if isinstance(statement, ast.AugAssign):
+            synthetic = ast.BinOp(
+                left=statement.target, op=statement.op, right=statement.value
+            )
+            ast.copy_location(synthetic, statement)
+            value, env = self._eval(synthetic, env)
+            return self._assign_target(statement.target, value, statement, env)
+        if isinstance(statement, ast.Return):
+            if statement.value is not None:
+                value, env = self._eval(statement.value, env)
+                self._check_return(statement, value)
+            return env
+        if isinstance(statement, ast.Expr):
+            _, env = self._eval(statement.value, env)
+            return env
+        if isinstance(statement, (ast.For, ast.AsyncFor)):
+            # Loop heads carry the For itself: bind targets opaquely.
+            _, env = self._eval(statement.iter, env)
+            return self._assign_target(
+                statement.target, AbstractValue.top(), statement, env
+            )
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                _, env = self._eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    env = self._assign_target(
+                        item.optional_vars, AbstractValue.top(), statement, env
+                    )
+            return env
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return env.set(statement.name, AbstractValue.top())
+        if isinstance(statement, ast.ClassDef):
+            return env.set(statement.name, AbstractValue.top())
+        if isinstance(statement, (ast.Assert, ast.If, ast.While)):
+            test = getattr(statement, "test", None)
+            if test is not None:
+                _, env = self._eval(test, env)
+            if isinstance(statement, ast.Assert):
+                env = self.refine(statement.test, True, env)
+            return env
+        if isinstance(statement, ast.Delete):
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    env = env.set(target.id, AbstractValue.top())
+            return env
+        if isinstance(statement, ast.Raise):
+            if statement.exc is not None:
+                _, env = self._eval(statement.exc, env)
+            return env
+        return env
+
+    def _assign_target(
+        self,
+        target: ast.expr,
+        value: AbstractValue,
+        statement: ast.stmt,
+        env: Environment,
+    ) -> Environment:
+        if isinstance(target, ast.Name):
+            stamped = AbstractValue(
+                unit=value.unit,
+                interval=value.interval,
+                defs=frozenset({statement.lineno}),
+            )
+            return env.set(target.id, stamped)
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                env = self._assign_target(
+                    element, AbstractValue.top(), statement, env
+                )
+            return env
+        # Attribute/subscript stores are not tracked.
+        return env
+
+    # -- checks --------------------------------------------------------
+    def _check_against_unit(
+        self,
+        node: ast.AST,
+        value: AbstractValue,
+        declared: Unit,
+        *,
+        context: str,
+        target: str = "",
+    ) -> None:
+        label = f"{context} {target}".strip()
+        if value.unit is not None and not value.unit.mixes_with(declared):
+            self._emit(
+                "unit-mix",
+                node,
+                f"{value.unit.name} value used in {label} declared "
+                f"{declared.name} (convert explicitly"
+                f"{_conversion_hint(value.unit, declared)})",
+            )
+        elif value.interval.entirely_outside(declared, atol=METRIC_ATOL):
+            self._emit(
+                "interval",
+                node,
+                f"value in {value.interval} can never satisfy {label} "
+                f"declared {declared.name} {declared.bounds}",
+            )
+
+    def _check_return(self, statement: ast.Return, value: AbstractValue) -> None:
+        if self.return_unit is None:
+            return
+        if value.unit is not None and not value.unit.mixes_with(self.return_unit):
+            self._emit(
+                "return",
+                statement,
+                f"function is annotated to return {self.return_unit.name} "
+                f"but returns a {value.unit.name} expression"
+                f"{_conversion_hint(value.unit, self.return_unit)}",
+            )
+        elif value.interval.entirely_outside(self.return_unit, atol=METRIC_ATOL):
+            self._emit(
+                "interval",
+                statement,
+                f"returned value in {value.interval} lies outside the "
+                f"declared {self.return_unit.name} domain "
+                f"{self.return_unit.bounds}",
+            )
+
+    # -- expressions ---------------------------------------------------
+    def _eval(
+        self, node: ast.expr, env: Environment
+    ) -> tuple[AbstractValue, Environment]:
+        constant = _constant_value(node)
+        if constant is not None:
+            return AbstractValue.constant(constant, node.lineno), env
+        if isinstance(node, ast.Name):
+            return env.get(node.id), env
+        if isinstance(node, ast.Attribute):
+            _, env = self._eval(node.value, env)
+            unit = attribute_unit(node.attr)
+            if unit is not None:
+                return AbstractValue.of_unit(unit, node.lineno), env
+            return AbstractValue.top(), env
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node, env)
+        if isinstance(node, ast.UnaryOp):
+            value, env = self._eval(node.operand, env)
+            if isinstance(node.op, ast.USub):
+                return value.with_interval(value.interval.neg()), env
+            if isinstance(node.op, ast.UAdd):
+                return value, env
+            return AbstractValue.top(), env
+        if isinstance(node, ast.Compare):
+            return self._eval_compare(node, env)
+        if isinstance(node, ast.BoolOp):
+            for operand in node.values:
+                _, env = self._eval(operand, env)
+            return AbstractValue.top(), env
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.IfExp):
+            _, env = self._eval(node.test, env)
+            then_value, env = self._eval(node.body, env)
+            else_value, env = self._eval(node.orelse, env)
+            return then_value.join(else_value), env
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for element in node.elts:
+                _, env = self._eval(element, env)
+            return AbstractValue.top(), env
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None:
+                    _, env = self._eval(key, env)
+            for value_node in node.values:
+                _, env = self._eval(value_node, env)
+            return AbstractValue.top(), env
+        if isinstance(node, ast.Subscript):
+            _, env = self._eval(node.value, env)
+            return AbstractValue.top(), env
+        if isinstance(node, ast.NamedExpr):
+            value, env = self._eval(node.value, env)
+            env = self._assign_target(
+                node.target, value, _statement_for(node), env
+            )
+            return value, env
+        # Comprehensions, lambdas, f-strings, starred, awaits: opaque.
+        return AbstractValue.top(), env
+
+    def _eval_binop(
+        self, node: ast.BinOp, env: Environment
+    ) -> tuple[AbstractValue, Environment]:
+        left, env = self._eval(node.left, env)
+        right, env = self._eval(node.right, env)
+
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            interval = (
+                left.interval.add(right.interval)
+                if isinstance(node.op, ast.Add)
+                else left.interval.sub(right.interval)
+            )
+            unit = self._additive_unit(node, left, right)
+            return AbstractValue(unit=unit, interval=interval), env
+        if isinstance(node.op, ast.Mult):
+            interval = left.interval.mul(right.interval)
+            unit = self._scaled_unit(node, left, right, multiply=True)
+            return AbstractValue(unit=unit, interval=interval), env
+        if isinstance(node.op, ast.Div):
+            interval = left.interval.div(right.interval)
+            unit = self._scaled_unit(node, left, right, multiply=False)
+            return AbstractValue(unit=unit, interval=interval), env
+        return AbstractValue.top(), env
+
+    def _additive_unit(
+        self, node: ast.BinOp, left: AbstractValue, right: AbstractValue
+    ) -> Unit | None:
+        if left.unit is not None and right.unit is not None:
+            if not left.unit.mixes_with(right.unit):
+                self._emit(
+                    "unit-mix",
+                    node,
+                    f"arithmetic mixes {left.unit.name} with "
+                    f"{right.unit.name}"
+                    f"{_conversion_hint(left.unit, right.unit)}",
+                )
+                return None
+            return left.unit
+        return left.unit if left.unit is not None else right.unit
+
+    def _scaled_unit(
+        self,
+        node: ast.BinOp,
+        left: AbstractValue,
+        right: AbstractValue,
+        *,
+        multiply: bool,
+    ) -> Unit | None:
+        """Unit of ``x * c`` / ``x / c``, honouring declared conversions.
+
+        ``Percent / 100`` becomes ``Fraction01``; ``Fraction01 * 100``
+        becomes ``Percent``. Any other scaling of a unit-tagged value
+        (or a product of two tagged values) is unit-unknown, never an
+        error: scaling by amounts and fractions is ordinary arithmetic.
+        """
+        tagged, other_node = (
+            (left, node.right) if left.unit is not None else (right, node.left)
+        )
+        if tagged.unit is None:
+            return None
+        if not multiply and right.unit is not None and left.unit is None:
+            # ``c / percent`` is a reciprocal, not a conversion.
+            return None
+        constant = _constant_value(other_node)
+        if constant is None or constant == 0:
+            return None
+        factor = constant if multiply else 1.0 / constant
+        for target_name, declared_factor in tagged.unit.scale_to:
+            if abs(factor - declared_factor) <= METRIC_ATOL:
+                return unit_for_annotation(target_name)
+        return None
+
+    def _eval_compare(
+        self, node: ast.Compare, env: Environment
+    ) -> tuple[AbstractValue, Environment]:
+        operands: list[AbstractValue] = []
+        for expression in [node.left, *node.comparators]:
+            value, env = self._eval(expression, env)
+            operands.append(value)
+        expressions = [node.left, *node.comparators]
+        for index in range(len(node.ops)):
+            left, right = operands[index], operands[index + 1]
+            if (
+                left.unit is not None
+                and right.unit is not None
+                and not left.unit.mixes_with(right.unit)
+            ):
+                self._emit(
+                    "unit-mix",
+                    node,
+                    f"comparison mixes {left.unit.name} with "
+                    f"{right.unit.name}"
+                    f"{_conversion_hint(left.unit, right.unit)}",
+                )
+                continue
+            for tagged, untagged_node in (
+                (left, expressions[index + 1]),
+                (right, expressions[index]),
+            ):
+                if tagged.unit is None:
+                    continue
+                constant = _constant_value(untagged_node)
+                if constant is None:
+                    continue
+                if (
+                    constant < tagged.unit.low - METRIC_ATOL
+                    or constant > tagged.unit.high + METRIC_ATOL
+                ):
+                    self._emit(
+                        "interval",
+                        node,
+                        f"{tagged.unit.name} value compared against "
+                        f"{constant:g}, outside its domain "
+                        f"{tagged.unit.bounds}",
+                    )
+        return AbstractValue.top(), env
+
+    def _eval_call(
+        self, node: ast.Call, env: Environment
+    ) -> tuple[AbstractValue, Environment]:
+        argument_values: list[AbstractValue] = []
+        for argument in node.args:
+            value, env = self._eval(argument, env)
+            argument_values.append(value)
+        keyword_values: list[AbstractValue] = []
+        for keyword in node.keywords:
+            value, env = self._eval(keyword.value, env)
+            keyword_values.append(value)
+
+        canonical = self.imports.resolve_imported(node.func)
+        builtin = self._eval_builtin(node, argument_values, env)
+        if builtin is not None:
+            return builtin, env
+
+        signature = self._signature_for(node, canonical)
+        if signature is not None:
+            self._check_call(node, signature, argument_values, keyword_values)
+
+        if canonical in VALIDATOR_UNITS:
+            unit = unit_for_annotation(VALIDATOR_UNITS[canonical])
+            env = self._refine_validated(node, unit, env)
+            return AbstractValue.of_unit(unit, node.lineno), env
+        if canonical in REFINING_VALIDATORS:
+            low, high = REFINING_VALIDATORS[canonical]
+            env = self._refine_validated(node, None, env, low=low, high=high)
+            if node.args and isinstance(node.args[0], ast.Name):
+                refined = env.get(node.args[0].id)
+                return refined, env
+            value = argument_values[0] if argument_values else AbstractValue.top()
+            return value.with_interval(
+                value.interval.meet(Interval(low, high))
+            ), env
+
+        if signature is not None and signature.return_unit is not None:
+            return AbstractValue.of_unit(signature.return_unit, node.lineno), env
+        return AbstractValue.top(), env
+
+    def _eval_builtin(
+        self,
+        node: ast.Call,
+        argument_values: list[AbstractValue],
+        env: Environment,
+    ) -> AbstractValue | None:
+        """min/max/abs/float/int pass values through transparently."""
+        if not isinstance(node.func, ast.Name) or node.keywords:
+            return None
+        name = node.func.id
+        if name in {"float", "int"} and len(argument_values) == 1:
+            return argument_values[0]
+        if name == "abs" and len(argument_values) == 1:
+            value = argument_values[0]
+            interval = value.interval
+            low = (
+                0.0
+                if interval.low <= 0.0 <= interval.high
+                else min(abs(interval.low), abs(interval.high))
+            )
+            return value.with_interval(
+                Interval(low, max(abs(interval.low), abs(interval.high)))
+            )
+        if name in {"min", "max"} and len(argument_values) >= 2:
+            units = {
+                value.unit for value in argument_values if value.unit is not None
+            }
+            unit = units.pop() if len(units) == 1 else None
+            lows = [value.interval.low for value in argument_values]
+            highs = [value.interval.high for value in argument_values]
+            if name == "min":
+                interval = Interval(min(lows), min(highs))
+            else:
+                interval = Interval(max(lows), max(highs))
+            return AbstractValue(unit=unit, interval=interval)
+        return None
+
+    def _signature_for(
+        self, node: ast.Call, canonical: str | None
+    ) -> Signature | None:
+        if canonical is not None and canonical in KNOWN_SIGNATURES:
+            return KNOWN_SIGNATURES[canonical]
+        if isinstance(node.func, ast.Name):
+            return self.local_signatures.get(node.func.id)
+        return None
+
+    def _check_call(
+        self,
+        node: ast.Call,
+        signature: Signature,
+        argument_values: list[AbstractValue],
+        keyword_values: list[AbstractValue],
+    ) -> None:
+        callee = ast.unparse(node.func)
+        checks: list[tuple[AbstractValue, Unit | None, str]] = []
+        for index, value in enumerate(argument_values):
+            checks.append(
+                (
+                    value,
+                    signature.param_unit(index, None),
+                    signature.param_name(index, None),
+                )
+            )
+        for keyword, value in zip(node.keywords, keyword_values):
+            if keyword.arg is None:
+                continue
+            checks.append(
+                (value, signature.param_unit(0, keyword.arg), keyword.arg)
+            )
+        for value, declared, parameter in checks:
+            if declared is None:
+                continue
+            if value.unit is not None and not value.unit.mixes_with(declared):
+                self._emit(
+                    "call-arg",
+                    node,
+                    f"{value.unit.name} value flows into parameter "
+                    f"{parameter!r} of {callee}() declared {declared.name}"
+                    f"{_conversion_hint(value.unit, declared)}",
+                )
+            elif value.interval.entirely_outside(declared, atol=METRIC_ATOL):
+                self._emit(
+                    "interval",
+                    node,
+                    f"argument {parameter!r} of {callee}() is in "
+                    f"{value.interval}, outside the declared "
+                    f"{declared.name} domain {declared.bounds}",
+                )
+
+    def _refine_validated(
+        self,
+        node: ast.Call,
+        unit: Unit | None,
+        env: Environment,
+        *,
+        low: float | None = None,
+        high: float | None = None,
+    ) -> Environment:
+        """A successful ``require_*`` call proves facts about its arg."""
+        if not node.args or not isinstance(node.args[0], ast.Name):
+            return env
+        name = node.args[0].id
+        value = env.get(name)
+        if unit is not None:
+            interval = value.interval.meet(Interval(unit.low, unit.high))
+            refined = AbstractValue(
+                unit=unit, interval=interval, defs=value.defs
+            )
+        else:
+            interval = value.interval.meet(
+                Interval(
+                    low if low is not None else -float("inf"),
+                    high if high is not None else float("inf"),
+                )
+            )
+            refined = value.with_interval(interval)
+        return env.set(name, refined)
+
+    # -- guard refinement ---------------------------------------------
+    def refine(
+        self, guard: ast.expr, taken: bool, env: Environment
+    ) -> Environment:
+        """Narrow ``env`` with the facts a branch outcome establishes."""
+        if isinstance(guard, ast.UnaryOp) and isinstance(guard.op, ast.Not):
+            return self.refine(guard.operand, not taken, env)
+        if isinstance(guard, ast.BoolOp):
+            if isinstance(guard.op, ast.And) and taken:
+                for value in guard.values:
+                    env = self.refine(value, True, env)
+            elif isinstance(guard.op, ast.Or) and not taken:
+                for value in guard.values:
+                    env = self.refine(value, False, env)
+            return env
+        if isinstance(guard, ast.Call):
+            canonical = self.imports.resolve_imported(guard.func)
+            if canonical in _ISCLOSE_FUNCTIONS and taken and len(guard.args) >= 2:
+                target, comparand = guard.args[0], guard.args[1]
+                if not isinstance(target, ast.Name):
+                    target, comparand = comparand, target
+                constant = _constant_value(comparand)
+                if isinstance(target, ast.Name) and constant is not None:
+                    value = env.get(target.id)
+                    interval = value.interval.meet(Interval.point(constant))
+                    return env.set(target.id, value.with_interval(interval))
+            return env
+        if isinstance(guard, ast.Compare):
+            return self._refine_compare(guard, taken, env)
+        return env
+
+    def _refine_compare(
+        self, guard: ast.Compare, taken: bool, env: Environment
+    ) -> Environment:
+        operands = [guard.left, *guard.comparators]
+        ops: list[ast.cmpop] = list(guard.ops)
+        if not taken:
+            if len(ops) != 1:
+                return env  # cannot tell which leg of a chain failed
+            inverted = _invert(ops[0])
+            if inverted is None:
+                return env
+            ops = [inverted]
+        for index, op in enumerate(ops):
+            left_node, right_node = operands[index], operands[index + 1]
+            left_value, _ = self._eval(left_node, env)
+            right_value, _ = self._eval(right_node, env)
+            if isinstance(left_node, ast.Name):
+                env = self._refine_name(
+                    env, left_node.id, op, right_value.interval
+                )
+            if isinstance(right_node, ast.Name):
+                mirrored = _mirror(op)
+                if mirrored is not None:
+                    env = self._refine_name(
+                        env, right_node.id, mirrored, left_value.interval
+                    )
+        return env
+
+    def _refine_name(
+        self,
+        env: Environment,
+        name: str,
+        op: ast.cmpop,
+        bound: Interval,
+    ) -> Environment:
+        value = env.get(name)
+        interval = value.interval
+        if isinstance(op, (ast.Lt, ast.LtE)):
+            interval = interval.meet(Interval(-float("inf"), bound.high))
+        elif isinstance(op, (ast.Gt, ast.GtE)):
+            interval = interval.meet(Interval(bound.low, float("inf")))
+        elif isinstance(op, ast.Eq):
+            interval = interval.meet(bound)
+        else:
+            return env
+        return env.set(name, value.with_interval(interval))
+
+
+def _conversion_hint(source: Unit, target: Unit) -> str:
+    factor = source.conversion_factor(target)
+    if factor is None:
+        return ""
+    operation = "/ 100.0" if factor < 1 else "* 100.0"
+    return f"; convert with `{operation}`"
+
+
+def _invert(op: ast.cmpop) -> ast.cmpop | None:
+    mapping: dict[type, type] = {
+        ast.Lt: ast.GtE,
+        ast.LtE: ast.Gt,
+        ast.Gt: ast.LtE,
+        ast.GtE: ast.Lt,
+        ast.Eq: ast.NotEq,
+        ast.NotEq: ast.Eq,
+    }
+    inverted = mapping.get(type(op))
+    return inverted() if inverted is not None else None
+
+
+def _mirror(op: ast.cmpop) -> ast.cmpop | None:
+    mapping: dict[type, type] = {
+        ast.Lt: ast.Gt,
+        ast.LtE: ast.GtE,
+        ast.Gt: ast.Lt,
+        ast.GtE: ast.LtE,
+        ast.Eq: ast.Eq,
+    }
+    mirrored = mapping.get(type(op))
+    return mirrored() if mirrored is not None else None
+
+
+def _statement_for(node: ast.expr) -> ast.stmt:
+    """A synthetic statement carrying ``node``'s location (walrus defs)."""
+    placeholder = ast.Pass()
+    ast.copy_location(placeholder, node)
+    return placeholder
+
+
+def _module_constants(tree: ast.Module) -> dict[str, AbstractValue]:
+    """Top-level ``NAME = <number>`` bindings, seeded into every env."""
+    constants: dict[str, AbstractValue] = {}
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            value = _constant_value(node.value)
+            if value is not None:
+                constants[node.targets[0].id] = AbstractValue.constant(
+                    value, node.lineno
+                )
+    return constants
+
+
+def _analyze_function(
+    function: ast.FunctionDef | ast.AsyncFunctionDef,
+    qualname: str,
+    imports: "ImportMap",
+    local_signatures: dict[str, Signature],
+    module_constants: dict[str, AbstractValue],
+) -> FunctionAnalysis:
+    cfg = build_cfg(function)
+    interpreter = _Interpreter(
+        imports, local_signatures, module_constants, function
+    )
+
+    in_envs: dict[int, Environment] = {0: interpreter.initial_environment()}
+    visits: dict[int, int] = {}
+    worklist = [0]
+    while worklist:
+        index = worklist.pop()
+        visits[index] = visits.get(index, 0) + 1
+        out_env = interpreter.execute_block(
+            cfg.blocks[index].statements, in_envs[index]
+        )
+        for edge in cfg.successors(index):
+            candidate = out_env
+            if edge.guard is not None:
+                candidate = interpreter.refine(
+                    edge.guard, edge.guard_value, out_env
+                )
+            if edge.target not in in_envs:
+                merged = candidate
+            else:
+                merged = in_envs[edge.target].join(candidate)
+                if visits.get(edge.target, 0) >= _WIDEN_AFTER:
+                    merged = in_envs[edge.target].widen(merged)
+            if edge.target not in in_envs or merged != in_envs[edge.target]:
+                in_envs[edge.target] = merged
+                if edge.target not in worklist:
+                    worklist.append(edge.target)
+
+    # Replay every block once on its stable input, collecting events.
+    # Branch guards live on edges, not in blocks, so evaluate each
+    # guard once too (on its true edge) for unit-mix diagnostics in
+    # ``if``/``while`` tests.
+    analysis = FunctionAnalysis(function=function, qualname=qualname, cfg=cfg)
+    interpreter.sink = analysis.diagnostics
+    for block in cfg.blocks:
+        environment = in_envs.get(block.index)
+        if environment is None:
+            environment = Environment()  # unreachable: all-top
+        out_env = interpreter.execute_block(block.statements, environment)
+        for edge in cfg.successors(block.index):
+            if edge.guard is not None and edge.guard_value:
+                interpreter._eval(edge.guard, out_env)
+    interpreter.sink = None
+    return analysis
+
+
+def analyze_module(context: "ModuleContext") -> ModuleAnalysis:
+    """Run (or fetch the cached) dataflow analysis for one module.
+
+    The result is cached on the context so ROP008/ROP009/ROP010 share
+    one fixpoint per file.
+    """
+    cached = getattr(context, "_dataflow_analysis", None)
+    if cached is not None:
+        return cached  # type: ignore[no-any-return]
+
+    local_signatures = collect_local_signatures(context.tree, context.imports)
+    module_constants = _module_constants(context.tree)
+    analysis = ModuleAnalysis()
+
+    qualname_stack: list[str] = []
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = ".".join([*qualname_stack, child.name])
+                analysis.functions.append(
+                    _analyze_function(
+                        child,
+                        qualname,
+                        context.imports,
+                        local_signatures,
+                        module_constants,
+                    )
+                )
+                qualname_stack.append(child.name)
+                visit(child)
+                qualname_stack.pop()
+            elif isinstance(child, ast.ClassDef):
+                qualname_stack.append(child.name)
+                visit(child)
+                qualname_stack.pop()
+            else:
+                visit(child)
+
+    visit(context.tree)
+    context._dataflow_analysis = analysis  # type: ignore[attr-defined]
+    return analysis

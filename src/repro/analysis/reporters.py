@@ -1,9 +1,11 @@
-"""Text and JSON rendering of analysis results.
+"""Text, JSON, and SARIF rendering of analysis results.
 
 The text reporter is for humans (``path:line:col RULE message``); the
 JSON reporter is a stable machine interface whose output round-trips
 through :func:`parse_json` — CI tooling can consume findings without
-scraping text.
+scraping text. The SARIF reporter emits a SARIF 2.1.0 log so CI can
+publish findings to code-scanning UIs (GitHub's
+``codeql-action/upload-sarif`` consumes it directly).
 """
 
 from __future__ import annotations
@@ -15,6 +17,9 @@ from repro.analysis.findings import Finding, Severity
 from repro.exceptions import ConfigurationError
 
 JSON_SCHEMA_VERSION = 1
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def finding_to_dict(finding: Finding) -> dict[str, Any]:
@@ -70,6 +75,87 @@ def parse_json(text: str) -> list[Finding]:
             f"unsupported analysis JSON version {payload.get('version')!r}"
         )
     return [finding_from_dict(entry) for entry in payload.get("findings", [])]
+
+
+def _sarif_level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _sarif_rules() -> list[dict[str, Any]]:
+    """Reporting descriptors for every registered rule, sorted by id."""
+    # Imported here: the registry only fills in once the rules package
+    # runs, and reporters must stay importable on their own.
+    from repro.analysis.rules import iter_rule_classes
+
+    return [
+        {
+            "id": rule_class.rule_id,
+            "name": rule_class.name,
+            "shortDescription": {"text": rule_class.description},
+            "help": {"text": rule_class.hint},
+            "defaultConfiguration": {
+                "level": _sarif_level(rule_class.default_severity)
+            },
+        }
+        for rule_class in iter_rule_classes()
+    ]
+
+
+def render_sarif(
+    findings: Sequence[Finding], *, suppressed: int = 0
+) -> str:
+    """SARIF 2.1.0 log of the findings, newline-terminated.
+
+    ``suppressed`` (baseline-suppressed count) is recorded as a run
+    property so the number survives into the uploaded log without
+    inventing phantom result objects for suppressed findings.
+    """
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": _sarif_level(finding.severity),
+            "message": {
+                "text": (
+                    f"{finding.message} ({finding.hint})"
+                    if finding.hint
+                    else finding.message
+                )
+            },
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.column,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in sorted(findings, key=Finding.sort_key)
+    ]
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analysis",
+                        "semanticVersion": "1.0.0",
+                        "rules": _sarif_rules(),
+                    }
+                },
+                "results": results,
+                "properties": {"baselineSuppressed": suppressed},
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2) + "\n"
 
 
 def render_text(

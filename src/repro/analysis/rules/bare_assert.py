@@ -4,7 +4,8 @@
 bare ``assert`` silently stops being checked exactly when someone runs
 the pipeline "optimised" in production. Library code raises a
 :mod:`repro.exceptions` error instead; ``assert`` remains the right
-tool in *tests*, which this analyzer does not scan by default.
+tool in *tests*, so pytest modules (``test_*.py``, ``conftest.py``) are
+exempt — the benchmark suite is pytest-driven and scanned by CI.
 """
 
 from __future__ import annotations
@@ -12,7 +13,7 @@ from __future__ import annotations
 import ast
 from typing import ClassVar
 
-from repro.analysis.rules.base import Rule, register
+from repro.analysis.rules.base import ModuleContext, Rule, register
 
 
 @register
@@ -29,6 +30,11 @@ class BareAssertRule(Rule):
         "raise a repro.exceptions error (e.g. InvariantError) with a "
         "message naming the violated invariant"
     )
+
+    @classmethod
+    def applies_to(cls, context: ModuleContext) -> bool:
+        name = context.path.name
+        return not (name.startswith("test_") or name == "conftest.py")
 
     def visit_Assert(self, node: ast.Assert) -> None:
         condition = ast.unparse(node.test)

@@ -1,0 +1,221 @@
+"""ROP008–ROP010 — flow-sensitive unit discipline for the QoS math.
+
+The paper's formulas mix three scalar shapes ``float`` cannot
+distinguish: fractions in ``[0, 1]``, percentages in ``[0, 100]``, and
+slot counts. ``repro.units`` gives them ``Annotated`` markers; the
+:mod:`repro.analysis.dataflow` interpreter propagates those markers
+through assignments, arithmetic, calls, and branches; these rules turn
+the interpreter's proven facts into findings:
+
+* **ROP008** (``unit-confusion``) — a ``Percent`` meets a
+  ``Fraction01``/``Probability`` in arithmetic, comparison, an
+  annotated assignment, or a call argument, with no explicit
+  ``/ 100.0`` / ``* 100.0`` conversion on the path. The canonical bug:
+  comparing a measured degraded *fraction* against ``M_degr`` still in
+  percent — off by 100x, silently.
+* **ROP009** (``interval-violation``) — a value whose interval
+  provably misses its declared domain: a probability assigned,
+  passed, returned, or compared outside ``[0, 1]``.
+* **ROP010** (``unconverted-return``) — a function annotated to
+  return one unit returning an expression of an incompatible unit.
+
+All three share one fixpoint per module (cached on the context), so
+enabling them costs one dataflow pass, not three.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar
+
+from repro.analysis.dataflow import analyze_module
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules.base import Rule, register
+
+
+class _DataflowRule(Rule):
+    """Base for rules that read the shared module dataflow analysis."""
+
+    #: Which diagnostic kinds this rule reports.
+    kinds: ClassVar[tuple[str, ...]] = ()
+
+    def check(self) -> list[Finding]:
+        analysis = analyze_module(self.context)
+        for kind in self.kinds:
+            for function, diagnostic in analysis.diagnostics(kind):
+                self.report(
+                    diagnostic.node,
+                    f"in {function.qualname}(): {diagnostic.message}",
+                )
+        return self.findings
+
+
+@register
+class UnitConfusionRule(_DataflowRule):
+    """Flags percent/fraction (and cross-dimension) mixing without conversion."""
+
+    rule_id: ClassVar[str] = "ROP008"
+    name: ClassVar[str] = "unit-confusion"
+    description: ClassVar[str] = (
+        "a Percent value may not meet a Fraction01/Probability (or a "
+        "slot count meet CPU shares) in arithmetic, comparisons, "
+        "annotated assignments, or unit-annotated parameters without "
+        "an explicit conversion; a missed /100 corrupts every "
+        "downstream compliance number."
+    )
+    hint: ClassVar[str] = (
+        "convert explicitly (`/ 100.0` to a fraction, `* 100.0` to a "
+        "percent) or use the m_degr_fraction/compliance_fraction "
+        "properties"
+    )
+    kinds: ClassVar[tuple[str, ...]] = ("unit-mix", "call-arg")
+
+
+@register
+class IntervalViolationRule(_DataflowRule):
+    """Flags values provably outside their declared unit domain."""
+
+    rule_id: ClassVar[str] = "ROP009"
+    name: ClassVar[str] = "interval-violation"
+    description: ClassVar[str] = (
+        "a value whose interval provably lies outside its declared "
+        "unit domain (a probability assigned, passed, returned, or "
+        "compared outside [0, 1]) indicates dead validation or a "
+        "missed conversion."
+    )
+    hint: ClassVar[str] = (
+        "fix the value or the annotation; if the comparison guards "
+        "impossible input, validate with the matching require_* helper "
+        "instead"
+    )
+    kinds: ClassVar[tuple[str, ...]] = ("interval",)
+
+
+@register
+class UnconvertedReturnRule(_DataflowRule):
+    """Flags returns whose unit contradicts the function's annotation."""
+
+    rule_id: ClassVar[str] = "ROP010"
+    name: ClassVar[str] = "unconverted-return"
+    description: ClassVar[str] = (
+        "a function annotated to return one unit (e.g. Fraction01) "
+        "must not return an expression of an incompatible unit (e.g. "
+        "Percent); callers trust the annotation."
+    )
+    hint: ClassVar[str] = (
+        "apply the conversion before returning, or correct the return "
+        "annotation"
+    )
+    kinds: ClassVar[tuple[str, ...]] = ("return",)
+
+
+@register
+class UnvalidatedBoundaryRule(Rule):
+    """ROP011 — unit-annotated dataclass fields must be validated.
+
+    A frozen dataclass is the translation pipeline's trust boundary:
+    once constructed, every consumer believes its fields. A field
+    annotated with a unit marker therefore must be range-checked in
+    ``__post_init__`` — either through the matching ``require_*``
+    helper or an explicit comparison — or the annotation is a promise
+    nobody keeps.
+    """
+
+    rule_id: ClassVar[str] = "ROP011"
+    name: ClassVar[str] = "unvalidated-boundary"
+    description: ClassVar[str] = (
+        "a dataclass field annotated with a repro.units marker must be "
+        "validated in __post_init__ (require_* call or explicit range "
+        "comparison); an unchecked unit annotation is an unenforced "
+        "contract."
+    )
+    hint: ClassVar[str] = (
+        "add a __post_init__ validating the field with "
+        "require_fraction/require_probability or an explicit range "
+        "check"
+    )
+    default_severity: ClassVar[Severity] = Severity.ERROR
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._is_dataclass(node):
+            self._check_dataclass(node)
+        self.generic_visit(node)
+
+    def _is_dataclass(self, node: ast.ClassDef) -> bool:
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            canonical = self.context.imports.resolve_node(target)
+            if canonical in {"dataclasses.dataclass", "dataclass"}:
+                return True
+        return False
+
+    def _check_dataclass(self, node: ast.ClassDef) -> None:
+        from repro.analysis.dataflow.signatures import annotation_unit
+
+        unit_fields: dict[str, tuple[ast.AnnAssign, str]] = {}
+        post_init: ast.FunctionDef | None = None
+        for statement in node.body:
+            if isinstance(statement, ast.AnnAssign) and isinstance(
+                statement.target, ast.Name
+            ):
+                unit = annotation_unit(
+                    statement.annotation, self.context.imports
+                )
+                if unit is not None:
+                    unit_fields[statement.target.id] = (statement, unit.name)
+            elif (
+                isinstance(statement, ast.FunctionDef)
+                and statement.name == "__post_init__"
+            ):
+                post_init = statement
+
+        if not unit_fields:
+            return
+        validated = (
+            self._validated_fields(post_init) if post_init is not None else set()
+        )
+        for field_name, (statement, unit_name) in unit_fields.items():
+            if field_name not in validated:
+                where = (
+                    "no __post_init__ exists"
+                    if post_init is None
+                    else "__post_init__ never checks it"
+                )
+                self.report(
+                    statement,
+                    f"field {field_name!r} of {node.name} is annotated "
+                    f"{unit_name} but {where}",
+                )
+
+    def _validated_fields(self, post_init: ast.FunctionDef) -> set[str]:
+        """Field names ``__post_init__`` validates.
+
+        A field counts as validated when ``self.<field>`` appears as an
+        argument to a ``require_*``-style call or as an operand of a
+        comparison (the manual ``if not 0 < self.x <= 1: raise``
+        idiom).
+        """
+        validated: set[str] = set()
+        for node in ast.walk(post_init):
+            if isinstance(node, ast.Call):
+                canonical = self.context.imports.resolve_node(node.func)
+                name = (canonical or "").rsplit(".", 1)[-1]
+                if name.startswith("require_"):
+                    for argument in node.args:
+                        validated |= self._self_fields(argument)
+            elif isinstance(node, ast.Compare):
+                for operand in (node.left, *node.comparators):
+                    validated |= self._self_fields(operand)
+        return validated
+
+    @staticmethod
+    def _self_fields(node: ast.expr) -> set[str]:
+        fields: set[str] = set()
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.Attribute)
+                and isinstance(child.value, ast.Name)
+                and child.value.id == "self"
+            ):
+                fields.add(child.attr)
+        return fields

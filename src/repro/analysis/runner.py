@@ -30,7 +30,7 @@ from repro.analysis.config import (
     resolve_config,
 )
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 from repro.analysis.rules.base import ModuleContext, iter_rule_classes
 from repro.exceptions import ConfigurationError
 
@@ -200,7 +200,7 @@ def add_analysis_arguments(parser: argparse.ArgumentParser) -> None:
         help="files or directories to analyze (default: src)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default text)",
     )
     parser.add_argument(
@@ -296,6 +296,8 @@ def run_analysis_command(args: argparse.Namespace) -> int:
     suppressed = result.suppressed_baseline
     if args.format == "json":
         sys.stdout.write(render_json(result.findings, suppressed=suppressed))
+    elif args.format == "sarif":
+        sys.stdout.write(render_sarif(result.findings, suppressed=suppressed))
     else:
         sys.stdout.write(render_text(result.findings, suppressed=suppressed))
     return 0 if result.clean else 1

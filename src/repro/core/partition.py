@@ -22,12 +22,23 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import PartitionError
+from repro.units import CpuShares, Fraction01, Probability
 from repro.util.floats import isclose
 from repro.util.validation import require_fraction, require_positive
 
 
-def breakpoint_fraction(u_low: float, u_high: float, theta: float) -> float:
+def breakpoint_fraction(
+    u_low: Fraction01, u_high: Fraction01, theta: Probability
+) -> Fraction01:
     """Formula 1: the fraction ``p`` of peak demand assigned to CoS1.
+
+    ``theta`` is accepted on the **closed** interval ``(0, 1]``: a pool
+    may commit ``theta = 1.0`` (CoS2 as reliable as CoS1), and because
+    the formula's ``1 - theta`` divisor is singular there, any theta
+    within ``METRIC_ATOL`` of 1 short-circuits to ``p = 0`` *before*
+    the division (``ratio = U_low / U_high <= 1 ~= theta``, so CoS2
+    alone suffices). ``theta = 0.0`` is rejected: a class of service
+    that never grants access cannot carry demand.
 
     >>> round(breakpoint_fraction(0.5, 0.66, 0.6), 4)
     0.3939
@@ -56,8 +67,8 @@ def breakpoint_fraction(u_low: float, u_high: float, theta: float) -> float:
 
 def partition_demand(
     demand_values: np.ndarray,
-    demand_cap: float,
-    breakpoint_demand: float,
+    demand_cap: CpuShares,
+    breakpoint_demand: CpuShares,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Split a demand series across CoS1 and CoS2.
 
@@ -101,8 +112,8 @@ def partition_demand(
 def worst_case_granted_allocation(
     cos1_demand: np.ndarray,
     cos2_demand: np.ndarray,
-    theta: float,
-    u_low: float,
+    theta: Probability,
+    u_low: Fraction01,
 ) -> np.ndarray:
     """Expected allocation granted when CoS2 delivers exactly ``theta``.
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.exceptions import QoSSpecificationError
+from repro.units import Fraction01, Percent
 
 
 @dataclass(frozen=True)
@@ -33,8 +34,8 @@ class QoSRange:
     2.0
     """
 
-    u_low: float
-    u_high: float
+    u_low: Fraction01
+    u_high: Fraction01
 
     def __post_init__(self) -> None:
         if not 0.0 < self.u_low <= 1.0:
@@ -55,7 +56,7 @@ class QoSRange:
         """``1 / U_low``: the multiplier sizing ideal allocations."""
         return 1.0 / self.u_low
 
-    def contains(self, utilization: float) -> bool:
+    def contains(self, utilization: Fraction01) -> bool:
         """True when a measured utilization lies in the acceptable band.
 
         Utilizations *below* ``U_low`` also support ideal performance
@@ -87,8 +88,8 @@ class DegradedSpec:
         the budget.
     """
 
-    m_degr_percent: float
-    u_degr: float
+    m_degr_percent: Percent
+    u_degr: Fraction01
     t_degr_minutes: Optional[float] = None
     epochs_per_day: Optional[int] = None
 
@@ -112,9 +113,19 @@ class DegradedSpec:
             )
 
     @property
-    def compliance_percent(self) -> float:
+    def compliance_percent(self) -> Percent:
         """``M``: the percentage of measurements that must be acceptable."""
         return 100.0 - self.m_degr_percent
+
+    @property
+    def compliance_fraction(self) -> Fraction01:
+        """``M`` as a fraction in [0, 1] — the form budget math consumes."""
+        return (100.0 - self.m_degr_percent) / 100.0
+
+    @property
+    def m_degr_fraction(self) -> Fraction01:
+        """``M_degr`` as a fraction in [0, 1] (``m_degr_percent / 100``)."""
+        return self.m_degr_percent / 100.0
 
 
 @dataclass(frozen=True)
@@ -136,20 +147,29 @@ class ApplicationQoS:
             )
 
     @property
-    def u_low(self) -> float:
+    def u_low(self) -> Fraction01:
         return self.acceptable.u_low
 
     @property
-    def u_high(self) -> float:
+    def u_high(self) -> Fraction01:
         return self.acceptable.u_high
 
     @property
-    def u_degr(self) -> Optional[float]:
+    def u_degr(self) -> Optional[Fraction01]:
         return self.degraded.u_degr if self.degraded is not None else None
 
     @property
-    def m_degr_percent(self) -> float:
+    def m_degr_percent(self) -> Percent:
         return self.degraded.m_degr_percent if self.degraded is not None else 0.0
+
+    @property
+    def m_degr_fraction(self) -> Fraction01:
+        """``M_degr`` as a fraction in [0, 1]: the degraded-budget form.
+
+        Budget comparisons against measured fractions must use this
+        (or an explicit ``/ 100.0``), never the raw percentage.
+        """
+        return self.m_degr_percent / 100.0
 
     @property
     def t_degr_minutes(self) -> Optional[float]:
@@ -183,11 +203,11 @@ class QoSPolicy:
 
 
 def case_study_qos(
-    m_degr_percent: float = 3.0,
+    m_degr_percent: Percent = 3.0,
     t_degr_minutes: Optional[float] = None,
-    u_low: float = 0.5,
-    u_high: float = 0.66,
-    u_degr: float = 0.9,
+    u_low: Fraction01 = 0.5,
+    u_high: Fraction01 = 0.66,
+    u_degr: Fraction01 = 0.9,
 ) -> ApplicationQoS:
     """The paper's case-study requirement with configurable relaxations.
 

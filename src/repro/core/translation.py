@@ -37,6 +37,7 @@ from repro.core.time_limited import (
 )
 from repro.exceptions import TranslationError
 from repro.resources.container import ResourceContainer
+from repro.units import CpuShares, Fraction01, Slots
 from repro.traces.allocation import AllocationTrace, CoSAllocationPair
 from repro.traces.ops import longest_run_above
 from repro.traces.trace import DemandTrace
@@ -68,17 +69,43 @@ class TranslationResult:
     """
 
     pair: CoSAllocationPair
-    breakpoint: float
-    d_max: float
-    d_new_max: float
-    cap_reduction: float
-    degraded_fraction: float
-    longest_degraded_run_slots: int
+    breakpoint: Fraction01
+    d_max: CpuShares
+    d_new_max: CpuShares
+    cap_reduction: Fraction01
+    degraded_fraction: Fraction01
+    longest_degraded_run_slots: Slots
     time_limited: Optional[TimeLimitedResult] = None
     epoch_budget: Optional[EpochBudgetResult] = None
 
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.breakpoint <= 1.0:
+            raise TranslationError(
+                f"breakpoint must be in [0, 1], got {self.breakpoint}"
+            )
+        if self.d_max < 0.0:
+            raise TranslationError(f"d_max must be >= 0, got {self.d_max}")
+        if self.d_new_max < 0.0:
+            raise TranslationError(
+                f"d_new_max must be >= 0, got {self.d_new_max}"
+            )
+        if not 0.0 <= self.cap_reduction <= 1.0:
+            raise TranslationError(
+                f"cap_reduction must be in [0, 1], got {self.cap_reduction}"
+            )
+        if not 0.0 <= self.degraded_fraction <= 1.0:
+            raise TranslationError(
+                f"degraded_fraction must be in [0, 1], "
+                f"got {self.degraded_fraction}"
+            )
+        if self.longest_degraded_run_slots < 0:
+            raise TranslationError(
+                f"longest_degraded_run_slots must be >= 0, "
+                f"got {self.longest_degraded_run_slots}"
+            )
+
     @property
-    def max_allocation(self) -> float:
+    def max_allocation(self) -> CpuShares:
         """The workload's maximum total allocation (C_peak contribution)."""
         return self.pair.peak_allocation()
 
@@ -253,7 +280,7 @@ class QoSTranslator:
         demand: DemandTrace,
         qos: ApplicationQoS,
         utilization: np.ndarray,
-        degraded_fraction: float,
+        degraded_fraction: Fraction01,
     ) -> None:
         """Verify the translation's own guarantees on the input trace.
 
@@ -263,7 +290,7 @@ class QoSTranslator:
         than silently producing an unsound plan.
         """
         tolerance = 1e-9
-        budget = qos.m_degr_percent / 100.0
+        budget = qos.m_degr_fraction
         if degraded_fraction > budget + tolerance:
             raise TranslationError(
                 f"internal error: workload {demand.name!r} has "

@@ -18,10 +18,11 @@ import numpy as np
 
 from repro.exceptions import CapacityError, TraceError
 from repro.traces.allocation import AllocationTrace
+from repro.units import CpuShares, Probability
 
 
 def theta_by_slot(
-    allocation: AllocationTrace, capacity: float
+    allocation: AllocationTrace, capacity: CpuShares
 ) -> np.ndarray:
     """Per-(week, slot-of-day) access ratios, shape ``(weeks, T)``.
 
@@ -41,7 +42,9 @@ def theta_by_slot(
     return ratios
 
 
-def measure_theta(allocation: AllocationTrace, capacity: float) -> float:
+def measure_theta(
+    allocation: AllocationTrace, capacity: CpuShares
+) -> Probability:
     """The paper's theta: the worst (week, slot-of-day) access ratio."""
     ratios = theta_by_slot(allocation, capacity)
     return float(ratios.min()) if ratios.size else 1.0
@@ -49,10 +52,10 @@ def measure_theta(allocation: AllocationTrace, capacity: float) -> float:
 
 def required_capacity_for_theta(
     allocation: AllocationTrace,
-    theta: float,
-    capacity_limit: float,
+    theta: Probability,
+    capacity_limit: CpuShares,
     tolerance: float = 0.01,
-) -> float | None:
+) -> CpuShares | None:
     """Smallest capacity achieving ``theta`` for one allocation series.
 
     This is the single-CoS special case of the required-capacity search:

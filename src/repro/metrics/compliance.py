@@ -21,7 +21,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.qos import ApplicationQoS
-from repro.exceptions import TraceError
+from repro.exceptions import InvariantError, TraceError
+from repro.units import Fraction01, Slots
 from repro.util.floats import METRIC_ATOL, at_most, is_zero
 from repro.traces.calendar import TraceCalendar
 from repro.traces.ops import longest_run_above
@@ -34,14 +35,37 @@ class ComplianceReport:
 
     workload: str
     n_observations: int
-    acceptable_fraction: float
-    degraded_fraction: float
-    violation_fraction: float
-    longest_degraded_run_slots: int
+    acceptable_fraction: Fraction01
+    degraded_fraction: Fraction01
+    violation_fraction: Fraction01
+    longest_degraded_run_slots: Slots
     longest_degraded_run_minutes: float
     meets_band_budget: bool
     meets_ceiling: bool
     meets_time_limit: bool
+
+    def __post_init__(self) -> None:
+        # Per-field checks are written out so ROP011 can see each one.
+        if not 0.0 <= self.acceptable_fraction <= 1.0:
+            raise InvariantError(
+                f"acceptable_fraction must be in [0, 1], "
+                f"got {self.acceptable_fraction}"
+            )
+        if not 0.0 <= self.degraded_fraction <= 1.0:
+            raise InvariantError(
+                f"degraded_fraction must be in [0, 1], "
+                f"got {self.degraded_fraction}"
+            )
+        if not 0.0 <= self.violation_fraction <= 1.0:
+            raise InvariantError(
+                f"violation_fraction must be in [0, 1], "
+                f"got {self.violation_fraction}"
+            )
+        if self.longest_degraded_run_slots < 0:
+            raise InvariantError(
+                f"longest_degraded_run_slots must be >= 0, "
+                f"got {self.longest_degraded_run_slots}"
+            )
 
     @property
     def compliant(self) -> bool:
@@ -91,7 +115,7 @@ def check_compliance(
     run_slots = longest_run_above(degraded_mask.astype(float), 0.5)
     run_minutes = run_slots * calendar.slot_minutes
 
-    budget = qos.m_degr_percent / 100.0
+    budget = qos.m_degr_fraction
     meets_band_budget = at_most(degraded_fraction, budget)
     meets_ceiling = is_zero(violation_fraction)
     if qos.t_degr_minutes is None:

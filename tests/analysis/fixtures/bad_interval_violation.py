@@ -1,0 +1,20 @@
+"""ROP009 bad fixture: values provably outside their declared domain."""
+
+from repro.units import Fraction01, Probability
+
+
+def impossible_guard(theta: Probability) -> bool:
+    return theta > 1.5  # a probability can never exceed 1
+
+
+def overflow() -> None:
+    theta: Probability = 1.5  # assigned outside [0, 1]
+    del theta
+
+
+def takes_fraction(value: Fraction01) -> Fraction01:
+    return value
+
+
+def out_of_domain_argument() -> Fraction01:
+    return takes_fraction(250.0)  # argument provably outside [0, 1]

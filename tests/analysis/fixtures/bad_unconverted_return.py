@@ -1,0 +1,12 @@
+"""ROP010 bad fixture: returning one unit under another's annotation."""
+
+from repro.units import Fraction01, Percent
+
+
+def compliance_target(m_degr_percent: Percent) -> Fraction01:
+    return 100.0 - m_degr_percent  # still a Percent
+
+
+def budget_from(qos: object) -> Fraction01:
+    # Paper-symbol attributes carry their conventional unit.
+    return qos.m_degr_percent  # type: ignore[attr-defined]

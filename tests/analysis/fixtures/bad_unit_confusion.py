@@ -1,0 +1,27 @@
+"""ROP008 bad fixture: Percent values meeting fractions unconverted."""
+
+from repro.units import Fraction01, Percent, Probability
+
+
+def band_budget_met(
+    degraded_fraction: Fraction01, m_degr_percent: Percent
+) -> bool:
+    budget = m_degr_percent  # forgot / 100.0
+    return degraded_fraction <= budget  # comparison mixes units
+
+
+def slack(m_degr_percent: Percent, acceptable_fraction: Fraction01) -> float:
+    return acceptable_fraction + m_degr_percent  # arithmetic mixes units
+
+
+def fraction_budget(budget: Fraction01) -> Fraction01:
+    return budget
+
+
+def wire(m_degr_percent: Percent) -> Fraction01:
+    return fraction_budget(m_degr_percent)  # Percent into Fraction01 param
+
+
+def mislabel(m_degr_percent: Percent) -> None:
+    threshold: Probability = m_degr_percent  # annotated assignment mixes
+    del threshold

@@ -1,0 +1,22 @@
+"""ROP011 bad fixture: unit-annotated fields nobody range-checks."""
+
+from dataclasses import dataclass
+
+from repro.units import Fraction01, Percent, Probability
+
+
+@dataclass(frozen=True)
+class Requirement:
+    u_low: Fraction01  # no __post_init__ at all
+    m_degr_percent: Percent
+
+
+@dataclass
+class Partial:
+    theta: Probability
+    u_high: Fraction01
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.theta <= 1.0:
+            raise ValueError(f"theta must be in [0, 1], got {self.theta}")
+        # u_high is never checked.

@@ -1,0 +1,27 @@
+"""ROP009 good fixture: comparisons and flows that stay in-domain."""
+
+from repro.units import Fraction01, Probability
+
+
+def plausible_guard(theta: Probability) -> bool:
+    return theta > 0.95  # inside [0, 1]
+
+
+def boundary_guard(theta: Probability) -> bool:
+    return theta >= 1.0  # the endpoint itself belongs to the domain
+
+
+def takes_fraction(value: Fraction01) -> Fraction01:
+    return value
+
+
+def in_domain_argument() -> Fraction01:
+    return takes_fraction(0.5)
+
+
+def refined_by_branch(utilization: float) -> Probability:
+    # The branch proves the value is in [0, 1] before it is used.
+    if 0.0 <= utilization <= 1.0:
+        result: Probability = utilization
+        return result
+    return 1.0

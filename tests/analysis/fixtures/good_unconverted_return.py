@@ -1,0 +1,15 @@
+"""ROP010 good fixture: conversions applied before returning."""
+
+from repro.units import Fraction01, Percent
+
+
+def compliance_target(m_degr_percent: Percent) -> Fraction01:
+    return (100.0 - m_degr_percent) / 100.0
+
+
+def compliance_percent(m_degr_percent: Percent) -> Percent:
+    return 100.0 - m_degr_percent
+
+
+def budget_from(qos: object) -> Fraction01:
+    return qos.m_degr_fraction  # type: ignore[attr-defined]

@@ -1,0 +1,29 @@
+"""ROP008 good fixture: explicit conversions and legitimate mixing."""
+
+from repro.units import Fraction01, Percent, Probability
+
+
+def band_budget_met(
+    degraded_fraction: Fraction01, m_degr_percent: Percent
+) -> bool:
+    budget = m_degr_percent / 100.0  # sanctioned conversion
+    return degraded_fraction <= budget
+
+
+def as_percent(fraction: Fraction01) -> Percent:
+    return fraction * 100.0  # sanctioned conversion
+
+
+def cos2_sufficient(ratio: Fraction01, theta: Probability) -> bool:
+    # Fraction01 and Probability share dimension and scale: fine.
+    return ratio <= theta
+
+
+def headroom(m_degr_percent: Percent) -> Percent:
+    # Percent plus a plain number keeps the percent unit.
+    return 100.0 - m_degr_percent
+
+
+def scaled_demand(demand_cap: float, breakpoint_fraction: Fraction01) -> float:
+    # Multiplying amounts by fractions is ordinary arithmetic.
+    return demand_cap * breakpoint_fraction

@@ -1,0 +1,28 @@
+"""ROP011 good fixture: every unit-annotated field is validated."""
+
+from dataclasses import dataclass
+
+from repro.units import Fraction01, Percent, Probability
+from repro.util.validation import require_fraction, require_probability
+
+
+@dataclass(frozen=True)
+class Requirement:
+    u_low: Fraction01
+    m_degr_percent: Percent
+    theta: Probability
+
+    def __post_init__(self) -> None:
+        require_fraction(self.u_low, "u_low")
+        require_probability(self.theta, "theta")
+        if not 0.0 <= self.m_degr_percent < 100.0:
+            raise ValueError(
+                f"M_degr must be in [0, 100), got {self.m_degr_percent}"
+            )
+
+
+@dataclass(frozen=True)
+class Unitless:
+    # Fields without unit markers are outside the rule's scope.
+    name: str
+    weight: float

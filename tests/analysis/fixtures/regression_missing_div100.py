@@ -1,0 +1,16 @@
+"""Seeded regression: the missing ``/100`` bug the dataflow pass exists for.
+
+Mirrors the budget clause of
+:func:`repro.metrics.compliance.check_compliance` with the percent →
+fraction conversion dropped — the exact defect class a one-line edit
+could introduce. ROP008 must flag the comparison.
+"""
+
+from repro.units import Fraction01, Percent
+
+
+def meets_band_budget(
+    degraded_fraction: Fraction01, m_degr_percent: Percent
+) -> bool:
+    budget = m_degr_percent  # BUG: should be m_degr_percent / 100.0
+    return degraded_fraction <= budget

@@ -1,0 +1,269 @@
+"""Engine-level tests for the intraprocedural dataflow analysis.
+
+Covers the abstract domain (intervals, units, environments), CFG
+construction, flow-sensitive refinement, and — critically — the
+consistency of :data:`~repro.analysis.dataflow.signatures.KNOWN_SIGNATURES`
+and :data:`~repro.analysis.dataflow.signatures.ATTRIBUTE_UNITS` with
+the *live* annotations they mirror, so the tables cannot drift.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import inspect
+import math
+import types
+import typing
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.dataflow import (
+    AbstractValue,
+    Interval,
+    analyze_module,
+    build_cfg,
+)
+from repro.analysis.dataflow.signatures import (
+    ATTRIBUTE_UNITS,
+    KNOWN_SIGNATURES,
+)
+from repro.analysis.rules.base import ModuleContext
+from repro.units import FRACTION_01, PERCENT, PROBABILITY, Unit
+
+
+def analyze_source(source: str) -> "object":
+    """Run the module analysis over an inline source string."""
+    tree = ast.parse(source)
+    context = ModuleContext(
+        path=Path("inline_fixture.py"),
+        display_path="inline_fixture.py",
+        tree=tree,
+        source_lines=source.splitlines(),
+    )
+    return analyze_module(context)
+
+
+def function_cfg(source: str) -> "object":
+    tree = ast.parse(source)
+    function = next(
+        node for node in tree.body if isinstance(node, ast.FunctionDef)
+    )
+    return build_cfg(function)
+
+
+class TestInterval:
+    def test_join_is_the_hull(self):
+        assert Interval.point(1.0).join(Interval.point(3.0)) == Interval(1.0, 3.0)
+
+    def test_meet_of_disjoint_intervals_is_empty(self):
+        assert Interval(0.0, 1.0).meet(Interval(2.0, 3.0)).is_empty
+
+    def test_widening_blows_moving_bounds_to_infinity(self):
+        widened = Interval(0.0, 1.0).widen(Interval(0.0, 2.0))
+        assert widened.low == 0.0
+        assert math.isinf(widened.high)
+
+    def test_widening_is_stable_on_equal_intervals(self):
+        assert Interval(0.0, 1.0).widen(Interval(0.0, 1.0)) == Interval(0.0, 1.0)
+
+    def test_multiplication_takes_the_corner_extremes(self):
+        assert Interval(-1.0, 2.0).mul(Interval(3.0, 4.0)) == Interval(-4.0, 8.0)
+
+    def test_division_by_interval_containing_zero_is_top(self):
+        assert Interval(1.0, 2.0).div(Interval(-1.0, 1.0)).is_top
+
+    def test_entirely_outside_respects_tolerance(self):
+        barely_above = Interval.point(1.0 + 1e-12)
+        assert not barely_above.entirely_outside(FRACTION_01, atol=1e-9)
+        assert Interval.point(1.5).entirely_outside(FRACTION_01, atol=1e-9)
+
+    def test_top_is_never_outside_any_unit(self):
+        assert not Interval.top().entirely_outside(PROBABILITY)
+
+
+class TestAbstractValue:
+    def test_join_of_same_unit_keeps_the_unit(self):
+        value = AbstractValue.of_unit(FRACTION_01)
+        assert value.join(AbstractValue.of_unit(FRACTION_01)).unit is FRACTION_01
+
+    def test_join_of_differing_units_forgets_the_unit(self):
+        fraction = AbstractValue.of_unit(FRACTION_01)
+        percent = AbstractValue.of_unit(PERCENT)
+        assert fraction.join(percent).unit is None
+
+    def test_constant_carries_a_point_interval(self):
+        assert AbstractValue.constant(0.5).interval == Interval.point(0.5)
+
+
+class TestControlFlowGraph:
+    def test_if_else_produces_guarded_edges(self):
+        cfg = function_cfg(
+            "def f(x):\n"
+            "    if x > 0:\n"
+            "        y = 1\n"
+            "    else:\n"
+            "        y = 2\n"
+            "    return y\n"
+        )
+        guards = [edge for edge in cfg.edges if edge.guard is not None]
+        assert {edge.guard_value for edge in guards} == {True, False}
+        assert all(isinstance(edge.guard, ast.Compare) for edge in guards)
+
+    def test_while_loop_has_a_back_edge(self):
+        cfg = function_cfg(
+            "def f(n):\n"
+            "    while n > 0:\n"
+            "        n = n - 1\n"
+            "    return n\n"
+        )
+        assert any(edge.target <= edge.source for edge in cfg.edges)
+
+    def test_return_terminates_its_block(self):
+        cfg = function_cfg(
+            "def f(x):\n"
+            "    if x:\n"
+            "        return 1\n"
+            "    return 2\n"
+        )
+        for block in cfg.blocks:
+            for statement in block.statements[:-1]:
+                assert not isinstance(statement, ast.Return)
+
+
+class TestFlowSensitivity:
+    def test_branch_refinement_proves_the_domain(self):
+        analysis = analyze_source(
+            "from repro.units import Probability\n"
+            "def clamp(x: float) -> Probability:\n"
+            "    if 0.0 <= x <= 1.0:\n"
+            "        return x\n"
+            "    return 0.0\n"
+        )
+        assert analysis.diagnostics("interval") == []
+        assert analysis.diagnostics("return") == []
+
+    def test_unrefined_constant_outside_the_domain_is_flagged(self):
+        analysis = analyze_source(
+            "from repro.units import Probability\n"
+            "def bad() -> Probability:\n"
+            "    return 2.5\n"
+        )
+        assert analysis.diagnostics("interval")
+
+    def test_validator_call_proves_the_unit(self):
+        analysis = analyze_source(
+            "from repro.units import Fraction01\n"
+            "from repro.util.validation import require_fraction\n"
+            "def f(x: float) -> Fraction01:\n"
+            "    y = require_fraction(x, 'x')\n"
+            "    return y\n"
+        )
+        assert analysis.diagnostics("return") == []
+        assert analysis.diagnostics("unit-mix") == []
+
+    def test_loop_widening_terminates(self):
+        analysis = analyze_source(
+            "def count() -> float:\n"
+            "    total = 0.0\n"
+            "    while total < 1e9:\n"
+            "        total = total + 1.0\n"
+            "    return total\n"
+        )
+        assert analysis.diagnostics("interval") == []
+
+    def test_sanctioned_conversion_changes_the_unit(self):
+        analysis = analyze_source(
+            "from repro.units import Fraction01, Percent\n"
+            "def f(m_degr_percent: Percent) -> Fraction01:\n"
+            "    return m_degr_percent / 100.0\n"
+        )
+        assert analysis.diagnostics("return") == []
+
+    def test_unconverted_percent_is_diagnosed_once(self):
+        analysis = analyze_source(
+            "from repro.units import Fraction01, Percent\n"
+            "def f(m_degr_percent: Percent) -> Fraction01:\n"
+            "    return m_degr_percent\n"
+        )
+        assert len(analysis.diagnostics("return")) == 1
+
+
+def _live_unit_name(hint: object) -> str | None:
+    """Unit marker name carried by a live annotation, if any."""
+    origin = typing.get_origin(hint)
+    if origin is typing.Union or origin is types.UnionType:
+        for arg in typing.get_args(hint):
+            name = _live_unit_name(arg)
+            if name is not None:
+                return name
+        return None
+    for meta in getattr(hint, "__metadata__", ()):
+        if isinstance(meta, Unit):
+            return meta.name
+    return None
+
+
+def _resolve(qualname: str):
+    module_name, _, attribute = qualname.rpartition(".")
+    return getattr(importlib.import_module(module_name), attribute)
+
+
+class TestSignatureTableConsistency:
+    """KNOWN_SIGNATURES must agree with the functions it describes."""
+
+    @pytest.mark.parametrize("qualname", sorted(KNOWN_SIGNATURES))
+    def test_parameter_names_and_order_match(self, qualname):
+        function = _resolve(qualname)
+        live_names = list(inspect.signature(function).parameters)
+        table_names = [name for name, _ in KNOWN_SIGNATURES[qualname].params]
+        assert live_names[: len(table_names)] == table_names
+
+    @pytest.mark.parametrize("qualname", sorted(KNOWN_SIGNATURES))
+    def test_parameter_units_match_live_annotations(self, qualname):
+        function = _resolve(qualname)
+        hints = typing.get_type_hints(function, include_extras=True)
+        for name, unit_name in KNOWN_SIGNATURES[qualname].params:
+            assert _live_unit_name(hints.get(name)) == unit_name, name
+
+    @pytest.mark.parametrize("qualname", sorted(KNOWN_SIGNATURES))
+    def test_return_units_match_live_annotations(self, qualname):
+        function = _resolve(qualname)
+        hints = typing.get_type_hints(function, include_extras=True)
+        expected = KNOWN_SIGNATURES[qualname].returns
+        assert _live_unit_name(hints.get("return")) == expected
+
+
+class TestAttributeConventionConsistency:
+    """Spot-check ATTRIBUTE_UNITS against the live dataclasses."""
+
+    @pytest.mark.parametrize(
+        "qualname,attribute",
+        [
+            ("repro.core.qos.QoSRange", "u_low"),
+            ("repro.core.qos.QoSRange", "u_high"),
+            ("repro.core.qos.DegradedSpec", "m_degr_percent"),
+            ("repro.core.qos.DegradedSpec", "u_degr"),
+            ("repro.core.translation.TranslationResult", "breakpoint"),
+            ("repro.core.translation.TranslationResult", "degraded_fraction"),
+            (
+                "repro.metrics.compliance.ComplianceReport",
+                "acceptable_fraction",
+            ),
+            (
+                "repro.metrics.compliance.ComplianceReport",
+                "longest_degraded_run_slots",
+            ),
+        ],
+    )
+    def test_field_annotation_matches_the_convention(self, qualname, attribute):
+        owner = _resolve(qualname)
+        hints = typing.get_type_hints(owner, include_extras=True)
+        assert _live_unit_name(hints[attribute]) == ATTRIBUTE_UNITS[attribute]
+
+    def test_every_convention_entry_names_a_real_unit_or_none(self):
+        from repro.units import UNITS_BY_NAME
+
+        for attribute, unit_name in ATTRIBUTE_UNITS.items():
+            assert unit_name is None or unit_name in UNITS_BY_NAME, attribute

@@ -6,7 +6,14 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import analyze_paths, parse_json, render_json, render_text
+from repro.analysis import (
+    analyze_paths,
+    parse_json,
+    registered_rules,
+    render_json,
+    render_sarif,
+    render_text,
+)
 from repro.analysis.findings import Finding, Severity
 from repro.exceptions import ConfigurationError
 
@@ -52,6 +59,68 @@ class TestJsonReporter:
     def test_rejects_unknown_version(self):
         with pytest.raises(ConfigurationError):
             parse_json('{"version": 99, "findings": []}')
+
+
+class TestSarifReporter:
+    def test_emits_valid_sarif_2_1_0(self):
+        import json
+
+        log = json.loads(render_sarif(_sample_findings()))
+        assert log["version"] == "2.1.0"
+        assert "sarif-2.1.0" in log["$schema"]
+        assert len(log["runs"]) == 1
+
+    def test_results_carry_rule_level_and_location(self):
+        import json
+
+        findings = _sample_findings()
+        results = json.loads(render_sarif(findings))["runs"][0]["results"]
+        assert len(results) == len(findings)
+        first, finding = results[0], findings[0]
+        assert first["ruleId"] == finding.rule
+        assert first["level"] == "error"
+        region = first["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == finding.line
+        assert region["startColumn"] == finding.column
+        artifact = first["locations"][0]["physicalLocation"][
+            "artifactLocation"
+        ]
+        assert artifact["uri"] == finding.path
+
+    def test_driver_describes_every_registered_rule(self):
+        import json
+
+        driver = json.loads(render_sarif([]))["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-analysis"
+        described = {rule["id"] for rule in driver["rules"]}
+        assert described == set(registered_rules())
+
+    def test_empty_run_has_no_results(self):
+        import json
+
+        run = json.loads(render_sarif([], suppressed=3))["runs"][0]
+        assert run["results"] == []
+        assert run["properties"]["baselineSuppressed"] == 3
+
+    def test_runner_format_sarif_end_to_end(self, capsys):
+        import json
+
+        from repro.analysis.runner import main
+
+        code = main(
+            [
+                str(FIXTURES / "bad_naked_rng.py"),
+                "--no-config",
+                "--format",
+                "sarif",
+            ]
+        )
+        assert code == 1
+        log = json.loads(capsys.readouterr().out)
+        assert any(
+            result["ruleId"] == "ROP001"
+            for result in log["runs"][0]["results"]
+        )
 
 
 class TestTextReporter:

@@ -24,6 +24,10 @@ RULE_FIXTURES = [
     ("ROP005", "bad_bare_assert.py", "good_bare_assert.py"),
     ("ROP006", "bad_mutable_default.py", "good_mutable_default.py"),
     ("ROP007", "bad_shared_mutation.py", "good_shared_mutation.py"),
+    ("ROP008", "bad_unit_confusion.py", "good_unit_confusion.py"),
+    ("ROP009", "bad_interval_violation.py", "good_interval_violation.py"),
+    ("ROP010", "bad_unconverted_return.py", "good_unconverted_return.py"),
+    ("ROP011", "bad_unvalidated_boundary.py", "good_unvalidated_boundary.py"),
 ]
 
 
@@ -80,3 +84,29 @@ class TestSpecificDetections:
     def test_float_equality_counts_each_comparison(self):
         result = analyze_paths([FIXTURES / "bad_float_equality.py"])
         assert len(result.findings) == 3
+
+    def test_unit_confusion_flags_every_mix_site(self):
+        result = analyze_paths([FIXTURES / "bad_unit_confusion.py"])
+        assert len(result.findings) == 4
+        assert {finding.rule for finding in result.findings} == {"ROP008"}
+
+    def test_unvalidated_boundary_names_each_field(self):
+        result = analyze_paths([FIXTURES / "bad_unvalidated_boundary.py"])
+        messages = [finding.message for finding in result.findings]
+        assert len(messages) == 3
+        assert any("'u_low'" in message for message in messages)
+        assert any("'m_degr_percent'" in message for message in messages)
+        assert any("'u_high'" in message for message in messages)
+
+
+class TestSeededRegression:
+    """The missing-``/100`` defect the dataflow pass was built to catch."""
+
+    def test_missing_div100_on_m_degr_percent_is_flagged(self):
+        result = analyze_paths([FIXTURES / "regression_missing_div100.py"])
+        rop008 = [f for f in result.findings if f.rule == "ROP008"]
+        assert len(rop008) == 1
+        finding = rop008[0]
+        assert finding.line == 16
+        assert "Percent" in finding.message
+        assert "Fraction01" in finding.message

@@ -7,10 +7,14 @@ import subprocess
 import sys
 from pathlib import Path
 
+import pytest
+
 import repro
 from repro.analysis import AnalysisConfig, analyze_paths, resolve_config
 from repro.analysis.findings import Severity
 from repro.analysis.runner import main
+from repro.cli import main as cli_main
+from repro.exceptions import ConfigurationError
 
 FIXTURES = Path(__file__).parent / "fixtures"
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -100,6 +104,85 @@ class TestConfig:
         )
         assert config.select == frozenset({"ROP001", "ROP002"})
         assert config.exclude == ("fixtures",)
+
+
+class TestPytestModuleExemption:
+    """ROP005 stays silent in pytest files (benchmarks are pytest-run)."""
+
+    @pytest.mark.parametrize("name", ["test_fig9.py", "conftest.py"])
+    def test_assert_allowed_in_pytest_modules(self, tmp_path, name):
+        path = tmp_path / name
+        path.write_text("def check(flag):\n    assert flag\n")
+        result = analyze_paths([path])
+        assert result.findings == ()
+
+    def test_assert_still_flagged_elsewhere(self, tmp_path):
+        path = tmp_path / "pipeline.py"
+        path.write_text("def check(flag):\n    assert flag\n")
+        result = analyze_paths([path])
+        assert {finding.rule for finding in result.findings} == {"ROP005"}
+
+
+class TestRuleIdValidation:
+    def test_unknown_select_id_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="ROP999"):
+            resolve_config(select="ROP999")
+
+    def test_unknown_ignore_id_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="ignore"):
+            resolve_config(ignore="ROP001,ROP424")
+
+    def test_unknown_pyproject_select_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="ROP999"):
+            resolve_config(pyproject={"select": ["ROP999"]})
+
+    def test_cli_reports_usage_error_for_unknown_rule(self, capsys):
+        code = main(
+            [str(FIXTURES / "good_naked_rng.py"), "--select", "ROP999"]
+        )
+        assert code == 2
+        assert "ROP999" in capsys.readouterr().err
+
+
+class TestCliPrecedence:
+    """CLI ``--select``/``--ignore`` beat ``[tool.repro-analysis]``."""
+
+    @staticmethod
+    def _project(tmp_path: Path) -> Path:
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro-analysis]\nselect = [\"ROP005\"]\n"
+        )
+        module = tmp_path / "module.py"
+        module.write_text(
+            (FIXTURES / "bad_float_equality.py").read_text()
+        )
+        return module
+
+    def test_resolve_config_prefers_cli_values(self):
+        config = resolve_config(
+            select="ROP003", pyproject={"select": "ROP001"}
+        )
+        assert config.select == frozenset({"ROP003"})
+        config = resolve_config(
+            ignore="ROP003", pyproject={"ignore": "ROP001"}
+        )
+        assert config.ignore == frozenset({"ROP003"})
+
+    def test_module_entry_pyproject_applies_without_flags(self, tmp_path):
+        module = self._project(tmp_path)
+        # Table selects ROP005 only; the file only violates ROP003.
+        assert main([str(module)]) == 0
+
+    def test_module_entry_cli_select_overrides_table(self, tmp_path, capsys):
+        module = self._project(tmp_path)
+        assert main([str(module), "--select", "ROP003"]) == 1
+        assert "ROP003" in capsys.readouterr().out
+
+    def test_ropus_lint_cli_select_overrides_table(self, tmp_path, capsys):
+        module = self._project(tmp_path)
+        assert cli_main(["lint", str(module)]) == 0
+        assert cli_main(["lint", str(module), "--select", "ROP003"]) == 1
+        assert "ROP003" in capsys.readouterr().out
 
 
 class TestSyntaxErrors:

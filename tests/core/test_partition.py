@@ -35,6 +35,19 @@ class TestBreakpointFraction:
     def test_theta_one_gives_zero(self):
         assert breakpoint_fraction(0.5, 0.66, 1.0) == 0.0
 
+    def test_theta_within_atol_of_one_short_circuits(self):
+        # Any theta within METRIC_ATOL of 1 must take the isclose
+        # branch and never reach the singular 1 - theta divisor —
+        # even when U_low == U_high makes ratio == 1 > theta.
+        for theta in (1.0 - 1e-12, 1.0 - 1e-10):
+            assert breakpoint_fraction(0.5, 0.66, theta) == 0.0
+            assert breakpoint_fraction(0.6, 0.6, theta) == 0.0
+
+    def test_theta_just_below_the_atol_window_still_divides(self):
+        # Outside the METRIC_ATOL window the formula applies normally;
+        # with ratio == 1 it yields exactly p = 1 for any theta < 1.
+        assert breakpoint_fraction(0.6, 0.6, 1.0 - 1e-6) == 1.0
+
     def test_rejects_bad_inputs(self):
         with pytest.raises(PartitionError):
             breakpoint_fraction(0.7, 0.66, 0.6)

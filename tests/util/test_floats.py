@@ -1,0 +1,93 @@
+"""Property tests for the tolerance-aware float helpers.
+
+The helpers back every metric comparison in the pipeline, so their
+algebra is pinned down property-style: symmetry, reflexivity,
+tolerance monotonicity, agreement between the three helpers, and NaN
+behaviour (always false, never raising).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.floats import METRIC_ATOL, at_most, is_zero, isclose
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+tolerances = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+wider = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestIsclose:
+    @given(finite, finite, tolerances)
+    def test_symmetric(self, a, b, atol):
+        assert isclose(a, b, atol=atol) == isclose(b, a, atol=atol)
+
+    @given(finite)
+    def test_reflexive(self, a):
+        assert isclose(a, a)
+        assert isclose(a, a, atol=0.0)
+
+    @given(finite, finite, tolerances, wider)
+    def test_monotone_in_tolerance(self, a, b, atol, extra):
+        if isclose(a, b, atol=atol):
+            assert isclose(a, b, atol=atol + extra)
+
+    @given(finite, finite)
+    def test_agrees_with_the_absolute_difference(self, a, b):
+        assert isclose(a, b) == (abs(a - b) <= METRIC_ATOL)
+
+    @given(finite)
+    def test_nan_is_never_close(self, a):
+        assert not isclose(math.nan, a)
+        assert not isclose(a, math.nan)
+        assert not isclose(math.nan, math.nan)
+
+
+class TestIsZero:
+    @given(finite, tolerances)
+    def test_matches_isclose_to_zero(self, value, atol):
+        assert is_zero(value, atol=atol) == isclose(value, 0.0, atol=atol)
+
+    @given(finite, tolerances)
+    def test_sign_symmetric(self, value, atol):
+        assert is_zero(value, atol=atol) == is_zero(-value, atol=atol)
+
+    @given(finite, tolerances, wider)
+    def test_monotone_in_tolerance(self, value, atol, extra):
+        if is_zero(value, atol=atol):
+            assert is_zero(value, atol=atol + extra)
+
+    def test_nan_is_not_zero(self):
+        assert not is_zero(math.nan)
+
+
+class TestAtMost:
+    @given(finite, finite)
+    def test_true_ordering_always_passes(self, a, b):
+        low, high = min(a, b), max(a, b)
+        assert at_most(low, high)
+
+    @given(finite, finite, tolerances)
+    def test_total_in_either_direction(self, a, b, atol):
+        assert at_most(a, b, atol=atol) or at_most(b, a, atol=atol)
+
+    @given(finite, finite, tolerances, wider)
+    def test_monotone_in_tolerance(self, value, limit, atol, extra):
+        if at_most(value, limit, atol=atol):
+            assert at_most(value, limit, atol=atol + extra)
+
+    @given(finite, finite, tolerances)
+    def test_isclose_implies_at_most_both_ways(self, a, b, atol):
+        if isclose(a, b, atol=atol):
+            assert at_most(a, b, atol=atol)
+            assert at_most(b, a, atol=atol)
+
+    @given(finite)
+    def test_nan_never_satisfies_a_budget(self, limit):
+        assert not at_most(math.nan, limit)
+        assert not at_most(limit, math.nan)
