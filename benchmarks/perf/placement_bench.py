@@ -1,0 +1,188 @@
+"""Wall-time benchmark for the batched capacity-search kernels.
+
+Runs the seeded consolidation + failure-sweep pipeline at two scales
+and three arms:
+
+* ``scalar`` — the pre-batching path (per-subset Python bisection, no
+  sweep cache sharing): the baseline every speedup is measured against;
+* ``batch`` — the simultaneous-bisection kernel plus failure-sweep
+  scratch sharing, bit-identical plans;
+* ``analytic`` — the batch kernel with the closed-form theta inversion,
+  tolerance-equivalent plans.
+
+Every arm replans the same pinned-seed ensemble, the driver checks the
+arms against each other (batch must match scalar exactly, analytic
+within the search tolerance), and the measurements land in
+``BENCH_placement.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/placement_bench.py           # both scales
+    PYTHONPATH=src python benchmarks/perf/placement_bench.py --quick   # small only (CI)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.core.cos import PoolCommitments
+from repro.core.framework import ROpus
+from repro.core.qos import QoSPolicy, case_study_qos
+from repro.engine import ExecutionEngine
+from repro.placement.genetic import GeneticSearchConfig
+from repro.resources.pool import ResourcePool
+from repro.resources.server import homogeneous_servers
+from repro.workloads.ensemble import case_study_ensemble
+
+SEED = 2006
+TOLERANCE = 0.01
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_placement.json"
+
+#: (scale name, ensemble shape, pool size, search budget). ``small``
+#: is the CI smoke size; ``medium`` is the 26-application case-study
+#: ensemble at the paper's 5-minute resolution over 4 weeks.
+SCALES: dict[str, dict[str, int]] = {
+    "small": {
+        "weeks": 1,
+        "slot_minutes": 60,
+        "servers": 12,
+        "population_size": 8,
+        "max_generations": 6,
+        "stall_generations": 3,
+    },
+    "medium": {
+        "weeks": 4,
+        "slot_minutes": 5,
+        "servers": 12,
+        "population_size": 10,
+        "max_generations": 8,
+        "stall_generations": 4,
+    },
+}
+
+#: Arm name -> framework knobs. The scalar arm also disables the sweep
+#: scratch so it is a faithful replay of the pre-kernel pipeline.
+ARMS: dict[str, dict[str, object]] = {
+    "scalar": {"kernel": "scalar", "share_sweep_cache": False},
+    "batch": {"kernel": "batch", "share_sweep_cache": True},
+    "analytic": {"kernel": "analytic", "share_sweep_cache": True},
+}
+
+
+def run_arm(demands, policy, scale: dict[str, int], knobs) -> dict:
+    config = GeneticSearchConfig(
+        seed=SEED,
+        population_size=scale["population_size"],
+        max_generations=scale["max_generations"],
+        stall_generations=scale["stall_generations"],
+    )
+    framework = ROpus(
+        PoolCommitments.of(theta=0.95),
+        ResourcePool(homogeneous_servers(scale["servers"], cpus=16)),
+        search_config=config,
+        tolerance=TOLERANCE,
+        engine=ExecutionEngine.serial(),
+        **knobs,
+    )
+    start = time.perf_counter()
+    plan = framework.plan(demands, policy, plan_failures=True)
+    wall = time.perf_counter() - start
+    return {
+        "wall_seconds": round(wall, 4),
+        "servers_used": plan.consolidation.servers_used,
+        "sum_required": round(plan.consolidation.sum_required, 4),
+        "spare_server_needed": plan.spare_server_needed,
+        "counters": {
+            key: value for key, value in sorted(plan.summary()["counters"].items())
+        },
+        "_plan": plan,
+    }
+
+
+def check_consistency(arms: dict[str, dict]) -> None:
+    """Fail loudly when an arm's plan drifts from the scalar baseline."""
+    baseline = arms["scalar"]["_plan"].consolidation
+    for name, arm in arms.items():
+        consolidation = arm["_plan"].consolidation
+        if dict(consolidation.assignment) != dict(baseline.assignment):
+            raise RuntimeError(f"{name} arm changed the placement")
+        required = dict(consolidation.required_by_server)
+        for server, value in dict(baseline.required_by_server).items():
+            # batch is bit-identical; analytic may land anywhere in the
+            # same tolerance interval.
+            budget = 1e-9 if name != "analytic" else TOLERANCE + 1e-9
+            if abs(required[server] - value) > budget:
+                raise RuntimeError(
+                    f"{name} arm: required capacity for {server} is "
+                    f"{required[server]}, scalar says {value}"
+                )
+
+
+def run_scale(name: str, scale: dict[str, int]) -> dict:
+    demands = case_study_ensemble(
+        seed=SEED, weeks=scale["weeks"], slot_minutes=scale["slot_minutes"]
+    )
+    policy = QoSPolicy(
+        normal=case_study_qos(m_degr_percent=0),
+        failure=case_study_qos(m_degr_percent=3, t_degr_minutes=30),
+    )
+    arms = {
+        arm: run_arm(demands, policy, scale, knobs)
+        for arm, knobs in ARMS.items()
+    }
+    check_consistency(arms)
+    baseline = arms["scalar"]["wall_seconds"]
+    speedups = {
+        arm: round(baseline / result["wall_seconds"], 2)
+        for arm, result in arms.items()
+        if arm != "scalar"
+    }
+    for arm in arms.values():
+        del arm["_plan"]
+    print(f"[{name}] scalar {baseline:.2f}s", flush=True)
+    for arm, speedup in speedups.items():
+        print(
+            f"[{name}] {arm} {arms[arm]['wall_seconds']:.2f}s "
+            f"({speedup:.2f}x)",
+            flush=True,
+        )
+    return {
+        "config": dict(scale),
+        "workloads": len(demands),
+        "arms": arms,
+        "speedup_vs_scalar": speedups,
+        "plans_consistent": True,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run only the small scale (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args()
+
+    names = ["small"] if args.quick else list(SCALES)
+    report = {
+        "benchmark": "placement capacity-search kernels",
+        "seed": SEED,
+        "tolerance": TOLERANCE,
+        "quick": args.quick,
+        "scales": {name: run_scale(name, SCALES[name]) for name in names},
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

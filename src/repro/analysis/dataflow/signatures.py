@@ -120,6 +120,19 @@ KNOWN_SIGNATURES: dict[str, Signature] = {
         ),
         returns="CpuShares",
     ),
+    "repro.placement.kernels.evaluate_capacities": Signature(
+        params=(("simulator", None), ("capacities", None)),
+    ),
+    "repro.placement.kernels.required_capacity_batch": Signature(
+        params=(
+            ("batch", None),
+            ("capacity_limits", None),
+            ("commitment", None),
+            ("tolerance", "CpuShares"),
+            ("probes", None),
+            ("mode", None),
+        ),
+    ),
     "repro.util.validation.require_fraction": Signature(
         params=(("value", None), ("name", None)), returns="Fraction01"
     ),

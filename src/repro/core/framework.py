@@ -38,13 +38,16 @@ class CapacityPlan:
 
     ``timings`` maps stage names (``translation``, ``placement``,
     ``failure_planning``) to the seconds this run spent in each, as
-    recorded by the engine's instrumentation.
+    recorded by the engine's instrumentation; ``counters`` holds the
+    run's counter increments (kernel calls and bracket iterations,
+    evaluation cache hits/misses, bytes broadcast to workers, ...).
     """
 
     translations: Mapping[str, TranslationResult]
     consolidation: ConsolidationResult
     failure_report: Optional[FailureReport]
     timings: Mapping[str, float] = field(default_factory=dict)
+    counters: Mapping[str, float] = field(default_factory=dict)
 
     @property
     def servers_used(self) -> int:
@@ -67,6 +70,7 @@ class CapacityPlan:
             "sharing_savings": self.consolidation.sharing_savings(),
             "spare_server_needed": self.spare_server_needed,
             "stage_timings": dict(self.timings),
+            "counters": dict(self.counters),
         }
 
 
@@ -92,6 +96,8 @@ class ROpus:
         tolerance: float = 0.01,
         attribute: str = "cpu",
         engine: ExecutionEngine | None = None,
+        kernel: str = "batch",
+        share_sweep_cache: bool = True,
     ):
         self.commitments = commitments
         self.pool = pool
@@ -99,6 +105,8 @@ class ROpus:
         self.tolerance = tolerance
         self.attribute = attribute
         self.engine = engine if engine is not None else ExecutionEngine.serial()
+        self.kernel = kernel
+        self.share_sweep_cache = share_sweep_cache
         self.translator = QoSTranslator(commitments, engine=self.engine)
 
     def translate(
@@ -144,6 +152,7 @@ class ROpus:
         """
         instrumentation = self.engine.instrumentation
         baseline = instrumentation.snapshot()
+        counter_baseline = instrumentation.counters()
         translations = self.translate(demands, policies)
         pairs = [result.pair for result in translations.values()]
         consolidator = Consolidator(
@@ -153,6 +162,7 @@ class ROpus:
             tolerance=self.tolerance,
             attribute=self.attribute,
             engine=self.engine,
+            kernel=self.kernel,
         )
         consolidation = consolidator.consolidate(
             pairs, algorithm=algorithm, previous=previous
@@ -166,6 +176,8 @@ class ROpus:
                 tolerance=self.tolerance,
                 attribute=self.attribute,
                 engine=self.engine,
+                kernel=self.kernel,
+                share_cache=self.share_sweep_cache,
             )
             failure_report = planner.plan(
                 demands,
@@ -180,6 +192,7 @@ class ROpus:
             consolidation=consolidation,
             failure_report=failure_report,
             timings=instrumentation.timings_since(baseline),
+            counters=instrumentation.counters_since(counter_baseline),
         )
 
     def _qos_for(

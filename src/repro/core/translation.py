@@ -239,7 +239,7 @@ class QoSTranslator:
         """
         instrumentation = self.engine.instrumentation
         with instrumentation.stage("translation"):
-            results = self.engine.executor.map(
+            results = self.engine.map(
                 _translate_worker, list(items), shared=self.commitments
             )
         instrumentation.count("translation.workloads", len(items))

@@ -8,6 +8,7 @@ backends, and :class:`Instrumentation` for stage timers, counters, and
 the structured event log.
 """
 
+from repro.engine.broadcast import SharedMemoryHandle
 from repro.engine.core import ExecutionEngine
 from repro.engine.executor import (
     Executor,
@@ -26,6 +27,7 @@ __all__ = [
     "Instrumentation",
     "ParallelExecutor",
     "SerialExecutor",
+    "SharedMemoryHandle",
     "StageStats",
     "make_executor",
 ]

@@ -14,9 +14,14 @@ gains stage timings for free and parallelism is strictly opt-in.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
-from repro.engine.executor import Executor, SerialExecutor, make_executor
+from repro.engine.executor import (
+    Executor,
+    ExecutorSession,
+    SerialExecutor,
+    make_executor,
+)
 from repro.engine.instrumentation import Instrumentation
 
 
@@ -56,6 +61,38 @@ class ExecutionEngine:
     ) -> "ExecutionEngine":
         """Serial for ``workers in (None, 1)``, else a process-pool backend."""
         return cls(make_executor(workers), instrumentation)
+
+    def session(self, shared: "Any" = None) -> ExecutorSession:
+        """Open an executor session and account its broadcast cost.
+
+        Counts one ``broadcast.sessions``, the transport that carried
+        the shared payload (``broadcast.shared_memory_sessions`` vs
+        ``broadcast.pickle_sessions`` — serial sessions hand the payload
+        over by reference and count neither), and the bytes published
+        zero-copy (``broadcast.bytes_shared``).
+        """
+        session = self.executor.session(shared)
+        self.instrumentation.count("broadcast.sessions")
+        if session.broadcast_mode == "shared_memory":
+            self.instrumentation.count("broadcast.shared_memory_sessions")
+            self.instrumentation.count(
+                "broadcast.bytes_shared", session.broadcast_bytes
+            )
+        elif session.broadcast_mode == "pickle":
+            self.instrumentation.count("broadcast.pickle_sessions")
+        return session
+
+    def map(
+        self,
+        fn: "Any",
+        items: "Any",
+        *,
+        shared: "Any" = None,
+        chunksize: int | None = None,
+    ) -> list["Any"]:
+        """One-shot fan-out through :meth:`session` (so it is counted)."""
+        with self.session(shared) as session:
+            return session.map(fn, items, chunksize=chunksize)
 
     def close(self) -> None:
         self.executor.close()

@@ -26,6 +26,7 @@ from concurrent.futures import ProcessPoolExecutor
 from functools import partial
 from typing import Any, Callable, Sequence, TypeVar
 
+from repro.engine.broadcast import publish, resolve
 from repro.exceptions import ConfigurationError
 
 ItemT = TypeVar("ItemT")
@@ -34,12 +35,14 @@ WorkFn = Callable[[Any, ItemT], ResultT]
 
 # Payload broadcast to worker processes, installed once per process by the
 # pool initializer so repeated map calls in one session don't re-pickle it.
+# Shared-memory handles are resolved here, once, into read-only array
+# views over the published segment (see repro.engine.broadcast).
 _WORKER_SHARED: Any = None
 
 
 def _install_shared(payload: Any) -> None:
     global _WORKER_SHARED
-    _WORKER_SHARED = payload
+    _WORKER_SHARED = resolve(payload)
 
 
 def _invoke_shared(fn: WorkFn, item: Any) -> Any:
@@ -53,6 +56,14 @@ class ExecutorSession(ABC):
     payload (the GA evaluates one batch per generation against the same
     allocation matrices) pay the broadcast cost once, not per call.
     """
+
+    #: Number of work units the backend can run concurrently; callers
+    #: use it to size chunks (one batched work unit per slot).
+    parallelism: int = 1
+    #: How the shared payload reached the workers.
+    broadcast_mode: str = "inline"
+    #: Bytes published through shared memory (0 on the pickle/inline paths).
+    broadcast_bytes: int = 0
 
     @abstractmethod
     def map(
@@ -126,6 +137,7 @@ class _ParallelSession(ExecutorSession):
     def __init__(self, pool: ProcessPoolExecutor, workers: int):
         self._pool = pool
         self._workers = workers
+        self.parallelism = workers
 
     def map(
         self,
@@ -175,20 +187,44 @@ class ParallelExecutor(Executor):
         self.chunksize = chunksize
 
     def session(self, shared: Any = None) -> ExecutorSession:
+        # Publish the payload's arrays through shared memory when
+        # possible; workers then attach one physical copy instead of
+        # each unpickling their own (repro.engine.broadcast documents
+        # when this falls back to the plain pickle path).
+        broadcast, segment, shared_bytes = publish(shared)
         pool = ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_install_shared,
-            initargs=(shared,),
+            initargs=(broadcast,),
         )
-        return _ParallelSessionWithDefault(pool, self.workers, self.chunksize)
+        return _ParallelSessionWithDefault(
+            pool, self.workers, self.chunksize, segment, shared_bytes
+        )
 
 
 class _ParallelSessionWithDefault(_ParallelSession):
     def __init__(
-        self, pool: ProcessPoolExecutor, workers: int, chunksize: int | None
+        self,
+        pool: ProcessPoolExecutor,
+        workers: int,
+        chunksize: int | None,
+        segment: Any = None,
+        shared_bytes: int = 0,
     ):
         super().__init__(pool, workers)
         self._default_chunksize = chunksize
+        self._segment = segment
+        self.broadcast_bytes = shared_bytes
+        self.broadcast_mode = "shared_memory" if segment is not None else "pickle"
+
+    def close(self) -> None:
+        super().close()
+        if self._segment is not None:
+            # Workers have exited (shutdown waited), so the driver's
+            # unlink drops the last reference to the segment.
+            self._segment.close()
+            self._segment.unlink()
+            self._segment = None
 
     def map(
         self,

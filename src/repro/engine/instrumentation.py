@@ -114,6 +114,20 @@ class Instrumentation:
         """A timing snapshot usable with :meth:`timings_since`."""
         return self.timings()
 
+    def counters_since(self, snapshot: Mapping[str, float]) -> dict[str, float]:
+        """Per-counter increments accumulated since ``snapshot``.
+
+        The snapshot is a :meth:`counters` copy taken earlier; counters
+        that did not advance are omitted, mirroring
+        :meth:`timings_since`.
+        """
+        deltas = {}
+        for name, total in self._counters.items():
+            delta = total - snapshot.get(name, 0.0)
+            if delta > 0.0:
+                deltas[name] = delta
+        return deltas
+
     def timings_since(self, snapshot: Mapping[str, float]) -> dict[str, float]:
         """Per-stage seconds accumulated since ``snapshot`` was taken.
 

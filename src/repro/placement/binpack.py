@@ -23,6 +23,8 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.exceptions import InfeasiblePlacementError, PlacementError
 
 
@@ -70,17 +72,23 @@ def pack_first_fit_decreasing(
     values = _validate(sizes, capacity)
     order = sorted(range(len(values)), key=lambda index: -values[index])
     bins: list[list[int]] = []
-    remaining: list[float] = []
+    # Slack per open bin as a preallocated array: the first-fit scan is
+    # one vectorised comparison + argmax instead of a Python loop over
+    # bins (the scan is the quadratic part of FFD).
+    remaining = np.empty(len(values), dtype=float)
+    n_bins = 0
     for index in order:
         size = values[index]
-        for bin_index, slack in enumerate(remaining):
-            if size <= slack + 1e-9:
-                bins[bin_index].append(index)
-                remaining[bin_index] = slack - size
-                break
+        open_slack = remaining[:n_bins]
+        fits = size <= open_slack + 1e-9
+        if fits.any():
+            bin_index = int(np.argmax(fits))
+            bins[bin_index].append(index)
+            remaining[bin_index] -= size
         else:
             bins.append([index])
-            remaining.append(capacity - size)
+            remaining[n_bins] = capacity - size
+            n_bins += 1
     return PackingResult(
         bins=tuple(tuple(sorted(group)) for group in bins),
         capacity=capacity,
@@ -121,6 +129,12 @@ def pack_branch_and_bound(
 
     current_bins: list[list[int]] = []
     current_slack: list[float] = []
+    # Suffix volumes of the (fixed) item order, so the volume bound at
+    # each node is an O(1) lookup instead of an O(n) re-summation —
+    # the bound is checked once per node explored.
+    suffix_volume = [0.0] * (len(order) + 1)
+    for index in range(len(order) - 1, -1, -1):
+        suffix_volume[index] = suffix_volume[index + 1] + values[order[index]]
 
     def recurse(position: int) -> None:
         nonlocal best_count, best_bins, nodes_left, proven
@@ -135,7 +149,7 @@ def pack_branch_and_bound(
             best_bins = [list(group) for group in current_bins]
             return
         # Volume bound on the remainder.
-        remaining_volume = sum(values[order[index]] for index in range(position, len(order)))
+        remaining_volume = suffix_volume[position]
         slack_volume = sum(current_slack)
         extra_needed = math.ceil(
             max(0.0, remaining_volume - slack_volume) / capacity - 1e-9

@@ -96,6 +96,7 @@ class Consolidator:
         tolerance: float = 0.01,
         attribute: str = "cpu",
         engine: ExecutionEngine | None = None,
+        kernel: str = "batch",
     ):
         if len(pool) == 0:
             raise PlacementError("cannot consolidate onto an empty pool")
@@ -105,6 +106,7 @@ class Consolidator:
         self.tolerance = tolerance
         self.attribute = attribute
         self.engine = engine if engine is not None else ExecutionEngine.serial()
+        self.kernel = kernel
 
     def consolidate(
         self,
@@ -121,7 +123,11 @@ class Consolidator:
         disrupts an application and needs migration machinery).
         """
         evaluator = PlacementEvaluator(
-            pairs, self.commitment, tolerance=self.tolerance
+            pairs,
+            self.commitment,
+            tolerance=self.tolerance,
+            kernel=self.kernel,
+            instrumentation=self.engine.instrumentation,
         )
         return self.consolidate_with_evaluator(
             evaluator, algorithm, previous=previous
@@ -241,6 +247,35 @@ class Consolidator:
         for workload_index, server_index in enumerate(assignment):
             groups.setdefault(int(server_index), []).append(workload_index)
 
+        # Evaluate every used server's final group in one batched call
+        # when the evaluator supports it (normally all cache hits after
+        # a search; one simultaneous solve otherwise, e.g. for the pure
+        # greedy algorithms' final scoring).
+        batch_evaluate = getattr(evaluator, "evaluate_groups", None)
+        used = [
+            (server_index, server)
+            for server_index, server in enumerate(servers)
+            if groups.get(server_index)
+        ]
+        if batch_evaluate is not None:
+            evaluations = batch_evaluate(
+                [
+                    (server.capacity_of(self.attribute), groups[server_index])
+                    for server_index, server in used
+                ]
+            )
+        else:
+            evaluations = [
+                evaluator.evaluate_group(
+                    groups[server_index], server, self.attribute
+                )
+                for server_index, server in used
+            ]
+        evaluation_by_server = {
+            server_index: evaluation
+            for (server_index, _), evaluation in zip(used, evaluations)
+        }
+
         named_assignment: dict[str, tuple[str, ...]] = {}
         required_by_server: dict[str, float] = {}
         score = 0.0
@@ -249,7 +284,7 @@ class Consolidator:
             if not indices:
                 score += 1.0
                 continue
-            evaluation = evaluator.evaluate_group(indices, server, self.attribute)
+            evaluation = evaluation_by_server[server_index]
             if not evaluation.fits:
                 raise PlacementError(
                     f"assignment places an infeasible workload set on "

@@ -3,28 +3,45 @@
 Every placement algorithm (genetic, greedy, bin-packing comparisons)
 needs the same primitive: "what is the required capacity of this subset
 of workloads on this server?". The :class:`PlacementEvaluator` owns the
-stacked allocation matrices, runs the simulator + binary search, and
+stacked allocation matrices, runs the simulator + capacity search, and
 memoises results by (server capacity profile, workload subset) — the
 genetic search re-visits the same server contents constantly, so the
 cache is what makes the search affordable.
 
+Two execution shapes are supported:
+
+* the scalar path (:func:`evaluate_group_worker`) runs one subset's
+  binary search at a time, exactly as the paper describes it;
+* the batch path (:meth:`PlacementEvaluator.evaluate_groups`,
+  :func:`evaluate_groups_worker`) stacks all cache-missing subsets into
+  a :class:`~repro.placement.kernels.BatchSimulator` and solves every
+  bracket simultaneously with
+  :func:`~repro.placement.kernels.required_capacity_batch` — same
+  results, one lock-step array program instead of N Python loops.
+
 For parallel backends the evaluator exposes a picklable
 :class:`EvaluationPayload` (the matrices plus commitment parameters) and
-the pure :func:`evaluate_group_worker`; workers stay stateless, compute
-only cache-missing subsets, and the driver reconciles results back into
-the single authoritative cache via :meth:`PlacementEvaluator.install`,
-so the memoisation design survives the fan-out.
+the pure worker functions; workers stay stateless, compute only
+cache-missing subsets, and the driver reconciles results back into the
+single authoritative cache via :meth:`PlacementEvaluator.install`, so
+the memoisation design survives the fan-out.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.engine.instrumentation import Instrumentation
 from repro.core.cos import CoSCommitment
 from repro.exceptions import PlacementError
+from repro.placement.kernels import (
+    BatchSearchStats,
+    BatchSimulator,
+    required_capacity_batch,
+)
 from repro.placement.required_capacity import (
     DEFAULT_TOLERANCE,
     RequiredCapacityResult,
@@ -34,6 +51,19 @@ from repro.placement.simulator import SingleServerSimulator
 from repro.resources.server import ServerSpec
 from repro.traces.allocation import CoSAllocationPair
 from repro.traces.calendar import TraceCalendar
+
+#: Capacity-search implementations selectable on the evaluator.
+#:
+#: * ``"batch"`` — simultaneous bisection, bit-identical to ``"scalar"``;
+#: * ``"analytic"`` — batch kernel with the closed-form theta inversion
+#:   (results within the search tolerance of the scalar path);
+#: * ``"scalar"`` — the paper's per-subset binary search (reference).
+KERNELS = ("batch", "analytic", "scalar")
+
+
+def _solver_mode(kernel: str) -> str:
+    """Map an evaluator kernel name to the batch solver's mode."""
+    return "analytic" if kernel == "analytic" else "bisect"
 
 
 @dataclass(frozen=True)
@@ -49,7 +79,11 @@ class ServerEvaluation:
         return self.fits
 
 
-GroupKey = tuple[float, frozenset[int]]
+#: Memoisation key: (server capacity, canonically sorted subset rows).
+GroupKey = tuple[float, tuple[int, ...]]
+
+#: One batched work item: (capacity limit, sorted rows, probe or None).
+GroupItem = tuple[float, "tuple[int, ...]", Optional[float]]
 
 
 @dataclass(frozen=True)
@@ -57,7 +91,9 @@ class EvaluationPayload:
     """Everything a stateless worker needs to evaluate workload subsets.
 
     Broadcast once per executor session; ``cos1``/``cos2`` are the
-    stacked per-workload allocation matrices.
+    stacked per-workload allocation matrices — by far the largest part,
+    which is why the parallel backend publishes them zero-copy through
+    shared memory when it can (see :mod:`repro.engine.broadcast`).
     """
 
     cos1: np.ndarray
@@ -65,29 +101,12 @@ class EvaluationPayload:
     calendar: TraceCalendar
     commitment: CoSCommitment
     tolerance: float
+    kernel: str = "batch"
 
 
-def _evaluate_rows(
-    cos1: np.ndarray,
-    cos2: np.ndarray,
-    calendar: TraceCalendar,
-    commitment: CoSCommitment,
-    tolerance: float,
-    rows: Sequence[int],
-    limit: float,
+def _evaluation_from_result(
+    result: RequiredCapacityResult, limit: float
 ) -> ServerEvaluation:
-    """Pure evaluation of one workload subset at one capacity limit."""
-    index = np.asarray(sorted(rows), dtype=int)
-    simulator = SingleServerSimulator(
-        cos1[index].sum(axis=0), cos2[index].sum(axis=0), calendar
-    )
-    result = required_capacity(
-        [],
-        capacity_limit=limit,
-        commitment=commitment,
-        tolerance=tolerance,
-        simulator=simulator,
-    )
     if not result.fits:
         return ServerEvaluation(
             fits=False, required=float("inf"), utilization=float("inf")
@@ -99,13 +118,88 @@ def _evaluate_rows(
     )
 
 
+def _evaluate_rows(
+    cos1: np.ndarray,
+    cos2: np.ndarray,
+    calendar: TraceCalendar,
+    commitment: CoSCommitment,
+    tolerance: float,
+    rows: Sequence[int],
+    limit: float,
+) -> ServerEvaluation:
+    """Scalar evaluation of one canonically-sorted subset at one limit."""
+    index = np.asarray(rows, dtype=int)
+    simulator = SingleServerSimulator(
+        cos1[index].sum(axis=0), cos2[index].sum(axis=0), calendar
+    )
+    result = required_capacity(
+        [],
+        capacity_limit=limit,
+        commitment=commitment,
+        tolerance=tolerance,
+        simulator=simulator,
+    )
+    return _evaluation_from_result(result, limit)
+
+
+def _evaluate_items_batched(
+    cos1: np.ndarray,
+    cos2: np.ndarray,
+    calendar: TraceCalendar,
+    commitment: CoSCommitment,
+    tolerance: float,
+    items: Sequence[GroupItem],
+    mode: str = "bisect",
+) -> tuple[list[ServerEvaluation], BatchSearchStats]:
+    """Solve every item's capacity search in one batched kernel solve."""
+    if len(items) == 1 and items[0][2] is None and mode == "bisect":
+        # A lone search gains nothing from the lock-step machinery (its
+        # result is bit-identical either way); the scalar loop has less
+        # per-call overhead.
+        limit, rows, _ = items[0]
+        evaluation = _evaluate_rows(
+            cos1, cos2, calendar, commitment, tolerance, rows, limit
+        )
+        return [evaluation], BatchSearchStats(
+            rows=1, kernel_calls=0, bracket_iterations=0, probe_hits=0
+        )
+    subsets = [rows for _, rows, _ in items]
+    limits = np.asarray([limit for limit, _, _ in items], dtype=float)
+    probe_values = [probe for _, _, probe in items]
+    probes: Optional[np.ndarray] = None
+    if any(probe is not None for probe in probe_values):
+        probes = np.asarray(
+            [
+                float("nan") if probe is None else float(probe)
+                for probe in probe_values
+            ],
+            dtype=float,
+        )
+    batch = BatchSimulator.from_subsets(cos1, cos2, subsets, calendar)
+    solved = required_capacity_batch(
+        batch,
+        limits,
+        commitment,
+        tolerance=tolerance,
+        probes=probes,
+        mode=mode,
+    )
+    evaluations = [
+        _evaluation_from_result(result, float(limit))
+        for result, limit in zip(solved.results, limits)
+    ]
+    return evaluations, solved.stats
+
+
 def evaluate_group_worker(
     payload: EvaluationPayload, item: tuple[float, tuple[int, ...]]
 ) -> ServerEvaluation:
     """Executor work unit: ``item`` is ``(capacity_limit, workload_rows)``.
 
     A pure function of the broadcast payload and the item, so results
-    are identical across serial and parallel backends.
+    are identical across serial and parallel backends. This is the
+    scalar (one search per call) granularity; see
+    :func:`evaluate_groups_worker` for the batched one.
     """
     limit, rows = item
     return _evaluate_rows(
@@ -114,8 +208,52 @@ def evaluate_group_worker(
         payload.calendar,
         payload.commitment,
         payload.tolerance,
-        rows,
+        tuple(sorted(rows)),
         limit,
+    )
+
+
+def evaluate_groups_worker(
+    payload: EvaluationPayload, items: tuple[GroupItem, ...]
+) -> tuple[tuple[ServerEvaluation, ...], tuple[int, int, int, int]]:
+    """Executor work unit: a whole chunk of subsets in one kernel solve.
+
+    Returns the evaluations in item order plus the solver's work stats
+    ``(rows, kernel_calls, bracket_iterations, probe_hits)`` so the
+    driver can fold them into its instrumentation. Honours the
+    payload's ``kernel`` selection — ``"scalar"`` runs the per-subset
+    reference loop instead (the benchmark's baseline arm).
+    """
+    if not items:
+        return (), (0, 0, 0, 0)
+    if payload.kernel == "scalar":
+        evaluations = tuple(
+            _evaluate_rows(
+                payload.cos1,
+                payload.cos2,
+                payload.calendar,
+                payload.commitment,
+                payload.tolerance,
+                rows,
+                limit,
+            )
+            for limit, rows, _ in items
+        )
+        return evaluations, (len(items), 0, 0, 0)
+    evaluations_list, stats = _evaluate_items_batched(
+        payload.cos1,
+        payload.cos2,
+        payload.calendar,
+        payload.commitment,
+        payload.tolerance,
+        items,
+        mode=_solver_mode(payload.kernel),
+    )
+    return tuple(evaluations_list), (
+        stats.rows,
+        stats.kernel_calls,
+        stats.bracket_iterations,
+        stats.probe_hits,
     )
 
 
@@ -127,22 +265,33 @@ class PlacementEvaluator:
         pairs: Sequence[CoSAllocationPair],
         commitment: CoSCommitment,
         tolerance: float = DEFAULT_TOLERANCE,
+        *,
+        kernel: str = "batch",
+        instrumentation: Optional[Instrumentation] = None,
     ):
         if not pairs:
             raise PlacementError("need at least one workload to place")
+        if kernel not in KERNELS:
+            raise PlacementError(
+                f"unknown capacity-search kernel {kernel!r}; "
+                f"expected one of {KERNELS}"
+            )
         names = [pair.name for pair in pairs]
         if len(set(names)) != len(names):
             raise PlacementError("workload names must be unique")
         self.pairs = list(pairs)
         self.names = names
+        self._index_by_name = {name: index for index, name in enumerate(names)}
         self.commitment = commitment
         self.tolerance = tolerance
+        self.kernel = kernel
+        self.instrumentation = instrumentation
         self.calendar: TraceCalendar = pairs[0].calendar
         for pair in pairs:
             self.calendar.require_compatible(pair.calendar)
         self._cos1 = np.vstack([pair.cos1.values for pair in self.pairs])
         self._cos2 = np.vstack([pair.cos2.values for pair in self.pairs])
-        self._cache: dict[tuple[float, frozenset[int]], ServerEvaluation] = {}
+        self._cache: dict[GroupKey, ServerEvaluation] = {}
 
     @property
     def n_workloads(self) -> int:
@@ -150,8 +299,8 @@ class PlacementEvaluator:
 
     def index_of(self, name: str) -> int:
         try:
-            return self.names.index(name)
-        except ValueError:
+            return self._index_by_name[name]
+        except KeyError:
             raise PlacementError(f"unknown workload {name!r}") from None
 
     def peak_allocations(self) -> np.ndarray:
@@ -168,16 +317,49 @@ class PlacementEvaluator:
         key = self.cache_key(indices, server, attribute)
         cached = self._cache.get(key)
         if cached is not None:
+            self._count("placement.cache_hits")
             return cached
-        evaluation = self._evaluate_uncached(list(indices), server, attribute)
+        self._count("placement.cache_misses")
+        evaluation = self._evaluate_key(key)
         self._cache[key] = evaluation
         return evaluation
+
+    def evaluate_groups(
+        self, items: Sequence[tuple[float, Sequence[int]]]
+    ) -> list[ServerEvaluation]:
+        """Evaluate many ``(capacity limit, subset)`` items at once.
+
+        Cache-hitting items are answered from the memo; the misses are
+        stacked into one :class:`BatchSimulator` and solved by a single
+        simultaneous bisection, then installed in the cache. Results
+        are identical to calling :meth:`evaluate_group` one by one.
+        """
+        keys = [
+            (float(limit), self._canonical_rows(rows))
+            for limit, rows in items
+        ]
+        missing: dict[GroupKey, None] = {}
+        for key in keys:
+            if key in self._cache:
+                self._count("placement.cache_hits")
+            elif key not in missing:
+                self._count("placement.cache_misses")
+                missing[key] = None
+        for key, evaluation in zip(missing, self._solve_missing(list(missing))):
+            self._cache[key] = evaluation
+        return [self._cache[key] for key in keys]
 
     def cache_key(
         self, indices: Sequence[int], server: ServerSpec, attribute: str = "cpu"
     ) -> GroupKey:
-        """The memoisation key for one (server, workload subset) pairing."""
-        return (server.capacity_of(attribute), frozenset(indices))
+        """The memoisation key for one (server, workload subset) pairing.
+
+        The subset is canonicalised (sorted, de-duplicated) here, once,
+        so every downstream consumer — the scalar path, the batch
+        kernel, worker shipping — reuses the same sorted tuple instead
+        of re-sorting per evaluation.
+        """
+        return (server.capacity_of(attribute), self._canonical_rows(indices))
 
     def is_cached(self, key: GroupKey) -> bool:
         return key in self._cache
@@ -185,6 +367,25 @@ class PlacementEvaluator:
     def install(self, key: GroupKey, evaluation: ServerEvaluation) -> None:
         """Merge a worker-computed evaluation into the driver-side cache."""
         self._cache.setdefault(key, evaluation)
+
+    def record_search_stats(
+        self, stats: tuple[int, int, int, int] | BatchSearchStats
+    ) -> None:
+        """Fold one batch solve's work accounting into the counters."""
+        if isinstance(stats, BatchSearchStats):
+            values = (
+                stats.rows,
+                stats.kernel_calls,
+                stats.bracket_iterations,
+                stats.probe_hits,
+            )
+        else:
+            values = stats
+        rows, kernel_calls, bracket_iterations, probe_hits = values
+        self._count("kernel.rows", rows)
+        self._count("kernel.calls", kernel_calls)
+        self._count("kernel.bracket_iterations", bracket_iterations)
+        self._count("kernel.probe_hits", probe_hits)
 
     def worker_payload(self) -> EvaluationPayload:
         """The picklable state a stateless worker needs (broadcast once)."""
@@ -194,6 +395,7 @@ class PlacementEvaluator:
             calendar=self.calendar,
             commitment=self.commitment,
             tolerance=self.tolerance,
+            kernel=self.kernel,
         )
 
     def search_result(
@@ -212,14 +414,28 @@ class PlacementEvaluator:
             simulator=simulator,
         )
 
-    def _evaluate_uncached(
-        self, indices: list[int], server: ServerSpec, attribute: str
-    ) -> ServerEvaluation:
-        if not indices:
-            return ServerEvaluation(fits=True, required=0.0, utilization=0.0)
-        rows = sorted(indices)
-        if rows[0] < 0 or rows[-1] >= self.n_workloads:
+    def _canonical_rows(self, indices: Sequence[int]) -> tuple[int, ...]:
+        rows = tuple(sorted({int(index) for index in indices}))
+        if rows and (rows[0] < 0 or rows[-1] >= self.n_workloads):
             raise PlacementError(f"workload indices out of range: {indices}")
+        return rows
+
+    def _evaluate_key(self, key: GroupKey) -> ServerEvaluation:
+        limit, rows = key
+        if not rows:
+            return ServerEvaluation(fits=True, required=0.0, utilization=0.0)
+        if self.kernel != "scalar":
+            evaluations, stats = _evaluate_items_batched(
+                self._cos1,
+                self._cos2,
+                self.calendar,
+                self.commitment,
+                self.tolerance,
+                [(limit, rows, None)],
+                mode=_solver_mode(self.kernel),
+            )
+            self.record_search_stats(stats)
+            return evaluations[0]
         return _evaluate_rows(
             self._cos1,
             self._cos2,
@@ -227,15 +443,54 @@ class PlacementEvaluator:
             self.commitment,
             self.tolerance,
             rows,
-            server.capacity_of(attribute),
+            limit,
         )
+
+    def _solve_missing(
+        self, missing: Sequence[GroupKey]
+    ) -> list[ServerEvaluation]:
+        nonempty = [(limit, rows, None) for limit, rows in missing if rows]
+        if self.kernel != "scalar" and nonempty:
+            solved, stats = _evaluate_items_batched(
+                self._cos1,
+                self._cos2,
+                self.calendar,
+                self.commitment,
+                self.tolerance,
+                nonempty,
+                mode=_solver_mode(self.kernel),
+            )
+            self.record_search_stats(stats)
+            solved_by_key = {
+                (limit, rows): evaluation
+                for (limit, rows, _), evaluation in zip(nonempty, solved)
+            }
+        else:
+            solved_by_key = {
+                (limit, rows): _evaluate_rows(
+                    self._cos1,
+                    self._cos2,
+                    self.calendar,
+                    self.commitment,
+                    self.tolerance,
+                    rows,
+                    limit,
+                )
+                for limit, rows, _ in nonempty
+            }
+        empty = ServerEvaluation(fits=True, required=0.0, utilization=0.0)
+        return [
+            solved_by_key[key] if key[1] else empty for key in missing
+        ]
+
+    def _count(self, name: str, increment: float = 1) -> None:
+        if self.instrumentation is not None:
+            self.instrumentation.count(name, increment)
 
     def _simulator_for(self, indices: list[int]) -> SingleServerSimulator:
         if not indices:
             raise PlacementError("cannot build a simulator for no workloads")
-        rows = np.asarray(sorted(indices), dtype=int)
-        if rows.size and (rows[0] < 0 or rows[-1] >= self.n_workloads):
-            raise PlacementError(f"workload indices out of range: {indices}")
+        rows = np.asarray(self._canonical_rows(indices), dtype=int)
         cos1 = self._cos1[rows].sum(axis=0)
         cos2 = self._cos2[rows].sum(axis=0)
         return SingleServerSimulator(cos1, cos2, self.calendar)

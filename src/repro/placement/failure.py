@@ -100,6 +100,45 @@ class _FailureSweepPayload:
     policies: Mapping[str, QoSPolicy] | QoSPolicy
     relax_all: bool
     algorithm: str
+    kernel: str = "batch"
+    share_cache: bool = True
+
+
+class _SweepScratch:
+    """Process-local memo shared across one sweep's what-if cases.
+
+    Everything memoised here is a pure function of the broadcast
+    payload: a workload's failure-mode translation does not depend on
+    which server failed, and with ``relax_all`` every case degrades the
+    same ensemble — so the cases share one translation table and, per
+    distinct QoS mix, one :class:`PlacementEvaluator` whose
+    required-capacity memo carries over from case to case. Sharing
+    changes no results (cache hits return exactly what a fresh search
+    would), it only removes re-derivation; the serial backend shares
+    across the whole sweep, parallel workers share whatever cases land
+    in the same process.
+    """
+
+    def __init__(self) -> None:
+        self.translations: dict = {}
+        self.evaluators: dict = {}
+
+
+#: One scratch per live payload (keyed by id; the payload is kept
+#: referenced so the id cannot be recycled). A new sweep's payload
+#: evicts the previous scratch, bounding worker-resident memory.
+_SWEEP_SCRATCH: dict[int, tuple[_FailureSweepPayload, _SweepScratch]] = {}
+
+
+def _scratch_for(payload: _FailureSweepPayload) -> _SweepScratch | None:
+    if not payload.share_cache:
+        return None
+    entry = _SWEEP_SCRATCH.get(id(payload))
+    if entry is None or entry[0] is not payload:
+        _SWEEP_SCRATCH.clear()
+        entry = (payload, _SweepScratch())
+        _SWEEP_SCRATCH[id(payload)] = entry
+    return entry[1]
 
 
 def _failure_case_worker(
@@ -115,6 +154,7 @@ def _failure_case_worker(
         config=payload.config,
         tolerance=payload.tolerance,
         attribute=payload.attribute,
+        kernel=payload.kernel,
     )
     demand_by_name = {demand.name: demand for demand in payload.demands}
     return planner._evaluate_failure(
@@ -125,6 +165,7 @@ def _failure_case_worker(
         payload.pool,
         relax_all=payload.relax_all,
         algorithm=payload.algorithm,
+        scratch=_scratch_for(payload),
     )
 
 
@@ -139,12 +180,16 @@ class FailurePlanner:
         tolerance: float = 0.01,
         attribute: str = "cpu",
         engine: ExecutionEngine | None = None,
+        kernel: str = "batch",
+        share_cache: bool = True,
     ):
         self.translator = translator
         self.config = config
         self.tolerance = tolerance
         self.attribute = attribute
         self.engine = engine if engine is not None else ExecutionEngine.serial()
+        self.kernel = kernel
+        self.share_cache = share_cache
 
     def plan(
         self,
@@ -250,10 +295,12 @@ class FailurePlanner:
             policies=policies,
             relax_all=relax_all,
             algorithm=algorithm,
+            kernel=self.kernel,
+            share_cache=self.share_cache,
         )
         instrumentation = self.engine.instrumentation
         with instrumentation.stage("failure_planning"):
-            cases = self.engine.executor.map(
+            cases = self.engine.map(
                 _failure_case_worker, list(items), shared=payload
             )
         instrumentation.count("failure.cases", len(items))
@@ -269,15 +316,28 @@ class FailurePlanner:
         *,
         relax_all: bool,
         algorithm: str,
+        scratch: _SweepScratch | None = None,
     ) -> FailureCase:
         label = "+".join(failed_servers)
         surviving = pool.without(*failed_servers)
         pairs = []
+        mix = []
         for name, demand in demand_by_name.items():
             policy = self._policy_for(policies, name)
             failure_mode = relax_all or name in affected
             qos = policy.mode(failure_mode=failure_mode)
-            pairs.append(self.translator.translate(demand, qos).pair)
+            key = (name, failure_mode)
+            pair = (
+                scratch.translations.get(key)
+                if scratch is not None
+                else None
+            )
+            if pair is None:
+                pair = self.translator.translate(demand, qos).pair
+                if scratch is not None:
+                    scratch.translations[key] = pair
+            pairs.append(pair)
+            mix.append(key)
 
         consolidator = Consolidator(
             surviving,
@@ -285,9 +345,28 @@ class FailurePlanner:
             config=self.config,
             tolerance=self.tolerance,
             attribute=self.attribute,
+            kernel=self.kernel,
         )
         try:
-            result = consolidator.consolidate(pairs, algorithm=algorithm)
+            if scratch is not None:
+                from repro.placement.evaluation import PlacementEvaluator
+
+                signature = tuple(mix)
+                evaluator = scratch.evaluators.get(signature)
+                if evaluator is None:
+                    evaluator = PlacementEvaluator(
+                        pairs,
+                        self.translator.commitments.cos2,
+                        tolerance=self.tolerance,
+                        kernel=self.kernel,
+                        instrumentation=consolidator.engine.instrumentation,
+                    )
+                    scratch.evaluators[signature] = evaluator
+                result = consolidator.consolidate_with_evaluator(
+                    evaluator, algorithm=algorithm
+                )
+            else:
+                result = consolidator.consolidate(pairs, algorithm=algorithm)
         except PlacementError:
             return FailureCase(
                 failed_server=label,

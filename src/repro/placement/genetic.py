@@ -35,15 +35,37 @@ import numpy as np
 from repro.engine import ExecutionEngine, ExecutorSession
 from repro.exceptions import PlacementError
 from repro.placement.evaluation import (
+    GroupItem,
     PlacementEvaluator,
     ServerEvaluation,
-    evaluate_group_worker,
+    evaluate_groups_worker,
 )
 from repro.placement.objective import server_score
 from repro.resources.pool import ResourcePool
 from repro.util.rng import derive_rng
 
 Assignment = tuple[int, ...]
+
+
+def _split_chunks(
+    items: Sequence[GroupItem], n_chunks: int
+) -> list[tuple[GroupItem, ...]]:
+    """Split work items into ``n_chunks`` contiguous, near-equal chunks.
+
+    Rows are independent, so chunking only affects which worker solves
+    which bracket — never the results. One chunk per unit of session
+    parallelism keeps each worker running a single simultaneous
+    bisection over its whole share.
+    """
+    n_chunks = max(1, min(n_chunks, len(items)))
+    base, extra = divmod(len(items), n_chunks)
+    chunks: list[tuple[GroupItem, ...]] = []
+    start = 0
+    for chunk_index in range(n_chunks):
+        size = base + (1 if chunk_index < extra else 0)
+        chunks.append(tuple(items[start : start + size]))
+        start += size
+    return chunks
 
 
 @dataclass(frozen=True)
@@ -57,6 +79,13 @@ class GeneticSearchConfig:
     crossover_probability: float = 0.6
     mutation_probability: float = 0.8
     seed: Optional[int] = None
+    #: Ship each child's parent-evaluation capacities to the batch
+    #: solver as verified probe guesses. Sound (every probe is checked
+    #: by a kernel call before it moves a bracket) but a lucky probe can
+    #: finish a search at a capacity that differs from the scalar
+    #: bisection's answer by up to the tolerance, so bit-identical
+    #: scalar/batch comparisons keep this off.
+    warm_start_brackets: bool = False
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -143,9 +172,7 @@ class GeneticPlacementSearch:
         rng = derive_rng(self.config.seed)
         seed_assignment = self._validate_assignment(tuple(initial))
         instrumentation = self.engine.instrumentation
-        with self.engine.executor.session(
-            self._worker_payload()
-        ) as session:
+        with self.engine.session(self._worker_payload()) as session:
             population = [self.evaluate(seed_assignment)]
             pending: list[Assignment] = []
             for extra in extra_seeds:
@@ -195,7 +222,7 @@ class GeneticPlacementSearch:
         groups: dict[int, list[int]] = {}
         for workload_index, server_index in enumerate(assignment):
             groups.setdefault(server_index, []).append(workload_index)
-        evaluations: dict[int, ServerEvaluation] = {}
+        evaluations = self._evaluate_used_servers(groups)
         score = 0.0
         feasible = True
         for server_index, server in enumerate(self.servers):
@@ -203,11 +230,8 @@ class GeneticPlacementSearch:
             if not indices:
                 score += 1.0
                 continue
-            evaluation = self.evaluator.evaluate_group(
-                indices, server, self.attribute
-            )
+            evaluation = evaluations[server_index]
             self._evaluations += 1
-            evaluations[server_index] = evaluation
             required = evaluation.required if evaluation.fits else None
             score += server_score(server, len(indices), required, self.attribute)
             feasible = feasible and evaluation.fits
@@ -217,6 +241,39 @@ class GeneticPlacementSearch:
             evaluations=evaluations,
             feasible=feasible,
         )
+
+    def _evaluate_used_servers(
+        self, groups: dict[int, list[int]]
+    ) -> dict[int, ServerEvaluation]:
+        """Evaluate every used server's group, as one batch if possible.
+
+        All of an assignment's server groups are independent searches,
+        so an evaluator exposing ``evaluate_groups`` solves the cache
+        misses in one simultaneous bisection; composite evaluators fall
+        back to per-group calls. Results are identical either way.
+        """
+        used = sorted(server_index for server_index in groups if groups[server_index])
+        batch_evaluate = getattr(self.evaluator, "evaluate_groups", None)
+        if batch_evaluate is not None:
+            evaluations = batch_evaluate(
+                [
+                    (
+                        self.servers[server_index].capacity_of(self.attribute),
+                        groups[server_index],
+                    )
+                    for server_index in used
+                ]
+            )
+        else:
+            evaluations = [
+                self.evaluator.evaluate_group(
+                    groups[server_index],
+                    self.servers[server_index],
+                    self.attribute,
+                )
+                for server_index in used
+            ]
+        return dict(zip(used, evaluations))
 
     # ------------------------------------------------------------------
     # Batched evaluation through the execution engine
@@ -232,22 +289,34 @@ class GeneticPlacementSearch:
         return payload_factory() if payload_factory is not None else None
 
     def _evaluate_batch(
-        self, assignments: Sequence[Assignment], session: ExecutorSession
+        self,
+        assignments: Sequence[Assignment],
+        session: ExecutorSession,
+        parents: Sequence[tuple[EvaluatedAssignment, ...]] | None = None,
     ) -> list[EvaluatedAssignment]:
         """Evaluate assignments, fanning uncached subsets out first.
 
         Workers compute only the (server capacity, workload subset)
-        groups missing from the driver cache; their results are merged
-        back via :meth:`PlacementEvaluator.install` before the ordinary
-        cached evaluation path scores each assignment. Results are
+        groups missing from the driver cache — the whole generation's
+        missing subsets form one batched capacity-search ladder — and
+        their results are merged back via
+        :meth:`PlacementEvaluator.install` before the ordinary cached
+        evaluation path scores each assignment. Results are
         bit-identical to evaluating one by one.
+
+        ``parents`` (aligned with ``assignments``) supplies each child's
+        parent evaluations for warm-started brackets when the config
+        enables them.
         """
         validated = [self._validate_assignment(tuple(a)) for a in assignments]
-        self._prime_cache(validated, session)
+        self._prime_cache(validated, session, parents)
         return [self.evaluate(assignment) for assignment in validated]
 
     def _prime_cache(
-        self, assignments: Sequence[Assignment], session: ExecutorSession
+        self,
+        assignments: Sequence[Assignment],
+        session: ExecutorSession,
+        parents: Sequence[tuple[EvaluatedAssignment, ...]] | None = None,
     ) -> None:
         if not (
             hasattr(self.evaluator, "cache_key")
@@ -255,28 +324,78 @@ class GeneticPlacementSearch:
             and self._worker_payload() is not None
         ):
             return
-        pending: dict[object, tuple[float, tuple[int, ...]]] = {}
-        for assignment in assignments:
+        pending: dict[object, GroupItem] = {}
+        for position, assignment in enumerate(assignments):
             groups: dict[int, list[int]] = {}
             for workload_index, server_index in enumerate(assignment):
                 groups.setdefault(server_index, []).append(workload_index)
             for server_index, indices in groups.items():
                 server = self.servers[server_index]
                 key = self.evaluator.cache_key(indices, server, self.attribute)
-                if key in pending or self.evaluator.is_cached(key):
+                if self.evaluator.is_cached(key):
                     continue
-                pending[key] = (
+                limit, rows = (
                     server.capacity_of(self.attribute),
                     tuple(sorted(indices)),
                 )
+                probe = self._probe_for(parents, position, server_index)
+                if key in pending:
+                    previous = pending[key][2]
+                    if probe is not None and (
+                        previous is None or probe > previous
+                    ):
+                        pending[key] = (limit, rows, probe)
+                    continue
+                pending[key] = (limit, rows, probe)
         if not pending:
             return
-        results = session.map(evaluate_group_worker, list(pending.values()))
-        for key, evaluation in zip(pending, results):
-            self.evaluator.install(key, evaluation)
-        self.engine.instrumentation.count(
-            "placement.group_evaluations", len(pending)
-        )
+        keys = list(pending)
+        items = [pending[key] for key in keys]
+        parallelism = max(1, int(getattr(session, "parallelism", 1)))
+        chunks = _split_chunks(items, min(len(items), parallelism))
+        chunk_results = session.map(evaluate_groups_worker, chunks)
+        instrumentation = self.engine.instrumentation
+        cursor = 0
+        for evaluations, stats in chunk_results:
+            for evaluation in evaluations:
+                self.evaluator.install(keys[cursor], evaluation)
+                cursor += 1
+            rows_solved, kernel_calls, bracket_iterations, probe_hits = stats
+            instrumentation.count("kernel.rows", rows_solved)
+            instrumentation.count("kernel.calls", kernel_calls)
+            instrumentation.count(
+                "kernel.bracket_iterations", bracket_iterations
+            )
+            instrumentation.count("kernel.probe_hits", probe_hits)
+        instrumentation.count("placement.group_evaluations", len(pending))
+
+    def _probe_for(
+        self,
+        parents: Sequence[tuple[EvaluatedAssignment, ...]] | None,
+        position: int,
+        server_index: int,
+    ) -> Optional[float]:
+        """A warm-start capacity guess from the child's parents.
+
+        The largest fitting required-capacity any parent measured for
+        the same server is a good first probe for the child's subset
+        there: crossover children share most of a parent's server
+        contents. Required capacity is *not* monotone in the workload
+        subset (adding a fully-served workload can lower the binding
+        theta ratio's denominator share), so the guess is only ever used
+        as a kernel-verified probe, never as an unverified bracket edge.
+        """
+        if not self.config.warm_start_brackets or parents is None:
+            return None
+        if position >= len(parents):
+            return None
+        candidates = [
+            parent.evaluations[server_index].required
+            for parent in parents[position]
+            if server_index in parent.evaluations
+            and parent.evaluations[server_index].fits
+        ]
+        return max(candidates) if candidates else None
 
     # ------------------------------------------------------------------
     # Evolution operators
@@ -290,19 +409,25 @@ class GeneticPlacementSearch:
         population = sorted(population, key=lambda member: member.score, reverse=True)
         next_population = population[: self.config.elite_count]
         children: list[Assignment] = []
+        child_parents: list[tuple[EvaluatedAssignment, ...]] = []
         while len(next_population) + len(children) < self.config.population_size:
             parent_a = self._tournament(population, rng)
+            parents: tuple[EvaluatedAssignment, ...] = (parent_a,)
             if rng.random() < self.config.crossover_probability:
                 parent_b = self._tournament(population, rng)
                 child = self._crossover(
                     parent_a.assignment, parent_b.assignment, rng
                 )
+                parents = (parent_a, parent_b)
             else:
                 child = parent_a.assignment
             if rng.random() < self.config.mutation_probability:
                 child = self._mutate(child, rng)
             children.append(child)
-        next_population.extend(self._evaluate_batch(children, session))
+            child_parents.append(parents)
+        next_population.extend(
+            self._evaluate_batch(children, session, child_parents)
+        )
         return next_population
 
     def _tournament(
@@ -338,9 +463,13 @@ class GeneticPlacementSearch:
         used = sorted(set(assignment))
         if not used:
             return assignment
+        groups: dict[int, list[int]] = {}
+        for workload_index, server_index in enumerate(assignment):
+            groups.setdefault(server_index, []).append(workload_index)
+        evaluations = self._evaluate_used_servers(groups)
         weights = np.array(
             [
-                1.0 - self._utilization_value(assignment, server_index)
+                1.0 - self._utilization_weight(evaluations[server_index], server_index)
                 for server_index in used
             ]
         )
@@ -361,17 +490,9 @@ class GeneticPlacementSearch:
                 )
         return tuple(mutated)
 
-    def _utilization_value(self, assignment: Assignment, server_index: int) -> float:
-        indices = [
-            workload_index
-            for workload_index, assigned in enumerate(assignment)
-            if assigned == server_index
-        ]
-        if not indices:
-            return 1.0
-        evaluation = self.evaluator.evaluate_group(
-            indices, self.servers[server_index], self.attribute
-        )
+    def _utilization_weight(
+        self, evaluation: ServerEvaluation, server_index: int
+    ) -> float:
         if not evaluation.fits:
             return 0.0
         return float(

@@ -1,0 +1,794 @@
+"""Batched capacity-search kernels (Section VI-A, vectorised over rows).
+
+The placement loop's dominant cost is the required-capacity binary
+search: every candidate server subset runs dozens of
+:meth:`~repro.placement.simulator.SingleServerSimulator.evaluate` calls,
+each a handful of numpy operations on one length-``T`` trace plus Python
+dispatch overhead. This module batches that work two ways:
+
+* :class:`BatchSimulator` stacks the aggregate per-subset traces into
+  ``(N, T)`` matrices and hoists every capacity-independent term (CoS1
+  peaks, theta denominators, CoS2 arrival cumsums) so one kernel call
+  measures all pending subsets, each at its own candidate capacity, in
+  a single vectorised pass;
+* :func:`required_capacity_batch` is a **simultaneous bisection**: the
+  low/high brackets of all pending subsets advance as parallel arrays,
+  one batched kernel call halving every bracket per iteration, instead
+  of ``N`` independent scalar Python loops.
+
+Row ``i`` of a batched evaluation is bit-identical to the scalar
+``SingleServerSimulator.evaluate``/:func:`~repro.placement.required_capacity.required_capacity`
+path: the kernels perform the same floating-point operations in the
+same order, only with a leading batch axis.
+
+Warm starts are *probes*, not bracket clamps. Required capacity is
+monotone in **capacity** (more capacity can only help — this is what
+makes bisection sound) but **not** in the workload subset: adding a
+workload that is fully satisfied in the binding slot raises that slot's
+satisfied/requested ratio, so a superset can legitimately need *less*
+capacity than one of its subsets. A parent evaluation therefore only
+yields a guess, and :func:`required_capacity_batch` spends one batched
+kernel row verifying each guess before trusting it as a bracket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.cos import CoSCommitment
+from repro.exceptions import SimulationError
+from repro.placement.required_capacity import (
+    DEFAULT_TOLERANCE,
+    RequiredCapacityResult,
+)
+from repro.placement.simulator import AccessReport, SingleServerSimulator
+from repro.traces.calendar import DAYS_PER_WEEK, TraceCalendar
+from repro.units import CpuShares
+
+_EPSILON = 1e-9
+_THETA_SLACK = 1e-12
+
+#: ``max_deferred_slots`` value for rows whose deferral measurement was
+#: skipped because CoS1 or theta already failed (the row cannot satisfy
+#: the commitment regardless, so the FIFO drain is never needed).
+DEFERRED_NOT_MEASURED = -1
+
+
+@dataclass(frozen=True)
+class BatchAccessReport:
+    """Access statistics for K (trace row, capacity) pairings.
+
+    The arrays all share one leading axis; :meth:`report` materialises
+    one row as a scalar :class:`~repro.placement.simulator.AccessReport`.
+
+    ``deferred_exact`` is ``False`` for decision-only evaluations where
+    the deferral was measured as a cheap deadline pass/fail instead of
+    the exact FIFO drain; :meth:`satisfies` is still correct but
+    :meth:`report` refuses to materialise such rows.
+    """
+
+    capacities: np.ndarray
+    cos1_fits: np.ndarray
+    cos1_peaks: np.ndarray
+    theta_measured: np.ndarray
+    max_deferred_slots: np.ndarray
+    cos2_demand_totals: np.ndarray
+    cos2_satisfied_on_request: np.ndarray
+    deferred_exact: bool = True
+
+    def __len__(self) -> int:
+        return int(self.capacities.shape[0])
+
+    def satisfies(
+        self, commitment: CoSCommitment, calendar: TraceCalendar
+    ) -> np.ndarray:
+        """Vectorised :meth:`AccessReport.satisfies` over every row.
+
+        Rows with an unmeasured deferral (see
+        :data:`DEFERRED_NOT_MEASURED`) already failed CoS1 or theta, so
+        the deadline term never decides them.
+        """
+        deadline = commitment.deadline_slots(calendar)
+        theta_ok = ~(self.theta_measured < commitment.theta - _THETA_SLACK)
+        return (
+            self.cos1_fits
+            & theta_ok
+            & (self.max_deferred_slots <= deadline)
+        )
+
+    def report(self, row: int) -> AccessReport:
+        """Row ``row`` as a scalar :class:`AccessReport`."""
+        if not self.deferred_exact:
+            raise SimulationError(
+                "this evaluation only measured a deadline pass/fail; "
+                "re-evaluate without decision_deadline to report it"
+            )
+        deferred = int(self.max_deferred_slots[row])
+        if deferred == DEFERRED_NOT_MEASURED:
+            raise SimulationError(
+                "deferral was not measured for this row (CoS1 or theta "
+                "already failed under a gated evaluation)"
+            )
+        return AccessReport(
+            capacity=float(self.capacities[row]),
+            cos1_fits=bool(self.cos1_fits[row]),
+            cos1_peak=float(self.cos1_peaks[row]),
+            theta_measured=float(self.theta_measured[row]),
+            max_deferred_slots=deferred,
+            cos2_demand_total=float(self.cos2_demand_totals[row]),
+            cos2_satisfied_on_request=float(
+                self.cos2_satisfied_on_request[row]
+            ),
+        )
+
+
+def _batched_metrics(
+    cos1: np.ndarray,
+    cos2: np.ndarray,
+    peaks: np.ndarray,
+    requested: np.ndarray,
+    positive: np.ndarray,
+    arrivals_cum: np.ndarray,
+    totals: np.ndarray,
+    capacities: np.ndarray,
+    calendar: TraceCalendar,
+    gate: Optional[CoSCommitment],
+    decision_deadline: Optional[int] = None,
+) -> BatchAccessReport:
+    """The (K, T) kernel shared by every batched entry point.
+
+    ``cos1``/``cos2``/``requested``/``positive``/``arrivals_cum`` may be
+    broadcast views (a single trace against K capacities). When ``gate``
+    is given, the expensive FIFO-drain measurement is skipped for rows
+    whose CoS1 or theta already misses the commitment — their
+    ``max_deferred_slots`` is :data:`DEFERRED_NOT_MEASURED`.
+
+    ``decision_deadline`` replaces the exact FIFO drain with a
+    vectorised deadline pass/fail: serving is FIFO, so the wait of the
+    arrival in slot ``t`` exceeds ``D`` slots iff the work served by
+    slot ``t + D`` still trails the arrivals through ``t``. One shifted
+    comparison per row answers ``max_deferred_slots <= D`` without any
+    per-row ``searchsorted``; the report is marked ``deferred_exact =
+    False`` and cannot be materialised.
+    """
+    rows = capacities.shape[0]
+    caps_col = capacities[:, None]
+    cos1_fits = peaks <= capacities + _EPSILON
+    granted_cos1 = np.minimum(cos1, caps_col)
+    available = np.maximum(0.0, caps_col - granted_cos1)
+    satisfied_now = np.minimum(cos2, available)
+
+    # Theta: min over weeks and slots-of-day of satisfied / requested,
+    # with no-request slots counting as fully satisfied. Same reduction
+    # order as the scalar path (day axis first, then the min).
+    satisfied_view = satisfied_now.reshape(
+        rows, calendar.weeks, DAYS_PER_WEEK, calendar.slots_per_day
+    ).sum(axis=2)
+    ratios = np.ones(
+        (rows, calendar.weeks, calendar.slots_per_day), dtype=float
+    )
+    np.divide(
+        satisfied_view,
+        np.broadcast_to(requested, ratios.shape),
+        out=ratios,
+        where=np.broadcast_to(positive, ratios.shape),
+    )
+    theta = (
+        ratios.reshape(rows, -1).min(axis=1)
+        if ratios.size
+        else np.ones(rows)
+    )
+
+    # Fluid FIFO backlog, one cumsum/accumulate pass for all rows.
+    deficits = cos2 - available
+    prefix = np.cumsum(deficits, axis=-1)
+    floor = np.minimum.accumulate(np.minimum(prefix, 0.0), axis=-1)
+    backlog = prefix - floor
+    max_backlog = backlog.max(axis=-1, initial=0.0)
+
+    max_deferred = np.zeros(rows, dtype=np.int64)
+    backlogged = max_backlog > _EPSILON
+    if gate is not None:
+        passes_gates = cos1_fits & ~(theta < gate.theta - _THETA_SLACK)
+        max_deferred[backlogged & ~passes_gates] = DEFERRED_NOT_MEASURED
+        measure = backlogged & passes_gates
+    else:
+        measure = backlogged
+    if decision_deadline is not None:
+        deadline = int(decision_deadline)
+        length = backlog.shape[-1]
+        checked = np.nonzero(measure)[0]
+        if checked.size and deadline < length:
+            served = (
+                arrivals_cum[checked, 1:] - backlog[checked]
+            )
+            late = np.any(
+                served[:, deadline:]
+                < arrivals_cum[checked, 1 : length - deadline + 1]
+                - _EPSILON,
+                axis=1,
+            )
+            max_deferred[checked[late]] = deadline + 1
+    else:
+        slot_index = None
+        for row in np.nonzero(measure)[0]:
+            arrivals = arrivals_cum[row, 1:]
+            served = arrivals - backlog[row]
+            if slot_index is None:
+                slot_index = np.arange(arrivals.shape[0])
+            first_served = np.searchsorted(
+                served, arrivals - _EPSILON, side="left"
+            )
+            waits = first_served - slot_index
+            max_deferred[row] = max(0, int(waits.max()))
+
+    return BatchAccessReport(
+        capacities=capacities,
+        cos1_fits=cos1_fits,
+        cos1_peaks=np.broadcast_to(peaks, (rows,)),
+        theta_measured=theta,
+        max_deferred_slots=max_deferred,
+        cos2_demand_totals=np.broadcast_to(totals, (rows,)),
+        cos2_satisfied_on_request=satisfied_now.sum(axis=-1),
+        deferred_exact=decision_deadline is None,
+    )
+
+
+def _theta_threshold_rows(
+    cos1: np.ndarray,
+    cos2: np.ndarray,
+    requested: np.ndarray,
+    positive: np.ndarray,
+    theta: float,
+    calendar: TraceCalendar,
+) -> np.ndarray:
+    """Exact minimal capacity satisfying the theta constraint, per row.
+
+    For one (week, slot-of-day) cell the satisfied demand
+    ``f(c) = sum_d clip(c - cos1_d, 0, cos2_d)`` over the week's days is
+    piecewise linear, concave and non-decreasing in the capacity ``c``,
+    so the smallest ``c`` with ``f(c) >= theta * requested`` is found by
+    walking the cell's ``2 * DAYS_PER_WEEK`` slope breakpoints and
+    interpolating — no search. The row's theta threshold is the maximum
+    over its cells. This is the closed form behind the ``analytic``
+    solver mode: it replaces the theta side of the bisection entirely
+    (the caller still *verifies* the candidate with one kernel
+    evaluation, so float rounding here can cost iterations, never
+    correctness).
+    """
+    rows, length = cos1.shape
+    out = np.zeros(rows, dtype=float)
+    if not rows or not length:
+        return out
+    weeks, spd = calendar.weeks, calendar.slots_per_day
+    cells = weeks * spd
+    days = DAYS_PER_WEEK
+    a = np.ascontiguousarray(
+        cos1.reshape(rows, weeks, days, spd).transpose(0, 1, 3, 2)
+    ).reshape(rows, cells, days)
+    b = np.ascontiguousarray(
+        cos2.reshape(rows, weeks, days, spd).transpose(0, 1, 3, 2)
+    ).reshape(rows, cells, days)
+    target = theta * requested.reshape(rows, cells)
+    live = positive.reshape(rows, cells) & (target > 0.0)
+    if not bool(live.any()):
+        return out
+
+    # Prune with sandwich bounds. Upper: ``f(max(cos1 + cos2)) ==
+    # requested``, so each cell's threshold is at most its largest
+    # day-end ``e_max``. Lower: the unmet demand at capacity ``c`` is at
+    # least ``min(e_max - c, cos2 of that day)``, so whenever the
+    # tolerated slack ``(1 - theta) * requested`` is smaller than that
+    # day's cos2 the threshold is at least ``e_max - slack`` — within
+    # ``slack`` of the upper bound. Cells whose upper bound cannot reach
+    # the row's best lower bound can never be the binding maximum; only
+    # the survivors (typically a few peak-hour cells) get the exact
+    # breakpoint walk.
+    ends = a + b
+    ceil_cell = ends.max(axis=-1)
+    top = np.argmax(ends, axis=-1)[..., None]
+    b_at_top = np.take_along_axis(b, top, -1)[..., 0]
+    slack = target / theta - target if theta > 0 else np.inf
+    tight = np.where(b_at_top > slack, ceil_cell - slack, 0.0)
+    coarse = a.min(axis=-1) + target / days
+    floor_cell = np.where(live, np.maximum(tight, coarse), 0.0)
+    best_floor = floor_cell.max(axis=-1)
+    row_idx, cell_idx = np.nonzero(
+        live & (ceil_cell >= best_floor[:, None])
+    )
+    out[:] = np.maximum(best_floor, 0.0)
+
+    kept_a = a[row_idx, cell_idx]
+    kept_b = b[row_idx, cell_idx]
+    kept_target = target[row_idx, cell_idx]
+    breakpoints = np.sort(
+        np.concatenate([kept_a, kept_a + kept_b], axis=-1), axis=-1
+    )
+    f_at = np.clip(
+        breakpoints[:, :, None] - kept_a[:, None, :],
+        0.0,
+        kept_b[:, None, :],
+    ).sum(axis=-1)
+    # First breakpoint meeting the target (clamped: with theta <= 1 the
+    # last breakpoint reaches the full requested demand, so an overshoot
+    # can only be float noise and extrapolates the final segment; the
+    # caller's verification absorbs it).
+    last = breakpoints.shape[-1] - 1
+    k1 = np.minimum((f_at < kept_target[:, None]).sum(axis=-1), last)[
+        :, None
+    ]
+    k0 = np.maximum(k1 - 1, 0)
+    x1 = np.take_along_axis(breakpoints, k1, -1)[:, 0]
+    f1 = np.take_along_axis(f_at, k1, -1)[:, 0]
+    x0 = np.take_along_axis(breakpoints, k0, -1)[:, 0]
+    f0 = np.take_along_axis(f_at, k0, -1)[:, 0]
+    rise = f1 - f0
+    run = x1 - x0
+    interpolable = (rise > 0.0) & (run > 0.0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        crossing = x0 + (kept_target - f0) * run / rise
+    crossing = np.where(interpolable, crossing, x1)
+    np.maximum.at(out, row_idx, crossing)
+    return np.maximum(out, 0.0)
+
+
+def evaluate_capacities(
+    simulator: SingleServerSimulator, capacities: np.ndarray
+) -> BatchAccessReport:
+    """Measure one aggregate trace at K candidate capacities at once.
+
+    The multi-capacity kernel behind
+    :meth:`SingleServerSimulator.evaluate_batch`: row ``i`` is
+    bit-identical to ``simulator.evaluate(capacities[i])``.
+    """
+    caps = np.asarray(capacities, dtype=float)
+    if caps.ndim != 1:
+        raise SimulationError(
+            f"capacities must be a 1-D array, got shape {caps.shape}"
+        )
+    if caps.size and float(caps.min()) <= 0:
+        raise SimulationError(
+            f"capacity must be > 0, got {float(caps.min())}"
+        )
+    rows = caps.shape[0]
+    length = simulator.calendar.n_observations
+    return _batched_metrics(
+        cos1=np.broadcast_to(simulator._cos1, (rows, length)),
+        cos2=np.broadcast_to(simulator._cos2, (rows, length)),
+        peaks=np.asarray(simulator._cos1_peak, dtype=float),
+        requested=simulator._theta_requested[None, :, :],
+        positive=simulator._theta_positive[None, :, :],
+        arrivals_cum=np.broadcast_to(
+            simulator._cos2_arrivals_cum, (rows, length + 1)
+        ),
+        totals=np.asarray(simulator._cos2_total, dtype=float),
+        capacities=caps,
+        calendar=simulator.calendar,
+        gate=None,
+    )
+
+
+class BatchSimulator:
+    """N stacked aggregate traces, each evaluable at its own capacity.
+
+    The batched counterpart of building N
+    :class:`SingleServerSimulator` objects: all capacity-independent
+    precomputation (peaks, theta denominators, arrival cumsums) happens
+    once here, vectorised over the stack.
+    """
+
+    def __init__(
+        self,
+        cos1_values: np.ndarray,
+        cos2_values: np.ndarray,
+        calendar: TraceCalendar,
+    ):
+        cos1 = np.ascontiguousarray(np.asarray(cos1_values, dtype=float))
+        cos2 = np.ascontiguousarray(np.asarray(cos2_values, dtype=float))
+        if cos1.ndim != 2 or cos2.ndim != 2:
+            raise SimulationError(
+                "stacked aggregate series must be 2-D (rows, observations)"
+            )
+        expected = (cos1.shape[0], calendar.n_observations)
+        if cos1.shape != expected or cos2.shape != expected:
+            raise SimulationError(
+                "stacked aggregate series must match the calendar length"
+            )
+        self.calendar = calendar
+        self._cos1 = cos1
+        self._cos2 = cos2
+        n, length = expected
+        self.peaks = (
+            cos1.max(axis=1) if length else np.zeros(n, dtype=float)
+        )
+        self._requested = cos2.reshape(
+            n, calendar.weeks, DAYS_PER_WEEK, calendar.slots_per_day
+        ).sum(axis=2)
+        self._positive = self._requested > 0
+        self._arrivals_cum = np.concatenate(
+            [np.zeros((n, 1)), np.cumsum(cos2, axis=1)], axis=1
+        )
+        self.totals = cos2.sum(axis=1)
+        self._theta_cache: dict[float, np.ndarray] = {}
+
+    def theta_thresholds(self, theta: float) -> np.ndarray:
+        """Per-row exact theta capacity thresholds (cached per theta)."""
+        key = float(theta)
+        cached = self._theta_cache.get(key)
+        if cached is None:
+            cached = _theta_threshold_rows(
+                self._cos1,
+                self._cos2,
+                self._requested,
+                self._positive,
+                key,
+                self.calendar,
+            )
+            self._theta_cache[key] = cached
+        return cached
+
+    @classmethod
+    def from_subsets(
+        cls,
+        cos1_matrix: np.ndarray,
+        cos2_matrix: np.ndarray,
+        subsets: Sequence[Sequence[int]],
+        calendar: TraceCalendar,
+    ) -> "BatchSimulator":
+        """Aggregate per-workload matrices over each subset's rows.
+
+        ``subsets`` lists the (sorted) workload row indices of each
+        batch row, exactly as the scalar path sums them.
+        """
+        length = calendar.n_observations
+        cos1 = np.empty((len(subsets), length), dtype=float)
+        cos2 = np.empty((len(subsets), length), dtype=float)
+        for row, subset in enumerate(subsets):
+            index = np.asarray(subset, dtype=int)
+            cos1[row] = cos1_matrix[index].sum(axis=0)
+            cos2[row] = cos2_matrix[index].sum(axis=0)
+        return cls(cos1, cos2, calendar)
+
+    @property
+    def n_rows(self) -> int:
+        return int(self._cos1.shape[0])
+
+    def simulator_for(self, row: int) -> SingleServerSimulator:
+        """A scalar simulator over one stacked row (testing/debugging)."""
+        return SingleServerSimulator(
+            self._cos1[row], self._cos2[row], self.calendar
+        )
+
+    def evaluate_rows(
+        self,
+        rows: Optional[np.ndarray],
+        capacities: np.ndarray,
+        *,
+        gate: Optional[CoSCommitment] = None,
+        decision_deadline: Optional[int] = None,
+    ) -> BatchAccessReport:
+        """Evaluate ``rows`` (``None`` = all) at per-row capacities.
+
+        ``gate`` enables the deferral short-circuit for rows that
+        already miss the commitment on CoS1 or theta, and
+        ``decision_deadline`` downgrades the deferral to a cheap
+        pass/fail against that deadline; see :func:`_batched_metrics`.
+        """
+        caps = np.asarray(capacities, dtype=float)
+        if rows is None:
+            index = slice(None)
+            count = self.n_rows
+        else:
+            index = np.asarray(rows, dtype=int)
+            count = int(index.shape[0])
+        if caps.shape != (count,):
+            raise SimulationError(
+                f"need one capacity per row, got {caps.shape} for {count}"
+            )
+        if caps.size and float(caps.min()) <= 0:
+            raise SimulationError(
+                f"capacity must be > 0, got {float(caps.min())}"
+            )
+        return _batched_metrics(
+            cos1=self._cos1[index],
+            cos2=self._cos2[index],
+            peaks=self.peaks[index],
+            requested=self._requested[index],
+            positive=self._positive[index],
+            arrivals_cum=self._arrivals_cum[index],
+            totals=self.totals[index],
+            capacities=caps,
+            calendar=self.calendar,
+            gate=gate,
+            decision_deadline=decision_deadline,
+        )
+
+
+@dataclass(frozen=True)
+class BatchSearchStats:
+    """Work accounting for one simultaneous-bisection solve."""
+
+    rows: int
+    kernel_calls: int
+    bracket_iterations: int
+    probe_hits: int
+
+
+@dataclass(frozen=True)
+class BatchSearchResult:
+    """Per-row scalar-equivalent results plus solver work stats."""
+
+    results: tuple[RequiredCapacityResult, ...]
+    stats: BatchSearchStats
+
+
+def required_capacity_batch(
+    batch: BatchSimulator,
+    capacity_limits: np.ndarray,
+    commitment: CoSCommitment,
+    tolerance: CpuShares = DEFAULT_TOLERANCE,
+    probes: Optional[np.ndarray] = None,
+    mode: str = "bisect",
+) -> BatchSearchResult:
+    """Simultaneous capacity search over every row of ``batch``.
+
+    ``mode="bisect"`` carries the low/high brackets of all pending rows
+    as parallel arrays; each iteration halves every still-open bracket
+    with one batched kernel call. Without ``probes`` the result of row
+    ``i`` is bit-identical to
+    ``required_capacity(..., capacity_limit=capacity_limits[i])`` on the
+    row's aggregate trace.
+
+    ``mode="analytic"`` inverts the theta constraint in closed form
+    (:func:`_theta_threshold_rows`), evaluates each row once at that
+    candidate, and falls back to bisection only for rows where the
+    deferral deadline — not theta — is the binding constraint. Every
+    decision is still made by a measured kernel evaluation, so results
+    stay within ``tolerance`` of the scalar path (they are no longer
+    bit-identical: the analytic candidate is the exact constraint
+    boundary rather than a bisection grid point).
+
+    ``probes`` (optional, ``NaN`` = none) are warm-start capacity
+    guesses, e.g. a parent assignment's required capacity for a similar
+    subset. Each guess costs two verification rows in one kernel call:
+    a guess ``g`` that satisfies the commitment while ``g - tolerance``
+    does not finishes that row's search immediately; otherwise the
+    verified side tightens the bracket. Probed rows stay within
+    ``tolerance`` of the true minimum but may differ from the scalar
+    path by up to ``tolerance``.
+    """
+    limits = np.asarray(capacity_limits, dtype=float)
+    n = batch.n_rows
+    if limits.shape != (n,):
+        raise SimulationError(
+            f"need one capacity limit per row, got {limits.shape} for {n}"
+        )
+    if limits.size and float(limits.min()) <= 0:
+        raise SimulationError(
+            f"capacity_limit must be > 0, got {float(limits.min())}"
+        )
+    if tolerance <= 0:
+        raise SimulationError(f"tolerance must be > 0, got {tolerance}")
+    if mode not in ("bisect", "analytic"):
+        raise SimulationError(
+            f"mode must be 'bisect' or 'analytic', got {mode!r}"
+        )
+    calendar = batch.calendar
+
+    kernel_calls = 0
+    bracket_iterations = 0
+    probe_hits = 0
+    results: list[Optional[RequiredCapacityResult]] = [None] * n
+    infinity = float("inf")
+
+    # CoS1 peaks alone exceeding the limit: no fit, no simulation.
+    peaks = batch.peaks
+    candidate = np.nonzero(peaks <= limits + _EPSILON)[0]
+    for row in np.nonzero(peaks > limits + _EPSILON)[0]:
+        results[row] = RequiredCapacityResult(
+            fits=False, required_capacity=infinity, report=None
+        )
+
+    if candidate.size == 0:
+        return BatchSearchResult(
+            results=tuple(results),  # type: ignore[arg-type]
+            stats=BatchSearchStats(n, kernel_calls, 0, 0),
+        )
+
+    # Analytic pre-pass: jump straight to the exact theta boundary and
+    # verify it with one measured evaluation. Rows whose candidate
+    # already reaches the limit skip it (the limit screen below decides
+    # them), rows that verify are done, and rows where the deferral
+    # deadline binds above the theta boundary keep the failed candidate
+    # as a proven lower bracket for the bisection fallback.
+    cand_low: dict[int, float] = {}
+    if mode == "analytic":
+        floors = np.maximum(peaks[candidate], tolerance)
+        thresholds = batch.theta_thresholds(commitment.theta)[candidate]
+        cand = np.maximum(
+            floors, thresholds * (1.0 + _THETA_SLACK) + _EPSILON
+        )
+        direct = np.nonzero(cand < limits[candidate])[0]
+        if direct.size:
+            direct_rows = candidate[direct]
+            at_cand = batch.evaluate_rows(
+                direct_rows, cand[direct], gate=commitment
+            )
+            kernel_calls += 1
+            cand_ok = at_cand.satisfies(commitment, calendar)
+            for position in np.nonzero(cand_ok)[0]:
+                results[int(direct_rows[position])] = (
+                    RequiredCapacityResult(
+                        fits=True,
+                        required_capacity=float(cand[direct[position]]),
+                        report=at_cand.report(int(position)),
+                    )
+                )
+            for position in np.nonzero(~cand_ok)[0]:
+                cand_low[int(direct_rows[position])] = float(
+                    cand[direct[position]]
+                )
+            candidate = candidate[
+                [results[int(row)] is None for row in candidate]
+            ]
+            if candidate.size == 0:
+                return BatchSearchResult(
+                    results=tuple(results),  # type: ignore[arg-type]
+                    stats=BatchSearchStats(n, kernel_calls, 0, 0),
+                )
+
+    # Screen at the limit (full reports: they are returned on no-fit).
+    at_limit = batch.evaluate_rows(candidate, limits[candidate])
+    kernel_calls += 1
+    limit_ok = at_limit.satisfies(commitment, calendar)
+    for position in np.nonzero(~limit_ok)[0]:
+        results[candidate[position]] = RequiredCapacityResult(
+            fits=False,
+            required_capacity=infinity,
+            report=at_limit.report(int(position)),
+        )
+
+    rows = candidate[limit_ok]
+    low = np.maximum(peaks[rows], tolerance)
+    if cand_low:
+        for position, row in enumerate(rows):
+            override = cand_low.get(int(row))
+            if override is not None:
+                low[position] = override
+    high = limits[rows].copy()
+    best_theta = at_limit.theta_measured[limit_ok].astype(float, copy=True)
+    best_deferred = at_limit.max_deferred_slots[limit_ok].copy()
+    best_satisfied = at_limit.cos2_satisfied_on_request[limit_ok].copy()
+
+    def finalize(position: int, required: float) -> RequiredCapacityResult:
+        row = int(rows[position])
+        return RequiredCapacityResult(
+            fits=True,
+            required_capacity=required,
+            report=AccessReport(
+                capacity=required,
+                cos1_fits=True,
+                cos1_peak=float(peaks[row]),
+                theta_measured=float(best_theta[position]),
+                max_deferred_slots=int(best_deferred[position]),
+                cos2_demand_total=float(batch.totals[row]),
+                cos2_satisfied_on_request=float(best_satisfied[position]),
+            ),
+        )
+
+    def compress(keep: np.ndarray) -> None:
+        nonlocal rows, low, high, best_theta, best_deferred, best_satisfied
+        rows = rows[keep]
+        low = low[keep]
+        high = high[keep]
+        best_theta = best_theta[keep]
+        best_deferred = best_deferred[keep]
+        best_satisfied = best_satisfied[keep]
+
+    # Degenerate bracket (low >= high): the limit itself is the answer.
+    open_bracket = low < high
+    for position in np.nonzero(~open_bracket)[0]:
+        results[rows[position]] = finalize(
+            int(position), float(high[position])
+        )
+    compress(open_bracket)
+
+    # The scalar path's low probe: a floor that satisfies ends the
+    # search. The analytic pre-pass subsumes it (its candidate is never
+    # below this floor and already failed for every row still open).
+    if rows.size and mode != "analytic":
+        at_low = batch.evaluate_rows(rows, low, gate=commitment)
+        kernel_calls += 1
+        low_ok = at_low.satisfies(commitment, calendar)
+        for position in np.nonzero(low_ok)[0]:
+            results[rows[position]] = RequiredCapacityResult(
+                fits=True,
+                required_capacity=float(low[position]),
+                report=at_low.report(int(position)),
+            )
+        compress(~low_ok)
+
+    # Warm-start probes: verify each guess (and its tolerance sibling)
+    # with one batched call, then bracket on the verified side.
+    if probes is not None and rows.size:
+        guesses = np.asarray(probes, dtype=float)[rows]
+        usable = np.isfinite(guesses)
+        usable &= (guesses > low) & (guesses < high)
+        probe_positions = np.nonzero(usable)[0]
+        if probe_positions.size:
+            guess = guesses[probe_positions]
+            sibling = np.maximum(guess - tolerance, low[probe_positions])
+            stacked_rows = np.concatenate(
+                [rows[probe_positions], rows[probe_positions]]
+            )
+            stacked_caps = np.concatenate([guess, sibling])
+            probed = batch.evaluate_rows(
+                stacked_rows, stacked_caps, gate=commitment
+            )
+            kernel_calls += 1
+            probe_ok = probed.satisfies(commitment, calendar)
+            half = probe_positions.size
+            for offset, position in enumerate(probe_positions):
+                if probe_ok[offset]:
+                    high[position] = guess[offset]
+                    best_theta[position] = probed.theta_measured[offset]
+                    best_deferred[position] = probed.max_deferred_slots[
+                        offset
+                    ]
+                    best_satisfied[position] = (
+                        probed.cos2_satisfied_on_request[offset]
+                    )
+                    if probe_ok[half + offset]:
+                        high[position] = sibling[offset]
+                        best_theta[position] = probed.theta_measured[
+                            half + offset
+                        ]
+                        best_deferred[position] = (
+                            probed.max_deferred_slots[half + offset]
+                        )
+                        best_satisfied[position] = (
+                            probed.cos2_satisfied_on_request[half + offset]
+                        )
+                    else:
+                        low[position] = sibling[offset]
+                        probe_hits += 1
+                else:
+                    low[position] = guess[offset]
+
+    # Simultaneous bisection: one batched kernel call per iteration.
+    while rows.size:
+        still_open = high - low > tolerance
+        for position in np.nonzero(~still_open)[0]:
+            results[rows[position]] = finalize(
+                int(position), float(high[position])
+            )
+        compress(still_open)
+        if not rows.size:
+            break
+        mid = (low + high) / 2.0
+        at_mid = batch.evaluate_rows(rows, mid, gate=commitment)
+        kernel_calls += 1
+        bracket_iterations += int(rows.size)
+        mid_ok = at_mid.satisfies(commitment, calendar)
+        accepted = np.nonzero(mid_ok)[0]
+        high[accepted] = mid[accepted]
+        best_theta[accepted] = at_mid.theta_measured[accepted]
+        best_deferred[accepted] = at_mid.max_deferred_slots[accepted]
+        best_satisfied[accepted] = at_mid.cos2_satisfied_on_request[
+            accepted
+        ]
+        rejected = np.nonzero(~mid_ok)[0]
+        low[rejected] = mid[rejected]
+
+    return BatchSearchResult(
+        results=tuple(results),  # type: ignore[arg-type]
+        stats=BatchSearchStats(
+            rows=n,
+            kernel_calls=kernel_calls,
+            bracket_iterations=bracket_iterations,
+            probe_hits=probe_hits,
+        ),
+    )

@@ -22,6 +22,7 @@ reference model these aggregates are tested against.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -29,6 +30,9 @@ from repro.core.cos import CoSCommitment
 from repro.exceptions import SimulationError
 from repro.traces.allocation import CoSAllocationPair
 from repro.traces.calendar import TraceCalendar
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.placement.kernels import BatchAccessReport
 
 _EPSILON = 1e-9
 
@@ -81,6 +85,13 @@ class SingleServerSimulator:
         self._cos2 = cos2
         self._cos1_peak = float(cos1.max()) if cos1.size else 0.0
         self._cos2_arrivals_cum = np.concatenate(([0.0], np.cumsum(cos2)))
+        # Capacity-independent precomputation, hoisted so repeated
+        # evaluate() calls (dozens per binary search) don't redo it: the
+        # theta denominator (requested CoS2 per week and slot-of-day),
+        # its positive mask, and the total CoS2 demand.
+        self._theta_requested = calendar.slot_of_day_view(cos2).sum(axis=1)
+        self._theta_positive = self._theta_requested > 0
+        self._cos2_total = float(cos2.sum())
 
     @classmethod
     def from_pairs(cls, pairs: list[CoSAllocationPair]) -> "SingleServerSimulator":
@@ -118,9 +129,20 @@ class SingleServerSimulator:
             cos1_peak=self._cos1_peak,
             theta_measured=theta,
             max_deferred_slots=max_deferred,
-            cos2_demand_total=float(self._cos2.sum()),
+            cos2_demand_total=self._cos2_total,
             cos2_satisfied_on_request=float(satisfied_now.sum()),
         )
+
+    def evaluate_batch(self, capacities: Sequence[float] | np.ndarray) -> "BatchAccessReport":
+        """Measure access statistics at K candidate capacities at once.
+
+        One vectorised ``(K, T)`` pass over the aggregate trace; row
+        ``i`` of the result is bit-identical to
+        ``self.evaluate(capacities[i])``.
+        """
+        from repro.placement.kernels import evaluate_capacities
+
+        return evaluate_capacities(self, np.asarray(capacities, dtype=float))
 
     def _measure_theta(self, satisfied_now: np.ndarray) -> float:
         """The paper's theta: min over weeks and slots of day.
@@ -128,13 +150,14 @@ class SingleServerSimulator:
         For week ``w`` and slot ``t``, the ratio is the sum over the
         seven days of satisfied CoS2 allocation divided by the sum of
         requested CoS2 allocation. Slots with no CoS2 request anywhere in
-        the week count as fully satisfied.
+        the week count as fully satisfied. The requested-per-slot
+        denominator is capacity-independent and precomputed in
+        ``__init__``.
         """
-        requested = self.calendar.slot_of_day_view(self._cos2).sum(axis=1)
         satisfied = self.calendar.slot_of_day_view(satisfied_now).sum(axis=1)
-        ratios = np.ones_like(requested)
-        positive = requested > 0
-        ratios[positive] = satisfied[positive] / requested[positive]
+        ratios = np.ones_like(self._theta_requested)
+        positive = self._theta_positive
+        ratios[positive] = satisfied[positive] / self._theta_requested[positive]
         return float(ratios.min()) if ratios.size else 1.0
 
     def _max_deferred_slots(self, available_cos2: np.ndarray) -> int:

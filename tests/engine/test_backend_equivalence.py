@@ -42,17 +42,18 @@ def policy():
     )
 
 
-def make_framework(engine):
+def make_framework(engine, **kwargs):
     return ROpus(
         PoolCommitments.of(theta=0.9),
         ResourcePool(homogeneous_servers(4, cpus=16)),
         search_config=FAST_SEARCH,
         engine=engine,
+        **kwargs,
     )
 
 
-def plan_with(engine, demands, policy):
-    framework = make_framework(engine)
+def plan_with(engine, demands, policy, **kwargs):
+    framework = make_framework(engine, **kwargs)
     try:
         return framework.plan(demands, policy, plan_failures=True)
     finally:
@@ -81,11 +82,20 @@ class TestBackendEquivalence:
 
         serial_summary = serial_plan.summary()
         parallel_summary = parallel_plan.summary()
-        # Wall-clock timings legitimately differ between backends; the
-        # planning quantities must not.
+        # Wall-clock timings and execution telemetry (broadcast
+        # transport, kernel batching granularity) legitimately differ
+        # between backends; the planning quantities must not.
         serial_summary.pop("stage_timings")
         parallel_summary.pop("stage_timings")
+        serial_counters = serial_summary.pop("counters")
+        parallel_counters = parallel_summary.pop("counters")
         assert serial_summary == parallel_summary
+        # Both backends account their capacity-search work.
+        assert serial_counters["kernel.calls"] > 0
+        assert parallel_counters["kernel.calls"] > 0
+        # The parallel backend broadcast the allocation matrices
+        # zero-copy for the placement session.
+        assert parallel_counters.get("broadcast.bytes_shared", 0.0) > 0.0
 
     def test_failure_cases_identical(self, demands, policy):
         serial_plan = plan_with(ExecutionEngine.serial(), demands, policy)
@@ -129,6 +139,28 @@ class TestBackendEquivalence:
                 serial[name].pair.cos2.values
                 == parallel[name].pair.cos2.values
             ).all()
+
+    def test_batch_kernel_parallel_matches_scalar_serial(
+        self, demands, policy
+    ):
+        """The strongest cross-cutting check: scalar serial vs batched
+        parallel (the default production path) — identical plans."""
+        scalar_plan = plan_with(
+            ExecutionEngine.serial(),
+            demands,
+            policy,
+            kernel="scalar",
+            share_sweep_cache=False,
+        )
+        batch_plan = plan_with(
+            ExecutionEngine.with_workers(2), demands, policy, kernel="batch"
+        )
+        assert dict(scalar_plan.consolidation.assignment) == dict(
+            batch_plan.consolidation.assignment
+        )
+        assert dict(scalar_plan.consolidation.required_by_server) == dict(
+            batch_plan.consolidation.required_by_server
+        )
 
     def test_plan_records_stage_timings(self, demands, policy):
         plan = plan_with(ExecutionEngine.serial(), demands, policy)

@@ -1,0 +1,124 @@
+"""Kernel-selection equivalence across the planning pipeline.
+
+The ``kernel`` knob changes how required capacity is computed, never
+what plan comes out:
+
+* ``"batch"`` is bit-identical to ``"scalar"`` — same assignments, same
+  per-server required capacities;
+* ``"analytic"`` may land on a different point of the same tolerance
+  interval, so plans must agree structurally and every per-server
+  required capacity must stay within the search tolerance;
+* the failure sweep's shared scratch (``share_sweep_cache``) memoises
+  pure functions and must be invisible in the results.
+"""
+
+import pytest
+
+from repro.core.cos import PoolCommitments
+from repro.core.framework import ROpus
+from repro.core.qos import QoSPolicy, case_study_qos
+from repro.engine import ExecutionEngine
+from repro.placement.genetic import GeneticSearchConfig
+from repro.resources.pool import ResourcePool
+from repro.resources.server import homogeneous_servers
+from repro.traces.calendar import TraceCalendar
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+TOLERANCE = 0.01
+FAST_SEARCH = GeneticSearchConfig(
+    seed=11, max_generations=6, stall_generations=3, population_size=8
+)
+
+
+@pytest.fixture(scope="module")
+def demands():
+    calendar = TraceCalendar(weeks=1, slot_minutes=60)
+    generator = WorkloadGenerator(seed=17)
+    specs = [
+        WorkloadSpec(name=f"w{i}", peak_cpus=1.0 + 0.5 * i) for i in range(5)
+    ]
+    return generator.generate_many(specs, calendar)
+
+
+@pytest.fixture(scope="module")
+def policy():
+    return QoSPolicy(
+        normal=case_study_qos(m_degr_percent=0),
+        failure=case_study_qos(m_degr_percent=3, t_degr_minutes=30),
+    )
+
+
+def plan_with(demands, policy, **kwargs):
+    framework = ROpus(
+        PoolCommitments.of(theta=0.9),
+        ResourcePool(homogeneous_servers(5, cpus=16)),
+        search_config=FAST_SEARCH,
+        engine=ExecutionEngine.serial(),
+        tolerance=TOLERANCE,
+        **kwargs,
+    )
+    return framework.plan(demands, policy, plan_failures=True)
+
+
+def failure_view(report):
+    return [
+        (case.failed_server, case.feasible, case.servers_used)
+        for case in report.cases
+    ]
+
+
+class TestKernelEquivalence:
+    def test_batch_is_bit_identical_to_scalar(self, demands, policy):
+        scalar = plan_with(
+            demands, policy, kernel="scalar", share_sweep_cache=False
+        )
+        batch = plan_with(
+            demands, policy, kernel="batch", share_sweep_cache=False
+        )
+        assert dict(scalar.consolidation.assignment) == dict(
+            batch.consolidation.assignment
+        )
+        assert dict(scalar.consolidation.required_by_server) == dict(
+            batch.consolidation.required_by_server
+        )
+        assert failure_view(scalar.failure_report) == failure_view(
+            batch.failure_report
+        )
+
+    def test_analytic_matches_scalar_within_tolerance(self, demands, policy):
+        scalar = plan_with(
+            demands, policy, kernel="scalar", share_sweep_cache=False
+        )
+        analytic = plan_with(
+            demands, policy, kernel="analytic", share_sweep_cache=False
+        )
+        assert dict(scalar.consolidation.assignment) == dict(
+            analytic.consolidation.assignment
+        )
+        scalar_required = dict(scalar.consolidation.required_by_server)
+        analytic_required = dict(analytic.consolidation.required_by_server)
+        assert set(scalar_required) == set(analytic_required)
+        for server, required in scalar_required.items():
+            assert abs(analytic_required[server] - required) <= (
+                TOLERANCE + 1e-9
+            )
+        assert failure_view(scalar.failure_report) == failure_view(
+            analytic.failure_report
+        )
+
+    def test_sweep_cache_sharing_is_invisible(self, demands, policy):
+        cold = plan_with(
+            demands, policy, kernel="batch", share_sweep_cache=False
+        )
+        shared = plan_with(
+            demands, policy, kernel="batch", share_sweep_cache=True
+        )
+        assert dict(cold.consolidation.assignment) == dict(
+            shared.consolidation.assignment
+        )
+        assert dict(cold.consolidation.required_by_server) == dict(
+            shared.consolidation.required_by_server
+        )
+        assert failure_view(cold.failure_report) == failure_view(
+            shared.failure_report
+        )

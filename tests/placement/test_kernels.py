@@ -1,0 +1,355 @@
+"""Property tests for the batched capacity-search kernels.
+
+The kernels' contract comes in two strengths and both are pinned down
+here with hypothesis:
+
+* the multi-capacity kernel (:func:`evaluate_capacities`) and the
+  multi-row kernel (:meth:`BatchSimulator.evaluate_rows`) are
+  **bit-identical** to the scalar :meth:`SingleServerSimulator.evaluate`
+  path, as is :func:`required_capacity_batch` in its default
+  ``mode="bisect"`` without probes;
+* the accelerated paths (``mode="analytic"``, warm-start probes, the
+  ``decision_deadline`` pass/fail) only promise *tolerance-equivalent*
+  answers — same fits verdict, required capacity within the search
+  tolerance, and every returned capacity verified to satisfy the
+  commitment by a fresh scalar measurement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cos import CoSCommitment
+from repro.exceptions import SimulationError
+from repro.placement.kernels import (
+    BatchSimulator,
+    evaluate_capacities,
+    required_capacity_batch,
+)
+from repro.placement.required_capacity import required_capacity
+from repro.placement.simulator import SingleServerSimulator
+from repro.traces.calendar import TraceCalendar
+
+# One week at 6-hour resolution: 28 observations per trace keeps each
+# hypothesis example cheap while exercising the (week, slot-of-day)
+# theta reduction on a non-trivial calendar.
+CAL = TraceCalendar(weeks=1, slot_minutes=360)
+N = CAL.n_observations
+LIMIT = 16.0
+TOLERANCE = 0.01
+
+levels = st.floats(min_value=0.0, max_value=4.0, allow_nan=False, width=32)
+capacity_values = st.floats(
+    min_value=0.125, max_value=LIMIT, allow_nan=False, width=32
+)
+# 1 - 1e-9 and 1.0 exercise the theta ~= 1 edge where the analytic
+# threshold sits at (or beyond) the trace's full-demand capacity;
+# deadline 0 makes any deferral fatal (the all-deferred edge).
+commitments = st.builds(
+    CoSCommitment,
+    theta=st.sampled_from([0.5, 0.9, 0.95, 1.0 - 1e-9, 1.0]),
+    deadline_minutes=st.sampled_from([0.0, 360.0, 720.0]),
+)
+
+
+@st.composite
+def traces(draw):
+    cos1 = np.asarray(draw(st.lists(levels, min_size=N, max_size=N)), float)
+    cos2 = np.asarray(draw(st.lists(levels, min_size=N, max_size=N)), float)
+    return cos1, cos2
+
+
+@st.composite
+def trace_stacks(draw, min_rows=1, max_rows=3):
+    rows = draw(st.integers(min_value=min_rows, max_value=max_rows))
+    stack = [draw(traces()) for _ in range(rows)]
+    cos1 = np.stack([cos1 for cos1, _ in stack])
+    cos2 = np.stack([cos2 for _, cos2 in stack])
+    return cos1, cos2
+
+
+def scalar_reports(cos1, cos2, capacities):
+    return [
+        SingleServerSimulator(c1, c2, CAL).evaluate(cap)
+        for c1, c2, cap in zip(cos1, cos2, capacities)
+    ]
+
+
+def assert_report_rows_identical(batch_report, reports):
+    for row, scalar in enumerate(reports):
+        assert batch_report.report(row) == scalar
+
+
+class TestEvaluateCapacities:
+    """One trace at K capacities == K scalar evaluations, bitwise."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(traces(), st.lists(capacity_values, min_size=1, max_size=6))
+    def test_matches_scalar_elementwise(self, trace, capacities):
+        cos1, cos2 = trace
+        simulator = SingleServerSimulator(cos1, cos2, CAL)
+        batch = simulator.evaluate_batch(capacities)
+        assert len(batch) == len(capacities)
+        assert_report_rows_identical(
+            batch, [simulator.evaluate(cap) for cap in capacities]
+        )
+
+    def test_rejects_nonpositive_and_non_1d(self):
+        simulator = SingleServerSimulator(np.ones(N), np.ones(N), CAL)
+        with pytest.raises(SimulationError):
+            evaluate_capacities(simulator, np.array([1.0, 0.0]))
+        with pytest.raises(SimulationError):
+            evaluate_capacities(simulator, np.ones((2, 2)))
+
+
+class TestEvaluateRows:
+    """N stacked traces, each at its own capacity, == N scalar sims."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(trace_stacks(), st.data())
+    def test_matches_scalar_per_row(self, stack, data):
+        cos1, cos2 = stack
+        rows = cos1.shape[0]
+        capacities = np.asarray(
+            data.draw(
+                st.lists(capacity_values, min_size=rows, max_size=rows)
+            ),
+            float,
+        )
+        batch = BatchSimulator(cos1, cos2, CAL)
+        report = batch.evaluate_rows(None, capacities)
+        assert_report_rows_identical(
+            report, scalar_reports(cos1, cos2, capacities)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(trace_stacks(min_rows=2, max_rows=3), commitments)
+    def test_gated_rows_agree_on_satisfies(self, stack, commitment):
+        """The gate may skip the FIFO drain only for rows it cannot save."""
+        cos1, cos2 = stack
+        rows = cos1.shape[0]
+        capacities = np.full(rows, 2.0)
+        batch = BatchSimulator(cos1, cos2, CAL)
+        gated = batch.evaluate_rows(None, capacities, gate=commitment)
+        scalars = scalar_reports(cos1, cos2, capacities)
+        verdicts = gated.satisfies(commitment, CAL)
+        for row, scalar in enumerate(scalars):
+            assert bool(verdicts[row]) == scalar.satisfies(commitment, CAL)
+
+
+class TestDecisionDeadline:
+    """The pass/fail deferral check must match the exact FIFO drain."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(trace_stacks(), commitments, st.data())
+    def test_verdict_matches_exact_measurement(self, stack, commitment, data):
+        cos1, cos2 = stack
+        rows = cos1.shape[0]
+        capacities = np.asarray(
+            data.draw(
+                st.lists(capacity_values, min_size=rows, max_size=rows)
+            ),
+            float,
+        )
+        deadline = commitment.deadline_slots(CAL)
+        batch = BatchSimulator(cos1, cos2, CAL)
+        exact = batch.evaluate_rows(None, capacities, gate=commitment)
+        quick = batch.evaluate_rows(
+            None, capacities, gate=commitment, decision_deadline=deadline
+        )
+        assert not quick.deferred_exact
+        np.testing.assert_array_equal(
+            quick.satisfies(commitment, CAL),
+            exact.satisfies(commitment, CAL),
+        )
+
+    def test_decision_only_report_refuses_to_materialise(self):
+        batch = BatchSimulator(np.ones((1, N)), np.ones((1, N)), CAL)
+        quick = batch.evaluate_rows(
+            None,
+            np.array([2.0]),
+            gate=CoSCommitment(theta=0.9),
+            decision_deadline=1,
+        )
+        with pytest.raises(SimulationError, match="pass/fail"):
+            quick.report(0)
+
+
+class TestRequiredCapacityBatchBisect:
+    """Default mode, no probes: bit-identical to the scalar search."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(trace_stacks(), commitments)
+    def test_matches_scalar_search(self, stack, commitment):
+        cos1, cos2 = stack
+        rows = cos1.shape[0]
+        batch = BatchSimulator(cos1, cos2, CAL)
+        outcome = required_capacity_batch(
+            batch, np.full(rows, LIMIT), commitment, tolerance=TOLERANCE
+        )
+        assert outcome.stats.rows == rows
+        for row in range(rows):
+            scalar = required_capacity(
+                [],
+                LIMIT,
+                commitment,
+                tolerance=TOLERANCE,
+                simulator=SingleServerSimulator(cos1[row], cos2[row], CAL),
+            )
+            batched = outcome.results[row]
+            assert batched.fits == scalar.fits
+            assert batched.required_capacity == scalar.required_capacity
+            if scalar.report is None:
+                assert batched.report is None
+            else:
+                assert batched.report == scalar.report
+
+    def test_peak_over_limit_short_circuits(self):
+        cos1 = np.full((1, N), 2 * LIMIT)
+        batch = BatchSimulator(cos1, np.zeros((1, N)), CAL)
+        outcome = required_capacity_batch(
+            batch, np.array([LIMIT]), CoSCommitment(theta=0.9)
+        )
+        assert not outcome.results[0].fits
+        assert outcome.results[0].report is None
+        assert outcome.stats.kernel_calls == 0
+
+    def test_all_deferred_rows_do_not_fit(self):
+        """Permanent overload with a zero deadline: no capacity below the
+        peak-free limit drains the backlog, so every row reports no fit —
+        on both the scalar and the batched path."""
+        cos2 = np.full((2, N), 2 * LIMIT)
+        batch = BatchSimulator(np.zeros((2, N)), cos2, CAL)
+        commitment = CoSCommitment(theta=0.5, deadline_minutes=0.0)
+        outcome = required_capacity_batch(
+            batch, np.full(2, LIMIT), commitment
+        )
+        for row in range(2):
+            result = outcome.results[row]
+            assert not result.fits
+            assert result.required_capacity == float("inf")
+            assert result.report is not None
+            assert result.report.max_deferred_slots > 0
+
+
+class TestRequiredCapacityBatchAnalytic:
+    """Analytic mode: same verdicts, capacity within the tolerance."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(trace_stacks(), commitments)
+    def test_within_tolerance_of_scalar(self, stack, commitment):
+        cos1, cos2 = stack
+        rows = cos1.shape[0]
+        batch = BatchSimulator(cos1, cos2, CAL)
+        outcome = required_capacity_batch(
+            batch,
+            np.full(rows, LIMIT),
+            commitment,
+            tolerance=TOLERANCE,
+            mode="analytic",
+        )
+        for row in range(rows):
+            simulator = SingleServerSimulator(cos1[row], cos2[row], CAL)
+            scalar = required_capacity(
+                [], LIMIT, commitment, tolerance=TOLERANCE,
+                simulator=simulator,
+            )
+            analytic = outcome.results[row]
+            assert analytic.fits == scalar.fits
+            if not scalar.fits:
+                continue
+            # Both answers live within `tolerance` of the true minimum.
+            assert (
+                abs(analytic.required_capacity - scalar.required_capacity)
+                <= TOLERANCE + 1e-9
+            )
+            # And the analytic answer is verified, not merely predicted.
+            measured = simulator.evaluate(analytic.required_capacity)
+            assert measured.satisfies(commitment, CAL)
+
+    @settings(max_examples=25, deadline=None)
+    @given(trace_stacks(), st.sampled_from([0.5, 0.95, 1.0 - 1e-9]))
+    def test_theta_threshold_is_sufficient(self, stack, theta):
+        """Evaluating just above the inverted threshold satisfies theta."""
+        cos1, cos2 = stack
+        batch = BatchSimulator(cos1, cos2, CAL)
+        thresholds = batch.theta_thresholds(theta)
+        assert thresholds.shape == (cos1.shape[0],)
+        capacities = np.maximum(thresholds * (1.0 + 1e-12) + 1e-9, 1e-6)
+        report = batch.evaluate_rows(None, capacities)
+        assert np.all(report.theta_measured >= theta - 1e-12)
+
+    def test_thresholds_are_cached_per_theta(self):
+        batch = BatchSimulator(np.ones((1, N)), np.ones((1, N)), CAL)
+        assert batch.theta_thresholds(0.9) is batch.theta_thresholds(0.9)
+
+    def test_rejects_unknown_mode(self):
+        batch = BatchSimulator(np.ones((1, N)), np.ones((1, N)), CAL)
+        with pytest.raises(SimulationError, match="mode"):
+            required_capacity_batch(
+                batch, np.array([LIMIT]), CoSCommitment(theta=0.9),
+                mode="newton",
+            )
+
+
+class TestWarmStartProbes:
+    """Probed searches stay within tolerance and are always verified."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(trace_stacks(min_rows=2, max_rows=3), commitments, st.data())
+    def test_probed_results_within_tolerance(self, stack, commitment, data):
+        cos1, cos2 = stack
+        rows = cos1.shape[0]
+        batch = BatchSimulator(cos1, cos2, CAL)
+        limits = np.full(rows, LIMIT)
+        plain = required_capacity_batch(
+            batch, limits, commitment, tolerance=TOLERANCE
+        )
+        # Perturbed copies of the true answers stand in for the parent
+        # generation's warm starts; NaN marks rows with no guess.
+        probes = np.full(rows, np.nan)
+        for row, result in enumerate(plain.results):
+            if result.fits and data.draw(st.booleans()):
+                probes[row] = result.required_capacity + data.draw(
+                    st.floats(-0.5, 0.5, allow_nan=False, width=32)
+                )
+        probed = required_capacity_batch(
+            batch, limits, commitment, tolerance=TOLERANCE, probes=probes
+        )
+        for row in range(rows):
+            assert probed.results[row].fits == plain.results[row].fits
+            if not plain.results[row].fits:
+                continue
+            assert (
+                abs(
+                    probed.results[row].required_capacity
+                    - plain.results[row].required_capacity
+                )
+                <= TOLERANCE + 1e-9
+            )
+            measured = SingleServerSimulator(
+                cos1[row], cos2[row], CAL
+            ).evaluate(probed.results[row].required_capacity)
+            assert measured.satisfies(commitment, CAL)
+
+    @settings(max_examples=25, deadline=None)
+    @given(trace_stacks(), commitments)
+    def test_nan_probes_are_bit_identical_to_no_probes(
+        self, stack, commitment
+    ):
+        cos1, cos2 = stack
+        rows = cos1.shape[0]
+        batch = BatchSimulator(cos1, cos2, CAL)
+        limits = np.full(rows, LIMIT)
+        plain = required_capacity_batch(batch, limits, commitment)
+        ignored = required_capacity_batch(
+            batch, limits, commitment, probes=np.full(rows, np.nan)
+        )
+        for row in range(rows):
+            assert (
+                ignored.results[row].required_capacity
+                == plain.results[row].required_capacity
+            )
