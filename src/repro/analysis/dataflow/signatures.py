@@ -120,6 +120,14 @@ KNOWN_SIGNATURES: dict[str, Signature] = {
         ),
         returns="CpuShares",
     ),
+    "repro.engine.faults.seeded_occurrences": Signature(
+        params=(
+            ("seed", None),
+            ("label", None),
+            ("rate", "Probability"),
+            ("horizon", None),
+        ),
+    ),
     "repro.placement.kernels.evaluate_capacities": Signature(
         params=(("simulator", None), ("capacities", None)),
     ),

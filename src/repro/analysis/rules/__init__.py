@@ -12,6 +12,7 @@ from repro.analysis.rules import (  # noqa: F401  (imported for registration)
     mutable_default,
     naked_rng,
     shared_mutation,
+    swallowed_failure,
     unit_flow,
     wall_clock,
 )

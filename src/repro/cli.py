@@ -19,6 +19,11 @@ Subcommands
 ``lint``
     Run the AST invariant linter (:mod:`repro.analysis`) over source
     trees; same engine as ``python -m repro.analysis``.
+``chaos``
+    Run the planning pipeline under a seeded fault schedule (worker
+    crashes, hangs, corrupted results, broadcast failures) and report
+    the recovery telemetry; ``--verify`` re-runs fault-free and checks
+    the two plans hash identically.
 """
 
 from __future__ import annotations
@@ -32,7 +37,12 @@ from repro.core.cos import PoolCommitments
 from repro.core.framework import ROpus
 from repro.core.qos import QoSPolicy, case_study_qos
 from repro.core.translation import QoSTranslator
-from repro.engine import ExecutionEngine
+from repro.engine import (
+    Checkpointer,
+    ExecutionEngine,
+    FaultPlan,
+    ResilienceConfig,
+)
 from repro.placement.genetic import GeneticSearchConfig
 from repro.resources.pool import ResourcePool
 from repro.resources.server import homogeneous_servers
@@ -73,10 +83,42 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "--timings", action="store_true",
         help="print per-stage timings and counters after the run",
     )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="stuck-worker deadline: respawn the pool and retry when no "
+             "work unit completes for this long (default: no deadline)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=None,
+        help="retries per failing fan-out batch before degrading "
+             "(default 2 when resilience is enabled)",
+    )
 
 
-def _engine(args: argparse.Namespace) -> ExecutionEngine:
-    return ExecutionEngine.with_workers(getattr(args, "workers", None))
+def _engine(
+    args: argparse.Namespace, fault_plan: FaultPlan | None = None
+) -> ExecutionEngine:
+    """Build the engine the flags describe.
+
+    The plain backends are the default; any resilience knob (or an
+    injected fault plan) switches to the fault-tolerant executor.
+    """
+    workers = getattr(args, "workers", None)
+    task_timeout = getattr(args, "task_timeout", None)
+    max_retries = getattr(args, "max_retries", None)
+    if task_timeout is None and max_retries is None and fault_plan is None:
+        return ExecutionEngine.with_workers(workers)
+    config = ResilienceConfig(
+        max_retries=max_retries if max_retries is not None else 2,
+        task_timeout_seconds=task_timeout,
+        fault_plan=fault_plan,
+    )
+    return ExecutionEngine.resilient(workers, config)
+
+
+def _checkpointer(args: argparse.Namespace) -> Checkpointer | None:
+    directory = getattr(args, "checkpoint", None)
+    return Checkpointer(directory) if directory else None
 
 
 def _print_timings(engine: ExecutionEngine) -> None:
@@ -172,6 +214,7 @@ def cmd_plan(args: argparse.Namespace) -> int:
         pool,
         search_config=GeneticSearchConfig(seed=args.seed),
         engine=engine,
+        checkpointer=_checkpointer(args),
     )
     policy = QoSPolicy(
         normal=_qos(args),
@@ -182,6 +225,7 @@ def cmd_plan(args: argparse.Namespace) -> int:
         if key == "stage_timings":
             continue
         print(f"{key}: {value}")
+    print(f"plan_hash: {plan.plan_hash()}")
     print()
     rows = [
         [server, ", ".join(names), plan.consolidation.required_by_server[server]]
@@ -238,7 +282,23 @@ def cmd_table1(args: argparse.Namespace) -> int:
 def cmd_validate(args: argparse.Namespace) -> int:
     from repro.traces.validation import validate_ensemble
 
-    demands = _load_demands(args)
+    if args.repair and args.traces:
+        from repro.traces.io import load_traces_csv_repaired
+
+        demands, repair_reports = load_traces_csv_repaired(args.traces)
+        repaired = [
+            report
+            for _, report in sorted(repair_reports.items())
+            if not report.clean
+        ]
+        for report in repaired:
+            print(report.describe())
+        print(
+            f"repaired {sum(report.total for report in repaired)} "
+            f"observations across {len(repaired)} traces"
+        )
+    else:
+        demands = _load_demands(args)
     reports = validate_ensemble(demands)
     dirty = 0
     for name, report in sorted(reports.items()):
@@ -258,6 +318,76 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 def cmd_lint(args: argparse.Namespace) -> int:
     return run_analysis_command(args)
+
+
+def _chaos_plan(
+    args: argparse.Namespace, fault_plan: FaultPlan | None
+) -> tuple[object, ExecutionEngine]:
+    """One full planning run under the given (possibly empty) faults."""
+    demands = _load_demands(args)
+    engine = _engine(args, fault_plan=fault_plan)
+    framework = ROpus(
+        PoolCommitments.of(theta=args.theta),
+        ResourcePool(homogeneous_servers(args.servers, cpus=args.cpus)),
+        search_config=GeneticSearchConfig(seed=args.seed),
+        engine=engine,
+    )
+    policy = QoSPolicy(
+        normal=_qos(args),
+        failure=case_study_qos(m_degr_percent=3.0, t_degr_minutes=30.0),
+    )
+    plan = framework.plan(
+        demands, policy, plan_failures=not args.no_failures
+    )
+    return plan, engine
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Plan under a seeded fault schedule; optionally verify the result.
+
+    The fault schedule is fully determined by ``--chaos-seed`` and the
+    rates, so a chaos run is exactly reproducible. With ``--verify``
+    the same planning problem is solved again fault-free and the two
+    plans must hash identically — recovery is only allowed to cost
+    time, never to change the answer.
+    """
+    fault_plan = FaultPlan.seeded(
+        args.chaos_seed,
+        horizon=args.fault_horizon,
+        crash_rate=args.crash_rate,
+        hang_rate=args.hang_rate,
+        corrupt_rate=args.corrupt_rate,
+        broadcast_rate=args.broadcast_rate,
+        hang_seconds=args.hang_seconds,
+    )
+    scheduled = {
+        kind.value: len(fault_plan.occurrences(kind))
+        for kind in fault_plan.schedule
+        if fault_plan.occurrences(kind)
+    }
+    print(f"fault schedule (seed {args.chaos_seed}): {scheduled or 'empty'}")
+    plan, engine = _chaos_plan(args, fault_plan)
+    chaos_hash = plan.plan_hash()
+    print(f"plan_hash: {chaos_hash}")
+    print(f"servers_used: {plan.servers_used}")
+    for name, value in sorted(plan.resilience_summary().items()):
+        print(f"{name}: {value}")
+    if args.timings:
+        _print_timings(engine)
+    engine.close()
+    if not args.verify:
+        return 0
+    control, control_engine = _chaos_plan(args, None)
+    control_engine.close()
+    control_hash = control.plan_hash()
+    if control_hash == chaos_hash:
+        print("verify: OK — chaos and fault-free plans hash identically")
+        return 0
+    print(
+        "verify: FAIL — chaos plan "
+        f"{chaos_hash} != fault-free plan {control_hash}"
+    )
+    return 1
 
 
 def cmd_outlook(args: argparse.Namespace) -> int:
@@ -343,7 +473,43 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--servers", type=int, default=12)
     plan.add_argument("--cpus", type=int, default=16)
     plan.add_argument("--no-failures", action="store_true")
+    plan.add_argument(
+        "--checkpoint", type=str, default=None, metavar="DIR",
+        help="journal planning progress to DIR and resume from it "
+             "(per-generation search state, per-case failure what-ifs)",
+    )
     plan.set_defaults(handler=cmd_plan)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run the planning pipeline under a seeded fault schedule",
+    )
+    _add_common_qos_arguments(chaos)
+    _add_engine_arguments(chaos)
+    chaos.add_argument("--servers", type=int, default=12)
+    chaos.add_argument("--cpus", type=int, default=16)
+    chaos.add_argument("--no-failures", action="store_true")
+    chaos.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed of the deterministic fault schedule (default 0)",
+    )
+    chaos.add_argument(
+        "--fault-horizon", type=int, default=256,
+        help="injection sites covered by the seeded schedule (default 256)",
+    )
+    chaos.add_argument("--crash-rate", type=float, default=0.02)
+    chaos.add_argument("--hang-rate", type=float, default=0.0)
+    chaos.add_argument("--corrupt-rate", type=float, default=0.02)
+    chaos.add_argument("--broadcast-rate", type=float, default=0.1)
+    chaos.add_argument(
+        "--hang-seconds", type=float, default=5.0,
+        help="how long an injected hang sleeps (default 5)",
+    )
+    chaos.add_argument(
+        "--verify", action="store_true",
+        help="re-plan fault-free and require an identical plan hash",
+    )
+    chaos.set_defaults(handler=cmd_chaos)
 
     table1 = subparsers.add_parser(
         "table1", help="reproduce the paper's Table I sweep"
@@ -358,6 +524,12 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="screen an ensemble for trace-quality problems"
     )
     _add_common_qos_arguments(validate)
+    validate.add_argument(
+        "--repair", action="store_true",
+        help="quarantine NaN/negative/out-of-order rows at ingest and "
+             "report the repairs instead of rejecting the file "
+             "(requires --traces)",
+    )
     validate.set_defaults(handler=cmd_validate)
 
     outlook = subparsers.add_parser(

@@ -15,13 +15,15 @@ the paper draws them:
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence, Union
 
 from repro.core.cos import PoolCommitments
 from repro.core.qos import ApplicationQoS, QoSPolicy
 from repro.core.translation import QoSTranslator, TranslationResult
-from repro.engine import ExecutionEngine
+from repro.engine import Checkpointer, ExecutionEngine
 from repro.exceptions import ConfigurationError
 from repro.placement.consolidation import ConsolidationResult, Consolidator
 from repro.placement.failure import FailurePlanner, FailureReport
@@ -71,7 +73,68 @@ class CapacityPlan:
             "spare_server_needed": self.spare_server_needed,
             "stage_timings": dict(self.timings),
             "counters": dict(self.counters),
+            "resilience": self.resilience_summary(),
         }
+
+    def resilience_summary(self) -> dict[str, float]:
+        """The run's recovery telemetry: retries, respawns, fallbacks,
+        checkpoint activity, and resumed work, pulled out of the full
+        counter map so operators see degraded-but-successful runs at a
+        glance (an all-zero map means the run never needed recovery)."""
+        prefixes = ("resilience.", "checkpoint.")
+        names = ("failure.case_resumes", "placement.ga_resumes")
+        return {
+            name: value
+            for name, value in self.counters.items()
+            if name.startswith(prefixes) or name in names
+        }
+
+    def plan_hash(self) -> str:
+        """A digest of the plan's *decisions*, stable across recovery.
+
+        Hashes what the capacity manager would act on — the
+        consolidation assignment and per-server required capacities,
+        plus each failure case's feasibility and assignment — and
+        nothing operational (timings, counters, search trajectories).
+        A run that survived injected faults via retries, or resumed
+        from a checkpoint after a kill, therefore hashes identically to
+        an undisturbed run; a changed hash means the *plan* changed.
+        """
+        document = {
+            "consolidation": {
+                "assignment": {
+                    server: list(names)
+                    for server, names in self.consolidation.assignment.items()
+                },
+                "required_by_server": dict(
+                    self.consolidation.required_by_server
+                ),
+                "sum_required": self.consolidation.sum_required,
+            },
+            "failures": (
+                None
+                if self.failure_report is None
+                else [
+                    {
+                        "failed_server": case.failed_server,
+                        "feasible": case.feasible,
+                        "assignment": (
+                            None
+                            if case.result is None
+                            else {
+                                server: list(names)
+                                for server, names in (
+                                    case.result.assignment.items()
+                                )
+                            }
+                        ),
+                    }
+                    for case in self.failure_report.cases
+                ]
+            ),
+        }
+        canonical = json.dumps(document, sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 class ROpus:
@@ -98,6 +161,7 @@ class ROpus:
         engine: ExecutionEngine | None = None,
         kernel: str = "batch",
         share_sweep_cache: bool = True,
+        checkpointer: Checkpointer | None = None,
     ):
         self.commitments = commitments
         self.pool = pool
@@ -107,6 +171,9 @@ class ROpus:
         self.engine = engine if engine is not None else ExecutionEngine.serial()
         self.kernel = kernel
         self.share_sweep_cache = share_sweep_cache
+        self.checkpointer = checkpointer
+        if checkpointer is not None and checkpointer.instrumentation is None:
+            checkpointer.instrumentation = self.engine.instrumentation
         self.translator = QoSTranslator(commitments, engine=self.engine)
 
     def translate(
@@ -165,7 +232,10 @@ class ROpus:
             kernel=self.kernel,
         )
         consolidation = consolidator.consolidate(
-            pairs, algorithm=algorithm, previous=previous
+            pairs,
+            algorithm=algorithm,
+            previous=previous,
+            checkpointer=self.checkpointer,
         )
 
         failure_report: FailureReport | None = None
@@ -178,6 +248,7 @@ class ROpus:
                 engine=self.engine,
                 kernel=self.kernel,
                 share_cache=self.share_sweep_cache,
+                checkpointer=self.checkpointer,
             )
             failure_report = planner.plan(
                 demands,

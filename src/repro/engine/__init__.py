@@ -9,6 +9,7 @@ the structured event log.
 """
 
 from repro.engine.broadcast import SharedMemoryHandle
+from repro.engine.checkpoint import Checkpointer
 from repro.engine.core import ExecutionEngine
 from repro.engine.executor import (
     Executor,
@@ -17,17 +18,30 @@ from repro.engine.executor import (
     SerialExecutor,
     make_executor,
 )
+from repro.engine.faults import FaultClock, FaultKind, FaultPlan
 from repro.engine.instrumentation import Event, Instrumentation, StageStats
+from repro.engine.resilience import (
+    ResilienceConfig,
+    ResilientExecutor,
+    make_resilient_executor,
+)
 
 __all__ = [
+    "Checkpointer",
     "Event",
     "ExecutionEngine",
     "Executor",
     "ExecutorSession",
+    "FaultClock",
+    "FaultKind",
+    "FaultPlan",
     "Instrumentation",
     "ParallelExecutor",
+    "ResilienceConfig",
+    "ResilientExecutor",
     "SerialExecutor",
     "SharedMemoryHandle",
     "StageStats",
     "make_executor",
+    "make_resilient_executor",
 ]

@@ -41,6 +41,7 @@ gain or shared memory cannot be used:
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -48,7 +49,46 @@ from typing import Any, Optional
 
 import numpy as np
 
-__all__ = ["SharedMemoryHandle", "publish", "resolve"]
+__all__ = ["SharedMemoryHandle", "publish", "release", "resolve"]
+
+
+# Driver-side segments published and not yet released, by segment name.
+# POSIX shared memory outlives the creating process: a segment whose
+# session never ran close() (worker crash unwound the stack, the driver
+# was interrupted mid-map) would otherwise survive in /dev/shm until
+# reboot. Every publish registers here; release() (the session close
+# path and the GC finalizer) unregisters; the atexit hook sweeps
+# whatever is left when the interpreter exits.
+_PUBLISHED: dict[str, shared_memory.SharedMemory] = {}
+
+
+def release(name: str) -> None:
+    """Close and unlink a published segment; idempotent by name.
+
+    Unlinking while workers are still attached is safe — the kernel
+    keeps the segment alive until the last mapping closes; unlinking
+    just removes the name so nothing leaks.
+    """
+    segment = _PUBLISHED.pop(name, None)
+    if segment is None:
+        return
+    try:
+        segment.close()
+    except OSError:  # pragma: no cover - buffer already gone
+        pass
+    try:
+        segment.unlink()
+    except OSError:  # pragma: no cover - already unlinked externally
+        pass
+
+
+def _release_all_published() -> None:
+    """Atexit sweep: unlink every segment an aborted run left behind."""
+    for name in list(_PUBLISHED):
+        release(name)
+
+
+atexit.register(_release_all_published)
 
 
 @dataclass(frozen=True)
@@ -121,6 +161,7 @@ def publish(
         segment = shared_memory.SharedMemory(create=True, size=total)
     except OSError:
         return payload, None, 0
+    _PUBLISHED[segment.name] = segment
     specs: list[tuple[int, tuple[int, ...], str]] = []
     offset = 0
     for array in arrays:

@@ -1,0 +1,155 @@
+"""Journaling checkpoint store: atomic write-then-rename JSON documents.
+
+Long-running planning stages (the genetic search's generations, the
+failure sweep's what-if cases, the consolidation pass) persist their
+progress through a :class:`Checkpointer` so a killed run resumes
+bit-identically instead of starting over. The store is deliberately
+boring:
+
+* one JSON document per key, written to a temp file in the same
+  directory and ``os.replace``d into place — a ``kill -9`` mid-write
+  leaves either the previous complete document or a stray temp file,
+  never a torn checkpoint;
+* loads treat *any* malformed document as absent (the stage recomputes
+  that step; correctness never depends on a checkpoint being present);
+* saves degrade instead of raising — a full disk (or an injected
+  :class:`~repro.engine.faults.InjectedCheckpointFailure`) costs
+  resumability, not the run. Failures are counted on the attached
+  instrumentation as ``checkpoint.write_failures``.
+
+Keys are hierarchical (``"failure/web+db"``); path separators and other
+filesystem-hostile characters are escaped into the flat filename, so a
+key never escapes the checkpoint directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.engine.faults import InjectedFault
+from repro.engine.instrumentation import Instrumentation
+from repro.exceptions import ConfigurationError
+
+_SUFFIX = ".ckpt.json"
+_TMP_SUFFIX = ".ckpt.tmp"
+
+
+def _escape_key(key: str) -> str:
+    """Escape a checkpoint key into one safe flat filename."""
+    if not key:
+        raise ConfigurationError("checkpoint key must be non-empty")
+    out: list[str] = []
+    for char in key:
+        if char.isalnum() or char in "-_.+":
+            out.append(char)
+        elif char == "/":
+            out.append("__")
+        else:
+            out.append(f"%{ord(char):02x}")
+    return "".join(out)
+
+
+class Checkpointer:
+    """Atomic per-key JSON persistence for resumable pipeline stages."""
+
+    def __init__(
+        self,
+        directory: os.PathLike[str] | str,
+        *,
+        instrumentation: Optional[Instrumentation] = None,
+        fault_hook: Optional[Callable[[], None]] = None,
+    ):
+        """``fault_hook`` runs before every write; the fault-injection
+        harness uses it to make saves fail deterministically."""
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.instrumentation = instrumentation
+        self.fault_hook = fault_hook
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.directory / (_escape_key(key) + _SUFFIX)
+
+    def save(self, key: str, payload: dict[str, Any]) -> bool:
+        """Persist ``payload`` under ``key``; returns whether it stuck.
+
+        The write is journaling: the document lands in a temp file
+        first and is renamed over the previous version atomically.
+        Failures (I/O errors, injected faults) are swallowed after
+        counting — a lost checkpoint only costs resume coverage.
+        """
+        path = self._path(key)
+        tmp = path.with_name(_escape_key(key) + _TMP_SUFFIX)
+        try:
+            if self.fault_hook is not None:
+                self.fault_hook()
+            document = json.dumps({"key": key, "payload": payload})
+            with open(tmp, "w") as handle:
+                handle.write(document)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except (OSError, TypeError, ValueError, InjectedFault) as error:
+            self._count("checkpoint.write_failures")
+            self._event("checkpoint.write_failed", key=key, error=repr(error))
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                self._count("checkpoint.tmp_cleanup_failures")
+            return False
+        self._count("checkpoint.writes")
+        return True
+
+    def load(self, key: str) -> Optional[dict[str, Any]]:
+        """The payload stored under ``key``, or ``None``.
+
+        Missing, truncated, or otherwise malformed documents all read
+        as absent: resume never trusts a checkpoint it cannot fully
+        parse, it just recomputes the step.
+        """
+        try:
+            text = self._path(key).read_text()
+        except OSError:
+            return None
+        try:
+            document = json.loads(text)
+            payload = document["payload"]
+        except (ValueError, KeyError, TypeError):
+            self._count("checkpoint.corrupt_reads")
+            return None
+        if not isinstance(payload, dict):
+            self._count("checkpoint.corrupt_reads")
+            return None
+        self._count("checkpoint.reads")
+        return payload
+
+    def exists(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def delete(self, key: str) -> None:
+        try:
+            self._path(key).unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            self._count("checkpoint.delete_failures")
+
+    def keys(self) -> list[str]:
+        """Escaped key names currently stored (diagnostic use)."""
+        return sorted(
+            entry.name[: -len(_SUFFIX)]
+            for entry in self.directory.glob(f"*{_SUFFIX}")
+        )
+
+    # ------------------------------------------------------------------
+    def _count(self, name: str, increment: float = 1) -> None:
+        if self.instrumentation is not None:
+            self.instrumentation.count(name, increment)
+
+    def _event(self, name: str, **fields: object) -> None:
+        if self.instrumentation is not None:
+            self.instrumentation.event(name, **fields)
+
+
+__all__ = ["Checkpointer"]

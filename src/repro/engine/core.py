@@ -45,6 +45,12 @@ class ExecutionEngine:
         self.instrumentation = (
             instrumentation if instrumentation is not None else Instrumentation()
         )
+        # Executors that emit recovery telemetry (the resilient backend)
+        # expose attach_instrumentation; wiring it here keeps retries,
+        # pool respawns, and degradations in the same sink as timings.
+        attach = getattr(self.executor, "attach_instrumentation", None)
+        if callable(attach):
+            attach(self.instrumentation)
 
     @classmethod
     def serial(
@@ -61,6 +67,23 @@ class ExecutionEngine:
     ) -> "ExecutionEngine":
         """Serial for ``workers in (None, 1)``, else a process-pool backend."""
         return cls(make_executor(workers), instrumentation)
+
+    @classmethod
+    def resilient(
+        cls,
+        workers: int | None = None,
+        config: "Any" = None,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> "ExecutionEngine":
+        """A fault-tolerant engine: retries, timeouts, degradation ladders.
+
+        ``config`` is a :class:`~repro.engine.resilience.ResilienceConfig`
+        (default-constructed when omitted). The import is local so plain
+        serial pipelines never pay for the recovery machinery.
+        """
+        from repro.engine.resilience import make_resilient_executor
+
+        return cls(make_resilient_executor(workers, config), instrumentation)
 
     def session(self, shared: "Any" = None) -> ExecutorSession:
         """Open an executor session and account its broadcast cost.

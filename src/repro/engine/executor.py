@@ -21,12 +21,13 @@ driver process, so results are deterministic and backend-independent;
 from __future__ import annotations
 
 import os
+import weakref
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
 from functools import partial
 from typing import Any, Callable, Sequence, TypeVar
 
-from repro.engine.broadcast import publish, resolve
+from repro.engine.broadcast import publish, release, resolve
 from repro.exceptions import ConfigurationError
 
 ItemT = TypeVar("ItemT")
@@ -216,14 +217,23 @@ class _ParallelSessionWithDefault(_ParallelSession):
         self._segment = segment
         self.broadcast_bytes = shared_bytes
         self.broadcast_mode = "shared_memory" if segment is not None else "pickle"
+        # Sessions abandoned without close() (an exception unwound past
+        # the context manager, an aborted run) must not leak their
+        # /dev/shm segment: the finalizer releases it at GC time, and
+        # the broadcast module's atexit sweep covers interpreter exit.
+        self._release_segment = (
+            weakref.finalize(self, release, segment.name)
+            if segment is not None
+            else None
+        )
 
     def close(self) -> None:
         super().close()
-        if self._segment is not None:
-            # Workers have exited (shutdown waited), so the driver's
-            # unlink drops the last reference to the segment.
-            self._segment.close()
-            self._segment.unlink()
+        if self._release_segment is not None:
+            # Workers have exited (shutdown waited), so releasing here
+            # drops the last reference to the segment.
+            self._release_segment()
+            self._release_segment = None
             self._segment = None
 
     def map(

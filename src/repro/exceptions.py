@@ -57,6 +57,15 @@ class ConfigurationError(ROpusError):
     """A component was configured with invalid parameters."""
 
 
+class ResilienceError(ROpusError):
+    """Fan-out work kept failing after every retry and degradation step.
+
+    Raised by the resilient executor once bounded retries, pool
+    respawns, and the serial fallback have all been exhausted — the
+    failure is persistent, not transient, and the caller must decide.
+    """
+
+
 class InvariantError(ROpusError):
     """An internal invariant the library relies on was violated.
 

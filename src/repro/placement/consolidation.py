@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Literal, Mapping, Optional, Sequence
 
-from repro.engine import ExecutionEngine
+from repro.engine import Checkpointer, ExecutionEngine
 from repro.exceptions import PlacementError
 from repro.placement.evaluation import PlacementEvaluator
 from repro.placement.genetic import (
@@ -114,6 +114,8 @@ class Consolidator:
         algorithm: Algorithm = "genetic",
         *,
         previous: Optional[ConsolidationResult] = None,
+        checkpointer: Optional[Checkpointer] = None,
+        checkpoint_key: str = "consolidation",
     ) -> ConsolidationResult:
         """Place ``pairs`` onto the pool with the chosen algorithm.
 
@@ -121,6 +123,10 @@ class Consolidator:
         assignment: re-planning then prefers solutions close to what is
         already running, which keeps workload migrations down (each move
         disrupts an application and needs migration machinery).
+        ``checkpointer`` journals the genetic search's generations under
+        ``checkpoint_key`` so an interrupted consolidation resumes from
+        its last completed generation (see
+        :meth:`GeneticPlacementSearch.run`).
         """
         evaluator = PlacementEvaluator(
             pairs,
@@ -130,7 +136,11 @@ class Consolidator:
             instrumentation=self.engine.instrumentation,
         )
         return self.consolidate_with_evaluator(
-            evaluator, algorithm, previous=previous
+            evaluator,
+            algorithm,
+            previous=previous,
+            checkpointer=checkpointer,
+            checkpoint_key=checkpoint_key,
         )
 
     def consolidate_with_evaluator(
@@ -139,6 +149,8 @@ class Consolidator:
         algorithm: Algorithm = "genetic",
         *,
         previous: Optional[ConsolidationResult] = None,
+        checkpointer: Optional[Checkpointer] = None,
+        checkpoint_key: str = "consolidation",
     ) -> ConsolidationResult:
         """Run the placement algorithms against any evaluator.
 
@@ -175,7 +187,12 @@ class Consolidator:
                     self.attribute,
                     engine=self.engine,
                 )
-                search = searcher.run(seed, extra_seeds=extra_seeds)
+                search = searcher.run(
+                    seed,
+                    extra_seeds=extra_seeds,
+                    checkpointer=checkpointer,
+                    checkpoint_key=checkpoint_key,
+                )
                 assignment = search.best.assignment
             else:
                 raise PlacementError(

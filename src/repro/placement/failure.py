@@ -31,7 +31,7 @@ from typing import Mapping, Sequence
 
 from repro.core.cos import PoolCommitments
 from repro.core.qos import QoSPolicy
-from repro.engine import ExecutionEngine
+from repro.engine import Checkpointer, ExecutionEngine
 from repro.exceptions import PlacementError
 from repro.placement.consolidation import ConsolidationResult, Consolidator
 from repro.placement.genetic import GeneticSearchConfig
@@ -169,6 +169,69 @@ def _failure_case_worker(
     )
 
 
+def _case_to_payload(case: FailureCase) -> dict:
+    """A :class:`FailureCase` as a JSON-able checkpoint document."""
+    result = case.result
+    return {
+        "failed_server": case.failed_server,
+        "feasible": case.feasible,
+        "affected_workloads": list(case.affected_workloads),
+        "result": (
+            None
+            if result is None
+            else {
+                "assignment": {
+                    server: list(names)
+                    for server, names in result.assignment.items()
+                },
+                "required_by_server": dict(result.required_by_server),
+                "sum_required": result.sum_required,
+                "sum_peak_allocations": result.sum_peak_allocations,
+                "score": result.score,
+                "algorithm": result.algorithm,
+            }
+        ),
+    }
+
+
+def _case_from_payload(payload: dict) -> FailureCase | None:
+    """Rebuild a persisted what-if case; ``None`` when unreadable.
+
+    Search details are not persisted (the sweep's plan-level outputs —
+    feasibility, assignment, capacities — never depend on them), so a
+    restored case carries ``search=None`` exactly like a case computed
+    by a greedy algorithm.
+    """
+    try:
+        doc = payload["result"]
+        result = (
+            None
+            if doc is None
+            else ConsolidationResult(
+                assignment={
+                    server: tuple(names)
+                    for server, names in doc["assignment"].items()
+                },
+                required_by_server={
+                    server: float(required)
+                    for server, required in doc["required_by_server"].items()
+                },
+                sum_required=float(doc["sum_required"]),
+                sum_peak_allocations=float(doc["sum_peak_allocations"]),
+                score=float(doc["score"]),
+                algorithm=str(doc["algorithm"]),
+            )
+        )
+        return FailureCase(
+            failed_server=str(payload["failed_server"]),
+            feasible=bool(payload["feasible"]),
+            affected_workloads=tuple(payload["affected_workloads"]),
+            result=result,
+        )
+    except (KeyError, TypeError, ValueError, AttributeError):
+        return None
+
+
 class FailurePlanner:
     """Evaluates whether single-server failures can be absorbed."""
 
@@ -182,6 +245,7 @@ class FailurePlanner:
         engine: ExecutionEngine | None = None,
         kernel: str = "batch",
         share_cache: bool = True,
+        checkpointer: Checkpointer | None = None,
     ):
         self.translator = translator
         self.config = config
@@ -190,6 +254,7 @@ class FailurePlanner:
         self.engine = engine if engine is not None else ExecutionEngine.serial()
         self.kernel = kernel
         self.share_cache = share_cache
+        self.checkpointer = checkpointer
 
     def plan(
         self,
@@ -300,11 +365,51 @@ class FailurePlanner:
         )
         instrumentation = self.engine.instrumentation
         with instrumentation.stage("failure_planning"):
-            cases = self.engine.map(
-                _failure_case_worker, list(items), shared=payload
+            restored: dict[int, FailureCase] = {}
+            pending: list[tuple[int, object]] = []
+            for position, item in enumerate(items):
+                case = self._load_case("+".join(item[0]))
+                if case is not None:
+                    restored[position] = case
+                else:
+                    pending.append((position, item))
+            if restored:
+                instrumentation.count("failure.case_resumes", len(restored))
+                instrumentation.event(
+                    "failure.cases_resumed",
+                    restored=len(restored),
+                    pending=len(pending),
+                )
+            computed = self.engine.map(
+                _failure_case_worker,
+                [item for _, item in pending],
+                shared=payload,
             )
+            cases: list[FailureCase] = [None] * len(items)  # type: ignore[list-item]
+            for case_position, case in restored.items():
+                cases[case_position] = case
+            for (case_position, _), case in zip(pending, computed):
+                cases[case_position] = case
+                self._save_case(case)
         instrumentation.count("failure.cases", len(items))
         return FailureReport(cases=tuple(cases))
+
+    def _case_key(self, label: str) -> str:
+        return f"failure/{label}"
+
+    def _load_case(self, label: str) -> FailureCase | None:
+        if self.checkpointer is None:
+            return None
+        payload = self.checkpointer.load(self._case_key(label))
+        if payload is None:
+            return None
+        return _case_from_payload(payload)
+
+    def _save_case(self, case: FailureCase) -> None:
+        if self.checkpointer is not None:
+            self.checkpointer.save(
+                self._case_key(case.failed_server), _case_to_payload(case)
+            )
 
     def _evaluate_failure(
         self,

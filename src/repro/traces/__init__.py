@@ -22,8 +22,11 @@ from repro.traces.ops import (
 from repro.traces.trace import DemandTrace
 from repro.traces.validation import (
     IssueKind,
+    RepairKind,
     TraceIssue,
     TraceQualityReport,
+    TraceRepairReport,
+    quarantine_series,
     validate_ensemble,
     validate_trace,
 )
@@ -35,9 +38,12 @@ __all__ = [
     "SlotIndex",
     "TraceCalendar",
     "IssueKind",
+    "RepairKind",
     "TraceIssue",
     "TraceQualityReport",
+    "TraceRepairReport",
     "aggregate_traces",
+    "quarantine_series",
     "contiguous_runs_above",
     "longest_run_above",
     "normalize_to_peak",

@@ -17,6 +17,8 @@ import json
 from pathlib import Path
 from typing import Sequence, Union
 
+import numpy as np
+
 from repro.exceptions import TraceError
 from repro.traces.calendar import TraceCalendar
 from repro.traces.trace import DemandTrace
@@ -82,6 +84,116 @@ def load_traces_csv(path: PathLike) -> list[DemandTrace]:
         DemandTrace(name, column, calendar, attribute)
         for name, column in zip(names, columns)
     ]
+
+
+def load_traces_csv_repaired(
+    path: PathLike,
+) -> tuple[list[DemandTrace], dict[str, "TraceRepairReport"]]:
+    """Load a trace CSV, quarantining bad rows instead of raising.
+
+    Real exports from monitoring systems are messy where the strict
+    loader is exacting: cells that fail to parse, NaN/negative
+    readings, rows out of order. This loader admits the ensemble anyway
+    and reports what it repaired:
+
+    * unparsable / non-finite cells are carried forward from the last
+      finite observation (:class:`RepairKind.NON_FINITE`);
+    * negative demand is clamped to zero (:class:`RepairKind.NEGATIVE`);
+    * an optional leading ``slot`` column (not emitted by
+      :func:`save_traces_csv`, but common in timestamped exports) lets
+      rows arrive in any order — each row lands at its stated slot,
+      later duplicates win, and every inversion in file order counts as
+      :class:`RepairKind.OUT_OF_ORDER`;
+    * rows with the wrong cell count or an unusable slot index count as
+      :class:`RepairKind.MALFORMED_ROW`; their missing cells read as
+      non-finite and are repaired like any other.
+
+    The file-level header must still be intact — with the calendar
+    unreadable there is nothing sound to repair toward. Returns the
+    traces (each carrying its repair total as
+    :attr:`DemandTrace.repairs`) plus the per-workload reports.
+    """
+    from repro.traces.validation import (
+        RepairKind,
+        TraceRepairReport,
+        quarantine_series,
+    )
+
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            magic_row = next(reader)
+            names = next(reader)
+        except StopIteration as exc:
+            raise TraceError(f"{path}: truncated trace CSV") from exc
+        if not magic_row or magic_row[0] != _CSV_MAGIC:
+            raise TraceError(f"{path}: not an R-Opus trace CSV")
+        try:
+            weeks = int(magic_row[1])
+            slot_minutes = int(magic_row[2])
+            attribute = magic_row[3]
+        except (IndexError, ValueError) as exc:
+            raise TraceError(f"{path}: malformed trace CSV header") from exc
+        calendar = TraceCalendar(weeks=weeks, slot_minutes=slot_minutes)
+        has_slot_column = bool(names) and names[0] == "slot"
+        workload_names = names[1:] if has_slot_column else names
+        if not workload_names:
+            raise TraceError(f"{path}: trace CSV names no workloads")
+        n_slots = calendar.n_observations
+        matrix = np.full((n_slots, len(workload_names)), np.nan)
+        malformed_rows = 0
+        out_of_order_rows = 0
+        previous_slot = -1
+        position = 0
+        for row in reader:
+            cells = row
+            slot = position
+            if has_slot_column:
+                try:
+                    slot = int(float(cells[0]))
+                except (IndexError, ValueError):
+                    malformed_rows += 1
+                    position += 1
+                    continue
+                cells = cells[1:]
+                if slot < previous_slot:
+                    out_of_order_rows += 1
+                previous_slot = slot
+            if len(cells) != len(workload_names):
+                malformed_rows += 1
+                cells = (cells + [""] * len(workload_names))[
+                    : len(workload_names)
+                ]
+            if not 0 <= slot < n_slots:
+                malformed_rows += 1
+                position += 1
+                continue
+            for column_index, cell in enumerate(cells):
+                try:
+                    matrix[slot, column_index] = float(cell)
+                except ValueError:
+                    # Stays NaN; quarantine_series repairs and counts it.
+                    pass
+            position += 1
+
+    traces: list[DemandTrace] = []
+    reports: dict[str, TraceRepairReport] = {}
+    row_counts: dict[RepairKind, int] = {}
+    if out_of_order_rows:
+        row_counts[RepairKind.OUT_OF_ORDER] = out_of_order_rows
+    if malformed_rows:
+        row_counts[RepairKind.MALFORMED_ROW] = malformed_rows
+    for column_index, name in enumerate(workload_names):
+        repaired, counts = quarantine_series(matrix[:, column_index])
+        counts.update(row_counts)
+        report = TraceRepairReport(workload=name, counts=counts)
+        reports[name] = report
+        traces.append(
+            DemandTrace(
+                name, repaired, calendar, attribute, repairs=report.total
+            )
+        )
+    return traces, reports
 
 
 def traces_to_json(traces: Sequence[DemandTrace]) -> str:

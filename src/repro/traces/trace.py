@@ -39,9 +39,15 @@ class DemandTrace:
         The grid the observations live on.
     attribute:
         Capacity attribute the demand refers to (default ``"cpu"``).
+    repairs:
+        How many observations ingest had to quarantine and repair to
+        admit this series (see
+        :func:`repro.traces.validation.quarantine_series`); zero for
+        trusted in-process data. Diagnostic only — it does not
+        participate in equality, and derived traces reset it.
     """
 
-    __slots__ = ("name", "attribute", "calendar", "_values")
+    __slots__ = ("name", "attribute", "calendar", "repairs", "_values")
 
     def __init__(
         self,
@@ -49,6 +55,8 @@ class DemandTrace:
         values: ArrayLike,
         calendar: TraceCalendar,
         attribute: str = CPU_ATTRIBUTE,
+        *,
+        repairs: int = 0,
     ):
         array = np.asarray(values, dtype=float)
         if array.ndim != 1:
@@ -62,10 +70,13 @@ class DemandTrace:
             raise TraceError(f"trace {name!r} contains non-finite values")
         if np.any(array < 0):
             raise TraceError(f"trace {name!r} contains negative demand")
+        if repairs < 0:
+            raise TraceError(f"repairs must be >= 0, got {repairs}")
         array.flags.writeable = False
         self.name = name
         self.attribute = attribute
         self.calendar = calendar
+        self.repairs = int(repairs)
         self._values = array
 
     @property

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -58,6 +58,87 @@ class TraceQualityReport:
 
     def has(self, kind: IssueKind) -> bool:
         return any(issue.kind is kind for issue in self.issues)
+
+
+class RepairKind(Enum):
+    """Categories of observations quarantined at ingest."""
+
+    NON_FINITE = "non-finite"
+    NEGATIVE = "negative"
+    OUT_OF_ORDER = "out-of-order"
+    MALFORMED_ROW = "malformed-row"
+
+
+@dataclass(frozen=True)
+class TraceRepairReport:
+    """What ingest had to repair to admit one workload's series.
+
+    Row-level problems (out-of-order rows, malformed rows) affect every
+    workload in the file and appear in each workload's report; cell
+    repairs (:attr:`RepairKind.NON_FINITE`, :attr:`RepairKind.NEGATIVE`)
+    are counted per workload.
+    """
+
+    workload: str
+    counts: Mapping[RepairKind, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def clean(self) -> bool:
+        return self.total == 0
+
+    def count(self, kind: RepairKind) -> int:
+        return self.counts.get(kind, 0)
+
+    def describe(self) -> str:
+        if self.clean:
+            return f"{self.workload}: clean"
+        parts = ", ".join(
+            f"{kind.value}={count}"
+            for kind, count in sorted(
+                self.counts.items(), key=lambda entry: entry[0].value
+            )
+            if count
+        )
+        return f"{self.workload}: {self.total} repairs ({parts})"
+
+
+def quarantine_series(
+    values: np.ndarray,
+) -> tuple[np.ndarray, dict[RepairKind, int]]:
+    """Repair a raw observation series instead of rejecting it.
+
+    Non-finite observations (NaN / inf — a cell that failed to parse, a
+    collector glitch) are replaced by the last finite observation before
+    them (zero when there is none): carrying demand forward is the
+    conservative choice, since a dead collector reads zero but the
+    workload kept running. Negative observations are clamped to zero —
+    demand below zero is always an instrumentation artifact. Returns the
+    repaired copy plus the per-kind repair counts.
+    """
+    out = np.array(values, dtype=float)
+    counts: dict[RepairKind, int] = {}
+    bad = ~np.isfinite(out)
+    if bad.any():
+        counts[RepairKind.NON_FINITE] = int(bad.sum())
+        n = out.shape[0]
+        # Forward-fill: positions[i] is the latest finite index <= i
+        # (-1 when none exists yet).
+        positions = np.arange(n)
+        positions[bad] = -1
+        np.maximum.accumulate(positions, out=positions)
+        filled = np.where(
+            positions >= 0, out[np.clip(positions, 0, None)], 0.0
+        )
+        out = np.where(bad, filled, out)
+    negative = out < 0
+    if negative.any():
+        counts[RepairKind.NEGATIVE] = int(negative.sum())
+        out = np.where(negative, 0.0, out)
+    return out, counts
 
 
 def validate_trace(

@@ -1,0 +1,26 @@
+"""Fixture: failure handling the swallowed-failure rule must flag."""
+
+
+def ingest(rows):
+    parsed = []
+    for row in rows:
+        try:
+            parsed.append(float(row))
+        except:  # noqa: E722 — the bare except is the point
+            parsed.append(0.0)
+    return parsed
+
+
+def probe(connection):
+    try:
+        connection.ping()
+    except Exception:
+        pass
+
+
+def drain(queue):
+    while True:
+        try:
+            return queue.pop()
+        except IndexError:
+            continue

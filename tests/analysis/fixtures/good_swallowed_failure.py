@@ -1,0 +1,42 @@
+"""Fixture: disciplined failure handling the rule must stay quiet on."""
+
+from repro.exceptions import TraceError
+
+
+def parse(cell):
+    try:
+        return float(cell)
+    except ValueError as error:
+        raise TraceError(f"unparsable cell {cell!r}") from error
+
+
+def cleanup(segment):
+    # Narrow and deliberate: the buffer may already be gone, and that is
+    # the one outcome cleanup is allowed to ignore.
+    try:
+        segment.close()
+    except OSError:
+        pass
+
+
+def classify(callback, failures):
+    try:
+        callback()
+    except Exception as error:
+        failures.append(error)
+
+
+def reraise(callback):
+    try:
+        callback()
+    except BaseException:
+        raise
+
+
+def drain(queue, budget):
+    for _ in range(budget):
+        try:
+            return queue.pop()
+        except IndexError:
+            continue
+    raise TraceError("queue stayed empty after bounded retries")

@@ -28,6 +28,7 @@ RULE_FIXTURES = [
     ("ROP009", "bad_interval_violation.py", "good_interval_violation.py"),
     ("ROP010", "bad_unconverted_return.py", "good_unconverted_return.py"),
     ("ROP011", "bad_unvalidated_boundary.py", "good_unvalidated_boundary.py"),
+    ("ROP012", "bad_swallowed_failure.py", "good_swallowed_failure.py"),
 ]
 
 
@@ -89,6 +90,15 @@ class TestSpecificDetections:
         result = analyze_paths([FIXTURES / "bad_unit_confusion.py"])
         assert len(result.findings) == 4
         assert {finding.rule for finding in result.findings} == {"ROP008"}
+
+    def test_swallowed_failure_flags_each_shape(self):
+        result = analyze_paths([FIXTURES / "bad_swallowed_failure.py"])
+        rop012 = [f for f in result.findings if f.rule == "ROP012"]
+        assert len(rop012) == 3
+        messages = " ".join(finding.message for finding in rop012)
+        assert "bare except" in messages
+        assert "Exception" in messages
+        assert "while True" in messages
 
     def test_unvalidated_boundary_names_each_field(self):
         result = analyze_paths([FIXTURES / "bad_unvalidated_boundary.py"])

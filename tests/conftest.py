@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import os
+import signal
+
 import numpy as np
 import pytest
 
@@ -10,6 +13,45 @@ from repro.core.qos import ApplicationQoS, DegradedSpec, QoSRange
 from repro.traces.calendar import TraceCalendar
 from repro.traces.trace import DemandTrace
 from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+
+@pytest.fixture(autouse=True)
+def _per_test_deadline():
+    """Optional per-test deadline, for CI hang containment.
+
+    The resilience suite deliberately wedges and kills worker processes;
+    a regression there shows up as a hang, which would otherwise stall
+    the whole run until the job-level timeout. Setting
+    ``ROPUS_TEST_TIMEOUT`` (seconds) arms a SIGALRM per test so the hang
+    fails loudly in-place instead. Unset (the default, and always on
+    non-main threads where SIGALRM cannot be armed) this fixture is
+    free.
+    """
+    raw = os.environ.get("ROPUS_TEST_TIMEOUT", "")
+    try:
+        seconds = int(raw)
+    except ValueError:
+        seconds = 0
+    if seconds <= 0:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded ROPUS_TEST_TIMEOUT={seconds}s (likely hang)"
+        )
+
+    try:
+        previous = signal.signal(signal.SIGALRM, _expired)
+    except ValueError:  # pragma: no cover - not on the main thread
+        yield
+        return
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -16,8 +16,11 @@ import pytest
 
 from repro.engine.broadcast import (
     _ATTACHED,
+    _PUBLISHED,
+    _release_all_published,
     SharedMemoryHandle,
     publish,
+    release,
     resolve,
 )
 
@@ -144,3 +147,45 @@ class TestResolve:
             assert _ATTACHED[shared.segment_name] is first
         finally:
             _cleanup(segment)
+
+
+class TestSegmentLifecycle:
+    """The leak-prevention registry: nothing may outlive its session."""
+
+    def test_publish_registers_segment(self, payload):
+        shared, segment, _ = publish(payload)
+        try:
+            assert _PUBLISHED[segment.name] is segment
+        finally:
+            _cleanup(segment)
+            _PUBLISHED.pop(segment.name, None)
+
+    def test_release_unlinks_and_is_idempotent(self, payload):
+        shared, segment, _ = publish(payload)
+        name = segment.name
+        release(name)
+        assert name not in _PUBLISHED
+        # A second release of the same name is a no-op, not an error.
+        release(name)
+        # The name is gone from /dev/shm: re-attaching must fail.
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_atexit_sweep_releases_leftovers(self, payload):
+        shared, segment, _ = publish(payload)
+        name = segment.name
+        assert name in _PUBLISHED
+        _release_all_published()
+        assert name not in _PUBLISHED
+
+    def test_session_close_releases_segment(self, payload):
+        from repro.engine.executor import ParallelExecutor
+
+        executor = ParallelExecutor(workers=2)
+        with executor.session(shared=payload) as session:
+            names = set(_PUBLISHED)
+            if session.broadcast_bytes:
+                assert names
+        assert not (names & set(_PUBLISHED))

@@ -1,0 +1,111 @@
+"""Tests for the journaling checkpoint store."""
+
+import json
+
+import pytest
+
+from repro.engine.checkpoint import Checkpointer
+from repro.engine.faults import InjectedCheckpointFailure
+from repro.engine.instrumentation import Instrumentation
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def store(tmp_path):
+    return Checkpointer(tmp_path / "ckpt")
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, store):
+        payload = {"generation": 3, "values": [1.0, 2.5], "nested": {"a": 1}}
+        assert store.save("genetic", payload) is True
+        assert store.load("genetic") == payload
+
+    def test_missing_key_reads_absent(self, store):
+        assert store.load("never-written") is None
+        assert not store.exists("never-written")
+
+    def test_overwrite_replaces_whole_document(self, store):
+        store.save("k", {"v": 1})
+        store.save("k", {"w": 2})
+        assert store.load("k") == {"w": 2}
+
+    def test_delete(self, store):
+        store.save("k", {"v": 1})
+        store.delete("k")
+        assert store.load("k") is None
+
+    def test_hierarchical_keys_stay_inside_directory(self, store):
+        store.save("failure/web+db", {"feasible": True})
+        assert store.load("failure/web+db") == {"feasible": True}
+        files = list(store.directory.iterdir())
+        assert all(entry.parent == store.directory for entry in files)
+        assert store.keys() == ["failure__web+db"]
+
+    def test_rejects_empty_key(self, store):
+        with pytest.raises(ConfigurationError):
+            store.save("", {})
+
+
+class TestDegradedPaths:
+    def test_corrupt_document_reads_absent(self, store):
+        store.save("k", {"v": 1})
+        path = next(store.directory.glob("*.ckpt.json"))
+        path.write_text("{ torn mid-write")
+        instrumentation = Instrumentation()
+        store.instrumentation = instrumentation
+        assert store.load("k") is None
+        assert instrumentation.counters()["checkpoint.corrupt_reads"] == 1
+
+    def test_wrong_shape_document_reads_absent(self, store):
+        path = store.directory / "k.ckpt.json"
+        path.write_text(json.dumps({"payload": [1, 2, 3]}))
+        assert store.load("k") is None
+
+    def test_unjsonable_payload_fails_softly(self, store):
+        instrumentation = Instrumentation()
+        store.instrumentation = instrumentation
+        assert store.save("k", {"bad": object()}) is False
+        assert store.load("k") is None
+        assert instrumentation.counters()["checkpoint.write_failures"] == 1
+
+    def test_injected_write_failure_counts_and_degrades(self, tmp_path):
+        instrumentation = Instrumentation()
+        fires = iter([True, False])
+
+        def hook():
+            if next(fires):
+                raise InjectedCheckpointFailure("disk full (injected)")
+
+        store = Checkpointer(
+            tmp_path, instrumentation=instrumentation, fault_hook=hook
+        )
+        assert store.save("k", {"v": 1}) is False
+        assert store.load("k") is None
+        # The next save (fault not scheduled) sticks.
+        assert store.save("k", {"v": 2}) is True
+        assert store.load("k") == {"v": 2}
+        counters = instrumentation.counters()
+        assert counters["checkpoint.write_failures"] == 1
+        assert counters["checkpoint.writes"] == 1
+
+    def test_failed_write_leaves_previous_document(self, tmp_path):
+        state = {"fail": False}
+
+        def hook():
+            if state["fail"]:
+                raise InjectedCheckpointFailure("injected")
+
+        store = Checkpointer(tmp_path, fault_hook=hook)
+        store.save("k", {"v": "original"})
+        state["fail"] = True
+        assert store.save("k", {"v": "lost"}) is False
+        assert store.load("k") == {"v": "original"}
+
+    def test_no_temp_files_survive_failure(self, tmp_path):
+        def hook():
+            raise InjectedCheckpointFailure("injected")
+
+        store = Checkpointer(tmp_path, fault_hook=hook)
+        store.save("k", {"v": 1})
+        assert list(store.directory.glob("*.ckpt.tmp")) == []

@@ -1,0 +1,259 @@
+"""Failure-mode tests for the fault-tolerant execution layer.
+
+Each test drives one recovery path the resilience layer promises:
+retried transient faults, SIGKILLed workers (a real ``os._exit`` in a
+pool process), wedged workers against the task deadline, the broadcast
+degradation to pickle, the parallel-to-serial ladder, and the bounded
+give-up. Process-pool cases use tiny worker counts and payloads so the
+whole module stays fast.
+"""
+
+import pytest
+
+from repro.engine import ExecutionEngine
+from repro.engine.faults import FaultPlan
+from repro.engine.instrumentation import Instrumentation
+from repro.engine.resilience import (
+    ResilienceConfig,
+    ResilientExecutor,
+    backoff_delay,
+    make_resilient_executor,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    InfeasiblePlacementError,
+    ResilienceError,
+)
+
+
+def _double(shared, item):
+    return item * 2
+
+
+def _add_offset(shared, item):
+    offset = shared if shared is not None else 0
+    return item + offset
+
+
+def _raise_domain_error(shared, item):
+    raise InfeasiblePlacementError(f"workload {item} fits nowhere")
+
+
+def _no_sleep(_delay):
+    return None
+
+
+def _config(**overrides):
+    overrides.setdefault("sleep", _no_sleep)
+    overrides.setdefault("backoff_base_seconds", 0.0)
+    return ResilienceConfig(**overrides)
+
+
+def _instrumented(executor):
+    instrumentation = Instrumentation()
+    executor.attach_instrumentation(instrumentation)
+    return instrumentation
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        ResilienceConfig()
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(task_timeout_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(backoff_multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(backoff_jitter=1.5)
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ConfigurationError):
+            ResilientExecutor(workers=0)
+
+
+class TestBackoff:
+    def test_no_jitter_is_pure_exponential(self):
+        config = ResilienceConfig(backoff_jitter=0.0)
+        assert backoff_delay(config, 0) == pytest.approx(0.05)
+        assert backoff_delay(config, 1) == pytest.approx(0.10)
+        assert backoff_delay(config, 2) == pytest.approx(0.20)
+
+    def test_jitter_is_deterministic_per_seed(self):
+        config = ResilienceConfig(jitter_seed=3)
+        replica = ResilienceConfig(jitter_seed=3)
+        other = ResilienceConfig(jitter_seed=4)
+        delays = [backoff_delay(config, k) for k in range(4)]
+        assert delays == [backoff_delay(replica, k) for k in range(4)]
+        assert delays != [backoff_delay(other, k) for k in range(4)]
+
+    def test_jitter_bounded_by_amplitude(self):
+        config = ResilienceConfig(backoff_jitter=0.25)
+        for retry in range(8):
+            base = 0.05 * 2.0**retry
+            delay = backoff_delay(config, retry)
+            assert base <= delay <= base * 1.25
+
+    def test_injected_sleeper_records_exact_sequence(self):
+        recorded = []
+        config = ResilienceConfig(
+            max_retries=2,
+            backoff_jitter=0.0,
+            fault_plan=FaultPlan.of(corrupt_result=[0, 1]),
+            sleep=recorded.append,
+        )
+        executor = ResilientExecutor(config=config)
+        assert executor.map(_double, [5]) == [10]
+        assert recorded == [pytest.approx(0.05), pytest.approx(0.10)]
+
+
+class TestSerialRung:
+    def test_plain_map_matches_serial_semantics(self):
+        executor = ResilientExecutor(config=_config())
+        assert executor.map(_double, [3, 1, 2]) == [6, 2, 4]
+        assert executor.map(_double, []) == []
+
+    def test_shared_payload_reaches_work_units(self):
+        executor = ResilientExecutor(config=_config())
+        assert executor.map(_add_offset, [1, 2], shared=10) == [11, 12]
+
+    def test_simulated_crash_is_retried(self):
+        config = _config(fault_plan=FaultPlan.of(worker_crash=[0]))
+        executor = ResilientExecutor(config=config)
+        instrumentation = _instrumented(executor)
+        assert executor.map(_double, [1, 2, 3]) == [2, 4, 6]
+        counters = instrumentation.counters()
+        assert counters["resilience.retries"] == 1
+        assert counters["resilience.faults_injected"] == 1
+
+    def test_corrupt_result_is_detected_and_retried(self):
+        config = _config(fault_plan=FaultPlan.of(corrupt_result=[1]))
+        executor = ResilientExecutor(config=config)
+        instrumentation = _instrumented(executor)
+        assert executor.map(_double, [1, 2]) == [2, 4]
+        assert instrumentation.counters()["resilience.corrupt_results"] == 1
+
+    def test_simulated_hang_counts_deadline(self):
+        config = _config(fault_plan=FaultPlan.of(worker_hang=[0]))
+        executor = ResilientExecutor(config=config)
+        instrumentation = _instrumented(executor)
+        assert executor.map(_double, [9]) == [18]
+        assert instrumentation.counters()["resilience.deadline_exceeded"] == 1
+
+    def test_persistent_fault_exhausts_budget(self):
+        # Occurrences 0..4 all crash: initial + 2 retries on one item
+        # never find a clean occurrence.
+        config = _config(
+            max_retries=2, fault_plan=FaultPlan.of(worker_crash=range(5))
+        )
+        executor = ResilientExecutor(config=config)
+        with pytest.raises(ResilienceError):
+            executor.map(_double, [1])
+
+    def test_domain_error_is_fatal_not_retried(self):
+        config = _config()
+        executor = ResilientExecutor(config=config)
+        instrumentation = _instrumented(executor)
+        with pytest.raises(InfeasiblePlacementError):
+            executor.map(_raise_domain_error, [1])
+        assert "resilience.retries" not in instrumentation.counters()
+
+    def test_retries_draw_fresh_occurrences(self):
+        # One map of three items takes occurrences 0-2; the retry of the
+        # faulted item takes occurrence 3; a plan scheduling 3 as well
+        # must therefore fault the retry too (two retries total).
+        config = _config(fault_plan=FaultPlan.of(worker_crash=[1, 3]))
+        executor = ResilientExecutor(config=config)
+        instrumentation = _instrumented(executor)
+        assert executor.map(_double, [1, 2, 3]) == [2, 4, 6]
+        assert instrumentation.counters()["resilience.retries"] == 2
+
+
+class TestParallelRung:
+    def test_plain_parallel_map(self):
+        executor = ResilientExecutor(workers=2, config=_config())
+        with executor.session(shared=100) as session:
+            assert session.map(_add_offset, [1, 2, 3]) == [101, 102, 103]
+            assert session.broadcast_mode in {"shared_memory", "pickle"}
+
+    def test_sigkilled_worker_is_respawned_and_retried(self):
+        # Occurrence 0 dies with os._exit in the pool: the driver sees
+        # BrokenProcessPool, respawns, and retries every unfinished item.
+        config = _config(fault_plan=FaultPlan.of(worker_crash=[0]))
+        executor = ResilientExecutor(workers=2, config=config)
+        instrumentation = _instrumented(executor)
+        assert executor.map(_double, [1, 2, 3, 4]) == [2, 4, 6, 8]
+        counters = instrumentation.counters()
+        assert counters["resilience.pool_respawns"] >= 1
+        assert counters["resilience.retries"] >= 1
+
+    def test_wedged_worker_trips_deadline(self):
+        # The injected hang (10s) never finishes inside the 0.5s task
+        # deadline; the pool is killed, respawned, and the retry's fresh
+        # occurrence runs clean.
+        config = _config(
+            task_timeout_seconds=0.5,
+            fault_plan=FaultPlan.of(worker_hang=[0], hang_seconds=10.0),
+        )
+        executor = ResilientExecutor(workers=2, config=config)
+        instrumentation = _instrumented(executor)
+        assert executor.map(_double, [7]) == [14]
+        counters = instrumentation.counters()
+        assert counters["resilience.deadline_exceeded"] >= 1
+        assert counters["resilience.pool_respawns"] >= 1
+
+    def test_broadcast_failure_degrades_to_pickle(self):
+        config = _config(fault_plan=FaultPlan.of(broadcast_failure=[0]))
+        executor = ResilientExecutor(workers=2, config=config)
+        instrumentation = _instrumented(executor)
+        with executor.session(shared=5) as session:
+            assert session.broadcast_mode == "pickle"
+            assert session.map(_add_offset, [1, 2]) == [6, 7]
+        assert instrumentation.counters()[
+            "resilience.broadcast_fallbacks"
+        ] == 1
+
+    def test_corrupt_result_retried_in_pool(self):
+        config = _config(fault_plan=FaultPlan.of(corrupt_result=[0]))
+        executor = ResilientExecutor(workers=2, config=config)
+        instrumentation = _instrumented(executor)
+        assert executor.map(_double, [5, 6]) == [10, 12]
+        assert instrumentation.counters()["resilience.corrupt_results"] == 1
+
+    def test_ladder_degrades_to_serial_and_completes(self):
+        # Crashes at occurrences 0-2 defeat the pool's whole retry
+        # budget (initial + 1 retry) and the first serial attempt; the
+        # serial retry's occurrence 3 is clean, so the map still
+        # completes — one rung down, zero results lost.
+        config = _config(
+            max_retries=1, fault_plan=FaultPlan.of(worker_crash=range(3))
+        )
+        executor = ResilientExecutor(workers=2, config=config)
+        instrumentation = _instrumented(executor)
+        assert executor.map(_double, [8]) == [16]
+        counters = instrumentation.counters()
+        assert counters["resilience.serial_fallbacks"] == 1
+
+    def test_domain_error_propagates_from_pool(self):
+        executor = ResilientExecutor(workers=2, config=_config())
+        with pytest.raises(InfeasiblePlacementError):
+            executor.map(_raise_domain_error, [1])
+
+
+class TestEngineIntegration:
+    def test_resilient_engine_wires_instrumentation(self):
+        config = _config(fault_plan=FaultPlan.of(corrupt_result=[0]))
+        engine = ExecutionEngine.resilient(config=config)
+        assert engine.executor.name == "resilient"
+        with engine.session() as session:
+            assert session.map(_double, [4]) == [8]
+        assert engine.instrumentation.counters()[
+            "resilience.corrupt_results"
+        ] == 1
+
+    def test_make_resilient_executor(self):
+        executor = make_resilient_executor(2)
+        assert isinstance(executor, ResilientExecutor)
+        assert executor.workers == 2

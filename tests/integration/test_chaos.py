@@ -1,0 +1,170 @@
+"""Integration tests: plans survive injected faults and kills unchanged.
+
+The acceptance bar for the resilience layer is *bit-identical plans*: a
+run peppered with scheduled worker crashes and corrupted results, or a
+run killed mid-pipeline and resumed from its checkpoints, must hash to
+exactly the plan an undisturbed run produces. Recovery may cost retries
+and respawns (visible in the resilience summary) but never decisions.
+"""
+
+import pytest
+
+from repro.core.cos import PoolCommitments
+from repro.core.framework import ROpus
+from repro.core.qos import QoSPolicy, case_study_qos
+from repro.engine import ExecutionEngine
+from repro.engine.checkpoint import Checkpointer
+from repro.engine.faults import FaultPlan
+from repro.engine.resilience import ResilienceConfig
+from repro.placement.genetic import GeneticSearchConfig
+from repro.resources.pool import ResourcePool
+from repro.resources.server import homogeneous_servers
+from repro.traces.calendar import TraceCalendar
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+FAST_SEARCH = GeneticSearchConfig(
+    seed=0, max_generations=8, stall_generations=3, population_size=10
+)
+
+
+def _no_sleep(_delay):
+    return None
+
+
+@pytest.fixture(scope="module")
+def demands():
+    calendar = TraceCalendar(weeks=1, slot_minutes=60)
+    generator = WorkloadGenerator(seed=13)
+    specs = [
+        WorkloadSpec(name=f"app{i}", peak_cpus=1.0 + 0.5 * i)
+        for i in range(6)
+    ]
+    return generator.generate_many(specs, calendar)
+
+
+@pytest.fixture(scope="module")
+def policy():
+    return QoSPolicy(normal=case_study_qos(m_degr_percent=3))
+
+
+def _framework(engine=None, checkpointer=None):
+    return ROpus(
+        PoolCommitments.of(theta=0.95),
+        ResourcePool(homogeneous_servers(6, cpus=16)),
+        search_config=FAST_SEARCH,
+        engine=engine if engine is not None else ExecutionEngine.serial(),
+        checkpointer=checkpointer,
+    )
+
+
+class TestChaosEquivalence:
+    def test_seeded_faults_do_not_change_the_plan(self, demands, policy):
+        baseline = _framework().plan(demands, policy, plan_failures=False)
+
+        fault_plan = FaultPlan.seeded(
+            11, horizon=4096, crash_rate=0.01, corrupt_rate=0.01
+        )
+        config = ResilienceConfig(fault_plan=fault_plan, sleep=_no_sleep)
+        chaotic_engine = ExecutionEngine.resilient(config=config)
+        chaotic = _framework(engine=chaotic_engine).plan(
+            demands, policy, plan_failures=False
+        )
+
+        assert chaotic.plan_hash() == baseline.plan_hash()
+        summary = chaotic.resilience_summary()
+        assert summary.get("resilience.faults_injected", 0) > 0
+        assert summary.get("resilience.retries", 0) > 0
+
+    def test_resilience_summary_surfaces_in_plan_summary(self, demands, policy):
+        config = ResilienceConfig(
+            fault_plan=FaultPlan.of(corrupt_result=[0]), sleep=_no_sleep
+        )
+        engine = ExecutionEngine.resilient(config=config)
+        plan = _framework(engine=engine).plan(
+            demands, policy, plan_failures=False
+        )
+        resilience = plan.summary()["resilience"]
+        assert resilience["resilience.corrupt_results"] == 1
+
+    def test_fault_free_resilient_run_reports_no_recovery(
+        self, demands, policy
+    ):
+        engine = ExecutionEngine.resilient(
+            config=ResilienceConfig(sleep=_no_sleep)
+        )
+        plan = _framework(engine=engine).plan(
+            demands, policy, plan_failures=False
+        )
+        assert plan.resilience_summary() == {}
+
+
+class TestCheckpointResume:
+    def test_killed_run_resumes_to_identical_plan(
+        self, demands, policy, tmp_path
+    ):
+        baseline = _framework().plan(demands, policy)
+
+        class _Killed(Exception):
+            """Stands in for the SIGKILL that ends the first run."""
+
+        # The full run checkpoints five times (three GA generations,
+        # two failure cases); killing on the fourth save lands the kill
+        # mid-failure-sweep, after the search already checkpointed.
+        class _Interrupting(Checkpointer):
+            remaining = 4
+
+            def save(self, key, payload):
+                stuck = super().save(key, payload)
+                type(self).remaining -= 1
+                if type(self).remaining <= 0:
+                    raise _Killed
+                return stuck
+
+        directory = tmp_path / "ckpt"
+        with pytest.raises(_Killed):
+            _framework(checkpointer=_Interrupting(directory)).plan(
+                demands, policy
+            )
+
+        resumed_framework = _framework(checkpointer=Checkpointer(directory))
+        resumed = resumed_framework.plan(demands, policy)
+        assert resumed.plan_hash() == baseline.plan_hash()
+        summary = resumed.resilience_summary()
+        assert summary.get("checkpoint.reads", 0) > 0
+        assert summary.get("placement.ga_resumes", 0) >= 1
+
+    def test_mid_sweep_kill_resumes_remaining_cases(
+        self, demands, policy, tmp_path
+    ):
+        baseline = _framework().plan(demands, policy)
+        n_cases = len(baseline.failure_report.cases)
+        assert n_cases > 1
+
+        directory = tmp_path / "ckpt"
+        first_store = Checkpointer(directory)
+        first = _framework(checkpointer=first_store).plan(demands, policy)
+        assert first.plan_hash() == baseline.plan_hash()
+        saved_cases = [
+            key for key in first_store.keys() if key.startswith("failure__")
+        ]
+        assert len(saved_cases) == n_cases
+
+        # Drop some of the per-case checkpoints — as if the kill landed
+        # mid-sweep — and resume: only the missing cases recompute.
+        for key in saved_cases[: n_cases // 2]:
+            (directory / (key + ".ckpt.json")).unlink()
+        resumed = _framework(checkpointer=Checkpointer(directory)).plan(
+            demands, policy
+        )
+        assert resumed.plan_hash() == baseline.plan_hash()
+        resumes = resumed.resilience_summary().get("failure.case_resumes", 0)
+        assert resumes == n_cases - n_cases // 2
+
+    def test_checkpointed_run_equals_uncheckpointed(
+        self, demands, policy, tmp_path
+    ):
+        baseline = _framework().plan(demands, policy, plan_failures=False)
+        checkpointed = _framework(
+            checkpointer=Checkpointer(tmp_path / "ckpt")
+        ).plan(demands, policy, plan_failures=False)
+        assert checkpointed.plan_hash() == baseline.plan_hash()

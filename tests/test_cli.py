@@ -195,3 +195,100 @@ class TestLint:
     def test_lint_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         assert "ROP007" in capsys.readouterr().out
+
+
+class TestResilienceKnobs:
+    def test_plan_accepts_resilience_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "plan",
+                "--task-timeout", "30",
+                "--max-retries", "3",
+                "--checkpoint", "ckpt-dir",
+            ]
+        )
+        assert args.task_timeout == 30.0
+        assert args.max_retries == 3
+        assert args.checkpoint == "ckpt-dir"
+
+    def test_plan_with_checkpoint_prints_hash_and_resumes(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "traces.csv"
+        main(["generate", str(path), "--weeks", "1"])
+        argv = [
+            "plan",
+            "--traces", str(path),
+            "--theta", "0.9",
+            "--servers", "14",
+            "--no-failures",
+            "--checkpoint", str(tmp_path / "ckpt"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "plan_hash:" in first
+        # Second invocation resumes from the stored generations and must
+        # land on the same plan.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+
+        def hash_line(out):
+            return next(
+                line for line in out.splitlines() if "plan_hash" in line
+            )
+
+        assert hash_line(first) == hash_line(second)
+
+
+class TestChaos:
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.chaos_seed == 0
+        assert args.crash_rate == pytest.approx(0.02)
+
+    def test_chaos_verify_matches_fault_free(self, tmp_path, capsys):
+        path = tmp_path / "traces.csv"
+        main(["generate", str(path), "--weeks", "1"])
+        code = main(
+            [
+                "chaos",
+                "--traces", str(path),
+                "--servers", "14",
+                "--no-failures",
+                "--chaos-seed", "3",
+                "--verify",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verify: OK" in out
+        assert "plan_hash:" in out
+
+
+class TestValidateRepair:
+    def test_repair_reports_quarantined_rows(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.traces.calendar import TraceCalendar
+        from repro.traces.io import save_traces_csv
+        from repro.traces.trace import DemandTrace
+
+        cal = TraceCalendar(weeks=1, slot_minutes=60)
+        rng = np.random.default_rng(2)
+        save_traces_csv(
+            [
+                DemandTrace(
+                    "a", rng.lognormal(0, 0.4, cal.n_observations) + 0.2, cal
+                )
+            ],
+            tmp_path / "t.csv",
+        )
+        text = (tmp_path / "t.csv").read_text().splitlines()
+        text[5] = "not-a-number"
+        (tmp_path / "t.csv").write_text("\n".join(text) + "\n")
+        code = main(
+            ["validate", "--traces", str(tmp_path / "t.csv"), "--repair"]
+        )
+        out = capsys.readouterr().out
+        assert "repair" in out
+        assert code == 0

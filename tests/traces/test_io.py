@@ -89,3 +89,96 @@ class TestJsonRoundTrip:
     def test_serialize_empty_rejected(self):
         with pytest.raises(TraceError):
             traces_to_json([])
+
+
+class TestRepairedLoader:
+    """``load_traces_csv_repaired`` admits messy exports with a report."""
+
+    def _write(self, tmp_path, rows, names="a,b", header="# ropus-traces,1,360,cpu"):
+        path = tmp_path / "messy.csv"
+        path.write_text("\n".join([header, names, *rows]) + "\n")
+        return path
+
+    def test_clean_file_matches_strict_loader(self, traces, tmp_path):
+        from repro.traces.io import load_traces_csv_repaired
+
+        path = tmp_path / "clean.csv"
+        save_traces_csv(traces, path)
+        strict = load_traces_csv(path)
+        repaired, reports = load_traces_csv_repaired(path)
+        assert repaired == strict
+        assert all(report.clean for report in reports.values())
+        assert all(trace.repairs == 0 for trace in repaired)
+
+    def test_unparsable_cells_carried_forward(self, tmp_path):
+        from repro.traces.io import load_traces_csv_repaired
+        from repro.traces.validation import RepairKind
+
+        cal = TraceCalendar(weeks=1, slot_minutes=360)
+        rows = ["1.0,2.0"] * cal.n_observations
+        rows[3] = "oops,2.0"
+        path = self._write(tmp_path, rows)
+        loaded, reports = load_traces_csv_repaired(path)
+        assert loaded[0].values[3] == 1.0  # carried from slot 2
+        assert reports["a"].count(RepairKind.NON_FINITE) == 1
+        assert reports["b"].clean
+        assert loaded[0].repairs == 1
+
+    def test_leading_nonfinite_reads_zero(self, tmp_path):
+        from repro.traces.io import load_traces_csv_repaired
+
+        cal = TraceCalendar(weeks=1, slot_minutes=360)
+        rows = ["2.0,2.0"] * cal.n_observations
+        rows[0] = "nan,2.0"
+        path = self._write(tmp_path, rows)
+        loaded, _ = load_traces_csv_repaired(path)
+        assert loaded[0].values[0] == 0.0
+
+    def test_negative_demand_clamped(self, tmp_path):
+        from repro.traces.io import load_traces_csv_repaired
+        from repro.traces.validation import RepairKind
+
+        cal = TraceCalendar(weeks=1, slot_minutes=360)
+        rows = ["1.0,1.0"] * cal.n_observations
+        rows[5] = "-3.0,1.0"
+        path = self._write(tmp_path, rows)
+        loaded, reports = load_traces_csv_repaired(path)
+        assert loaded[0].values[5] == 0.0
+        assert reports["a"].count(RepairKind.NEGATIVE) == 1
+
+    def test_out_of_order_rows_land_at_their_slot(self, tmp_path):
+        from repro.traces.io import load_traces_csv_repaired
+        from repro.traces.validation import RepairKind
+
+        cal = TraceCalendar(weeks=1, slot_minutes=360)
+        rows = [
+            f"{slot},{float(slot)},0.0" for slot in range(cal.n_observations)
+        ]
+        rows[1], rows[2] = rows[2], rows[1]  # one inversion
+        path = self._write(tmp_path, rows, names="slot,a,b")
+        loaded, reports = load_traces_csv_repaired(path)
+        assert loaded[0].values[1] == 1.0
+        assert loaded[0].values[2] == 2.0
+        assert reports["a"].count(RepairKind.OUT_OF_ORDER) == 1
+        assert "out-of-order" in reports["a"].describe()
+
+    def test_malformed_rows_counted_not_fatal(self, tmp_path):
+        from repro.traces.io import load_traces_csv_repaired
+        from repro.traces.validation import RepairKind
+
+        cal = TraceCalendar(weeks=1, slot_minutes=360)
+        rows = ["1.0,1.0"] * cal.n_observations
+        rows[4] = "1.0"  # short row: b's cell missing
+        path = self._write(tmp_path, rows)
+        loaded, reports = load_traces_csv_repaired(path)
+        assert reports["b"].count(RepairKind.MALFORMED_ROW) == 1
+        # b's missing cell repaired by carry-forward.
+        assert loaded[1].values[4] == 1.0
+
+    def test_broken_header_still_raises(self, tmp_path):
+        from repro.traces.io import load_traces_csv_repaired
+
+        path = tmp_path / "broken.csv"
+        path.write_text("not a trace csv\nother\n")
+        with pytest.raises(TraceError):
+            load_traces_csv_repaired(path)

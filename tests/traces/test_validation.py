@@ -110,3 +110,57 @@ class TestPathologies:
         strict = validate_trace(trace(cal, values), dead_run_slots=10)
         assert not default.has(IssueKind.DEAD_COLLECTOR)
         assert strict.has(IssueKind.DEAD_COLLECTOR)
+
+
+class TestQuarantineSeries:
+    def test_clean_series_untouched(self):
+        from repro.traces.validation import quarantine_series
+
+        values = np.array([1.0, 2.0, 3.0])
+        repaired, counts = quarantine_series(values)
+        np.testing.assert_array_equal(repaired, values)
+        assert counts == {}
+
+    def test_nan_and_inf_forward_filled(self):
+        from repro.traces.validation import RepairKind, quarantine_series
+
+        values = np.array([1.0, np.nan, np.inf, 4.0, np.nan])
+        repaired, counts = quarantine_series(values)
+        np.testing.assert_array_equal(repaired, [1.0, 1.0, 1.0, 4.0, 4.0])
+        assert counts[RepairKind.NON_FINITE] == 3
+
+    def test_leading_gap_reads_zero(self):
+        from repro.traces.validation import quarantine_series
+
+        repaired, _ = quarantine_series(np.array([np.nan, np.nan, 2.0]))
+        np.testing.assert_array_equal(repaired, [0.0, 0.0, 2.0])
+
+    def test_negatives_clamped_and_counted(self):
+        from repro.traces.validation import RepairKind, quarantine_series
+
+        repaired, counts = quarantine_series(np.array([1.0, -2.0, 3.0]))
+        np.testing.assert_array_equal(repaired, [1.0, 0.0, 3.0])
+        assert counts[RepairKind.NEGATIVE] == 1
+
+    def test_input_not_mutated(self):
+        from repro.traces.validation import quarantine_series
+
+        values = np.array([np.nan, -1.0])
+        quarantine_series(values)
+        assert np.isnan(values[0]) and values[1] == -1.0
+
+
+class TestRepairReport:
+    def test_describe_clean_and_dirty(self):
+        from repro.traces.validation import RepairKind, TraceRepairReport
+
+        clean = TraceRepairReport(workload="app")
+        assert clean.clean
+        assert clean.describe() == "app: clean"
+        dirty = TraceRepairReport(
+            workload="app",
+            counts={RepairKind.NON_FINITE: 2, RepairKind.NEGATIVE: 1},
+        )
+        assert dirty.total == 3
+        assert "non-finite=2" in dirty.describe()
+        assert "negative=1" in dirty.describe()
