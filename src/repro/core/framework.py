@@ -34,6 +34,78 @@ from repro.traces.trace import DemandTrace
 PolicyMap = Union[Mapping[str, QoSPolicy], QoSPolicy]
 
 
+def _policy_digest(policies: PolicyMap) -> object:
+    """A JSON-able canonical form of the policy input.
+
+    ``QoSPolicy`` and everything it nests are frozen dataclasses of
+    floats and strings, so ``repr`` is a stable value encoding.
+    """
+    if isinstance(policies, QoSPolicy):
+        return repr(policies)
+    return sorted((name, repr(policy)) for name, policy in policies.items())
+
+
+def planning_fingerprint(
+    demands: Sequence[DemandTrace],
+    policies: PolicyMap,
+    pool: ResourcePool,
+    commitments: PoolCommitments,
+    search_config: GeneticSearchConfig | None,
+    *,
+    tolerance: float,
+    attribute: str,
+    kernel: str,
+    algorithm: str,
+    plan_failures: bool,
+    relax_all_on_failure: bool,
+    previous: ConsolidationResult | None,
+) -> str:
+    """A digest of everything a planning run's decisions depend on.
+
+    Checkpoints stamped with this fingerprint are only ever resumed by
+    a run whose inputs hash identically — changing a trace, the pool,
+    the seed (inside ``search_config``), or any planning knob makes old
+    checkpoints read as absent instead of silently steering the new
+    run. Execution backend and worker count are deliberately excluded:
+    results are backend-independent, so a resume may legitimately use
+    different parallelism.
+    """
+    document = {
+        "demands": [
+            [
+                demand.name,
+                demand.attribute,
+                hashlib.sha256(demand.values.tobytes()).hexdigest(),
+                repr(demand.calendar),
+            ]
+            for demand in demands
+        ],
+        "policies": _policy_digest(policies),
+        "pool": [
+            [server.name, server.cpus, sorted(server.attributes.items())]
+            for server in pool.servers
+        ],
+        "commitments": repr(commitments),
+        "search_config": repr(search_config),
+        "tolerance": repr(tolerance),
+        "attribute": attribute,
+        "kernel": kernel,
+        "algorithm": algorithm,
+        "plan_failures": plan_failures,
+        "relax_all_on_failure": relax_all_on_failure,
+        "previous": (
+            None
+            if previous is None
+            else sorted(
+                (server, list(names))
+                for server, names in previous.assignment.items()
+            )
+        ),
+    }
+    canonical = json.dumps(document, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 @dataclass(frozen=True)
 class CapacityPlan:
     """Everything the capacity manager needs from one planning run.
@@ -220,6 +292,25 @@ class ROpus:
         instrumentation = self.engine.instrumentation
         baseline = instrumentation.snapshot()
         counter_baseline = instrumentation.counters()
+        if self.checkpointer is not None:
+            # Stamp this run's inputs on the store: checkpoints written
+            # now carry the fingerprint, and any leftover documents from
+            # a run over *different* inputs read as absent instead of
+            # silently resuming the wrong problem.
+            self.checkpointer.fingerprint = planning_fingerprint(
+                demands,
+                policies,
+                self.pool,
+                self.commitments,
+                self.search_config,
+                tolerance=self.tolerance,
+                attribute=self.attribute,
+                kernel=self.kernel,
+                algorithm=algorithm,
+                plan_failures=plan_failures,
+                relax_all_on_failure=relax_all_on_failure,
+                previous=previous,
+            )
         translations = self.translate(demands, policies)
         pairs = [result.pair for result in translations.values()]
         consolidator = Consolidator(
@@ -258,6 +349,11 @@ class ROpus:
                 relax_all=relax_all_on_failure,
                 algorithm=algorithm,
             )
+        if self.checkpointer is not None:
+            # The run completed: its checkpoints are spent. Rotating
+            # them out here means only interrupted runs leave resumable
+            # state behind.
+            self.checkpointer.clear()
         return CapacityPlan(
             translations=translations,
             consolidation=consolidation,

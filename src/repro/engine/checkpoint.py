@@ -17,13 +17,22 @@ boring:
   resumability, not the run. Failures are counted on the attached
   instrumentation as ``checkpoint.write_failures``.
 
-Keys are hierarchical (``"failure/web+db"``); path separators and other
-filesystem-hostile characters are escaped into the flat filename, so a
-key never escapes the checkpoint directory.
+Keys are hierarchical (``"failure/web+db"``); each key maps to a flat
+filename built from a readable sanitised prefix plus a digest of the
+raw key, so distinct keys never share a file and no key escapes the
+checkpoint directory. The raw key stored inside every document is
+verified on load.
+
+A store can additionally carry an input ``fingerprint`` — a digest of
+the planning inputs the checkpoints were computed from. Every save
+embeds it and every load rejects documents whose fingerprint differs,
+so re-running against changed traces, seeds, or configuration can never
+silently resume another problem's state.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
@@ -35,21 +44,24 @@ from repro.exceptions import ConfigurationError
 
 _SUFFIX = ".ckpt.json"
 _TMP_SUFFIX = ".ckpt.tmp"
+_READABLE_PREFIX_CHARS = 64
 
 
 def _escape_key(key: str) -> str:
-    """Escape a checkpoint key into one safe flat filename."""
+    """Map a checkpoint key to one safe, collision-free flat filename.
+
+    The sanitised prefix keeps the directory human-readable; the
+    appended digest of the raw key is what guarantees distinct keys
+    land in distinct files (``"a/b"`` and ``"a_b"`` sanitise alike but
+    digest apart).
+    """
     if not key:
         raise ConfigurationError("checkpoint key must be non-empty")
-    out: list[str] = []
-    for char in key:
-        if char.isalnum() or char in "-_.+":
-            out.append(char)
-        elif char == "/":
-            out.append("__")
-        else:
-            out.append(f"%{ord(char):02x}")
-    return "".join(out)
+    readable = "".join(
+        char if char.isalnum() or char in "-_.+" else "_" for char in key
+    )
+    digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+    return f"{readable[:_READABLE_PREFIX_CHARS]}.{digest}"
 
 
 class Checkpointer:
@@ -61,13 +73,22 @@ class Checkpointer:
         *,
         instrumentation: Optional[Instrumentation] = None,
         fault_hook: Optional[Callable[[], None]] = None,
+        fingerprint: Optional[str] = None,
     ):
         """``fault_hook`` runs before every write; the fault-injection
-        harness uses it to make saves fail deterministically."""
+        harness uses it to make saves fail deterministically.
+
+        ``fingerprint`` identifies the inputs the checkpoints describe
+        (see the module docstring); owners that know their inputs (the
+        :class:`~repro.core.framework.ROpus` facade) set it before
+        planning so stale documents read as absent. ``None`` disables
+        the check.
+        """
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.instrumentation = instrumentation
         self.fault_hook = fault_hook
+        self.fingerprint = fingerprint
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> Path:
@@ -86,7 +107,13 @@ class Checkpointer:
         try:
             if self.fault_hook is not None:
                 self.fault_hook()
-            document = json.dumps({"key": key, "payload": payload})
+            document = json.dumps(
+                {
+                    "key": key,
+                    "fingerprint": self.fingerprint,
+                    "payload": payload,
+                }
+            )
             with open(tmp, "w") as handle:
                 handle.write(document)
                 handle.flush()
@@ -107,8 +134,11 @@ class Checkpointer:
         """The payload stored under ``key``, or ``None``.
 
         Missing, truncated, or otherwise malformed documents all read
-        as absent: resume never trusts a checkpoint it cannot fully
-        parse, it just recomputes the step.
+        as absent — as do documents whose stored raw key differs from
+        ``key`` (a filename collision from an older escaping scheme) or
+        whose fingerprint differs from this store's (checkpoints from a
+        different planning problem). Resume never trusts a checkpoint
+        it cannot fully verify, it just recomputes the step.
         """
         try:
             text = self._path(key).read_text()
@@ -123,6 +153,21 @@ class Checkpointer:
         if not isinstance(payload, dict):
             self._count("checkpoint.corrupt_reads")
             return None
+        if document.get("key") != key:
+            self._count("checkpoint.key_mismatches")
+            self._event(
+                "checkpoint.key_mismatch",
+                key=key,
+                stored=document.get("key"),
+            )
+            return None
+        if (
+            self.fingerprint is not None
+            and document.get("fingerprint") != self.fingerprint
+        ):
+            self._count("checkpoint.fingerprint_mismatches")
+            self._event("checkpoint.fingerprint_mismatch", key=key)
+            return None
         self._count("checkpoint.reads")
         return payload
 
@@ -136,11 +181,36 @@ class Checkpointer:
             self._count("checkpoint.delete_failures")
 
     def keys(self) -> list[str]:
-        """Escaped key names currently stored (diagnostic use)."""
-        return sorted(
-            entry.name[: -len(_SUFFIX)]
-            for entry in self.directory.glob(f"*{_SUFFIX}")
-        )
+        """Raw keys currently stored (diagnostic use).
+
+        Keys are read back out of the documents themselves (filenames
+        are digests); unreadable documents are skipped.
+        """
+        keys: list[str] = []
+        for entry in self.directory.glob(f"*{_SUFFIX}"):
+            try:
+                stored = json.loads(entry.read_text()).get("key")
+            except (OSError, ValueError, AttributeError):
+                continue
+            if isinstance(stored, str):
+                keys.append(stored)
+        return sorted(keys)
+
+    def clear(self) -> None:
+        """Delete every stored document (end-of-run rotation).
+
+        Called after a planning run completes successfully: its
+        checkpoints have served their purpose, and leaving them behind
+        would let a later run against different inputs find documents
+        it must then reject (or, without a fingerprint, wrongly trust).
+        """
+        for pattern in (f"*{_SUFFIX}", f"*{_TMP_SUFFIX}"):
+            for entry in self.directory.glob(pattern):
+                try:
+                    entry.unlink(missing_ok=True)
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    self._count("checkpoint.delete_failures")
+        self._count("checkpoint.clears")
 
     # ------------------------------------------------------------------
     def _count(self, name: str, increment: float = 1) -> None:

@@ -40,7 +40,12 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from functools import partial
@@ -419,8 +424,16 @@ class _ResilientSession(ExecutorSession):
             except InjectedFault:
                 self._count("resilience.faults_injected")
                 outcome.retryable.append(index)
+            except (KeyboardInterrupt, SystemExit):
+                # Operator interrupts are never "an item's outcome":
+                # propagate immediately instead of finishing the batch.
+                raise
             except BaseException as error:  # noqa: B036 - classified below
+                # Fatal errors abort the whole map (partial results are
+                # discarded), so evaluating the remaining items would
+                # only delay the raise.
                 outcome.fatal[index] = error
+                break
             else:
                 if isinstance(value, CorruptedResult):
                     self._count("resilience.faults_injected")
@@ -444,12 +457,14 @@ class _ResilientSession(ExecutorSession):
                     self._pool.submit(wrapped, (occurrence, items[index]))
                 ] = index
         except BrokenProcessPool:
-            # The pool broke before (or while) accepting work; every
-            # unsubmitted item is retryable on the fresh pool.
-            for index in pending:
-                if index not in {i for i in futures.values()}:
-                    outcome.retryable.append(index)
+            # The pool broke before (or while) accepting work. The
+            # respawn cancels whatever was already handed to the dead
+            # pool (waiting on those futures would raise
+            # CancelledError), so the whole batch retries on the fresh
+            # pool — work units are pure, recomputing is safe.
+            outcome.retryable.extend(pending)
             self._respawn_pool("broken_on_submit")
+            return outcome
         in_flight = set(futures)
         pool_broken = False
         while in_flight:
@@ -474,7 +489,13 @@ class _ResilientSession(ExecutorSession):
                 return outcome
             for future in done:
                 index = futures[future]
-                error = future.exception()
+                try:
+                    error = future.exception()
+                except CancelledError:
+                    # A cancelled future (its pool was torn down by a
+                    # concurrent recovery path) is just lost work.
+                    outcome.retryable.append(index)
+                    continue
                 if error is None:
                     value = future.result()
                     if isinstance(value, CorruptedResult):

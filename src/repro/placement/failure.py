@@ -380,17 +380,28 @@ class FailurePlanner:
                     restored=len(restored),
                     pending=len(pending),
                 )
-            computed = self.engine.map(
-                _failure_case_worker,
-                [item for _, item in pending],
-                shared=payload,
-            )
+            # Map in parallelism-sized waves so each wave's cases are
+            # checkpointed as soon as they exist: a kill mid-sweep
+            # loses at most the in-flight wave, and the resume picks up
+            # every completed case. (One session spans all waves, so
+            # the payload still broadcasts once.)
+            computed: list[FailureCase] = []
+            if pending:
+                with self.engine.session(payload) as session:
+                    wave = max(1, int(getattr(session, "parallelism", 1)))
+                    for start in range(0, len(pending), wave):
+                        batch = pending[start : start + wave]
+                        for case in session.map(
+                            _failure_case_worker,
+                            [item for _, item in batch],
+                        ):
+                            computed.append(case)
+                            self._save_case(case)
             cases: list[FailureCase] = [None] * len(items)  # type: ignore[list-item]
             for case_position, case in restored.items():
                 cases[case_position] = case
             for (case_position, _), case in zip(pending, computed):
                 cases[case_position] = case
-                self._save_case(case)
         instrumentation.count("failure.cases", len(items))
         return FailureReport(cases=tuple(cases))
 

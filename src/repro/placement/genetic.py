@@ -309,6 +309,12 @@ class GeneticPlacementSearch:
         stable, so ties break identically to the original run) and the
         RNG is restored bit-exactly, making the continuation
         indistinguishable from one that never stopped.
+
+        Every restored assignment passes through
+        :meth:`_validate_assignment` (inside the evaluation calls), so
+        a checkpoint written against a different workload ensemble or
+        pool shape fails loudly here instead of seeding the search with
+        out-of-range state.
         """
         try:
             population = self._evaluate_batch(
@@ -323,9 +329,10 @@ class GeneticPlacementSearch:
             stall = int(resume["stall"])
             start_generation = int(resume["generation"])
             rng.bit_generator.state = resume["rng_state"]
-        except (KeyError, TypeError, ValueError) as error:
+        except (KeyError, TypeError, ValueError, PlacementError) as error:
             raise PlacementError(
                 f"genetic-search checkpoint is not restorable: {error!r}; "
+                "it likely belongs to a different planning problem — "
                 "delete the checkpoint directory to restart the search"
             ) from error
         return population, best_feasible, history, stall, start_generation

@@ -40,11 +40,69 @@ class TestRoundTrip:
         assert store.load("failure/web+db") == {"feasible": True}
         files = list(store.directory.iterdir())
         assert all(entry.parent == store.directory for entry in files)
-        assert store.keys() == ["failure__web+db"]
+        assert store.keys() == ["failure/web+db"]
+
+    def test_lookalike_keys_get_distinct_documents(self, store):
+        # Keys whose readable forms collide ("a/b" vs "a_b" vs "a__b")
+        # must never share a file: the digest suffix keeps them apart.
+        lookalikes = ["failure/a__b", "failure/a/b", "failure/a_b", "failure_a_b"]
+        for position, key in enumerate(lookalikes):
+            store.save(key, {"position": position})
+        for position, key in enumerate(lookalikes):
+            assert store.load(key) == {"position": position}
+        assert store.keys() == sorted(lookalikes)
+
+    def test_load_rejects_document_with_foreign_key(self, store):
+        # A document whose stored raw key disagrees with the requested
+        # key (a file planted under the wrong name) reads as absent.
+        store.save("original", {"v": 1})
+        source = store._path("original")
+        source.rename(store._path("imposter"))
+        instrumentation = Instrumentation()
+        store.instrumentation = instrumentation
+        assert store.load("imposter") is None
+        assert instrumentation.counters()["checkpoint.key_mismatches"] == 1
 
     def test_rejects_empty_key(self, store):
         with pytest.raises(ConfigurationError):
             store.save("", {})
+
+    def test_clear_removes_every_document(self, store):
+        store.save("genetic", {"generation": 2})
+        store.save("failure/web", {"feasible": True})
+        store.clear()
+        assert store.keys() == []
+        assert store.load("genetic") is None
+        assert list(store.directory.glob("*.ckpt.*")) == []
+
+
+class TestFingerprint:
+    def test_matching_fingerprint_round_trips(self, tmp_path):
+        store = Checkpointer(tmp_path, fingerprint="abc123")
+        store.save("genetic", {"generation": 1})
+        assert store.load("genetic") == {"generation": 1}
+
+    def test_changed_inputs_read_as_absent(self, tmp_path):
+        instrumentation = Instrumentation()
+        first = Checkpointer(tmp_path, fingerprint="inputs-v1")
+        first.save("genetic", {"generation": 5})
+        second = Checkpointer(
+            tmp_path, fingerprint="inputs-v2", instrumentation=instrumentation
+        )
+        assert second.load("genetic") is None
+        assert (
+            instrumentation.counters()["checkpoint.fingerprint_mismatches"]
+            == 1
+        )
+
+    def test_unstamped_document_rejected_by_stamped_store(self, tmp_path):
+        Checkpointer(tmp_path).save("genetic", {"generation": 5})
+        stamped = Checkpointer(tmp_path, fingerprint="inputs-v1")
+        assert stamped.load("genetic") is None
+
+    def test_store_without_fingerprint_skips_the_check(self, tmp_path):
+        Checkpointer(tmp_path, fingerprint="inputs-v1").save("k", {"v": 1})
+        assert Checkpointer(tmp_path).load("k") == {"v": 1}
 
 
 class TestDegradedPaths:

@@ -8,6 +8,8 @@ give-up. Process-pool cases use tiny worker counts and payloads so the
 whole module stays fast.
 """
 
+from concurrent.futures.process import BrokenProcessPool
+
 import pytest
 
 from repro.engine import ExecutionEngine
@@ -160,6 +162,32 @@ class TestSerialRung:
             executor.map(_raise_domain_error, [1])
         assert "resilience.retries" not in instrumentation.counters()
 
+    def test_fatal_error_stops_the_batch_early(self):
+        calls = []
+
+        def fn(shared, item):
+            calls.append(item)
+            raise InfeasiblePlacementError("nope")
+
+        executor = ResilientExecutor(config=_config())
+        with pytest.raises(InfeasiblePlacementError):
+            executor.map(fn, [1, 2, 3])
+        # map() discards partial results on a fatal error, so the rest
+        # of the batch is never evaluated.
+        assert calls == [1]
+
+    def test_keyboard_interrupt_propagates_immediately(self):
+        calls = []
+
+        def fn(shared, item):
+            calls.append(item)
+            raise KeyboardInterrupt
+
+        executor = ResilientExecutor(config=_config())
+        with pytest.raises(KeyboardInterrupt):
+            executor.map(fn, [1, 2, 3])
+        assert calls == [1]
+
     def test_retries_draw_fresh_occurrences(self):
         # One map of three items takes occurrences 0-2; the retry of the
         # faulted item takes occurrence 3; a plan scheduling 3 as well
@@ -240,6 +268,27 @@ class TestParallelRung:
         executor = ResilientExecutor(workers=2, config=_config())
         with pytest.raises(InfeasiblePlacementError):
             executor.map(_raise_domain_error, [1])
+
+    def test_pool_broken_on_submit_recovers_without_waiting(self):
+        # A pool that breaks while accepting work: the attempt must
+        # hand the whole batch back as retryable and respawn — never
+        # wait on futures the dead pool already cancelled.
+        class _BrokenAtSubmission:
+            def submit(self, *args, **kwargs):
+                raise BrokenProcessPool("worker died before submission")
+
+            def shutdown(self, *args, **kwargs):
+                return None
+
+        executor = ResilientExecutor(workers=2, config=_config())
+        instrumentation = _instrumented(executor)
+        with executor.session() as session:
+            session._kill_pool()
+            session._pool = _BrokenAtSubmission()
+            assert session.map(_double, [1, 2, 3]) == [2, 4, 6]
+        counters = instrumentation.counters()
+        assert counters["resilience.pool_respawns"] == 1
+        assert counters["resilience.retries"] == 1
 
 
 class TestEngineIntegration:

@@ -47,11 +47,11 @@ def policy():
     return QoSPolicy(normal=case_study_qos(m_degr_percent=3))
 
 
-def _framework(engine=None, checkpointer=None):
+def _framework(engine=None, checkpointer=None, search_config=FAST_SEARCH):
     return ROpus(
         PoolCommitments.of(theta=0.95),
         ResourcePool(homogeneous_servers(6, cpus=16)),
-        search_config=FAST_SEARCH,
+        search_config=search_config,
         engine=engine if engine is not None else ExecutionEngine.serial(),
         checkpointer=checkpointer,
     )
@@ -133,32 +133,44 @@ class TestCheckpointResume:
         assert summary.get("checkpoint.reads", 0) > 0
         assert summary.get("placement.ga_resumes", 0) >= 1
 
-    def test_mid_sweep_kill_resumes_remaining_cases(
+    def test_mid_sweep_kill_resumes_completed_cases(
         self, demands, policy, tmp_path
     ):
         baseline = _framework().plan(demands, policy)
         n_cases = len(baseline.failure_report.cases)
         assert n_cases > 1
 
-        directory = tmp_path / "ckpt"
-        first_store = Checkpointer(directory)
-        first = _framework(checkpointer=first_store).plan(demands, policy)
-        assert first.plan_hash() == baseline.plan_hash()
-        saved_cases = [
-            key for key in first_store.keys() if key.startswith("failure__")
-        ]
-        assert len(saved_cases) == n_cases
+        class _Killed(Exception):
+            """Stands in for the SIGKILL that ends the first run."""
 
-        # Drop some of the per-case checkpoints — as if the kill landed
-        # mid-sweep — and resume: only the missing cases recompute.
-        for key in saved_cases[: n_cases // 2]:
-            (directory / (key + ".ckpt.json")).unlink()
-        resumed = _framework(checkpointer=Checkpointer(directory)).plan(
+        # Die *before* persisting the second failure case: the sweep
+        # must already have journaled the first one by then (cases are
+        # saved as they complete, not after the whole sweep returns).
+        class _KilledMidSweep(Checkpointer):
+            def save(self, key, payload):
+                if key.startswith("failure/") and any(
+                    stored.startswith("failure/") for stored in self.keys()
+                ):
+                    raise _Killed
+                return super().save(key, payload)
+
+        directory = tmp_path / "ckpt"
+        with pytest.raises(_Killed):
+            _framework(checkpointer=_KilledMidSweep(directory)).plan(
+                demands, policy
+            )
+        survivor_store = Checkpointer(directory)
+        persisted = [
+            key for key in survivor_store.keys() if key.startswith("failure/")
+        ]
+        assert len(persisted) == 1
+
+        resumed = _framework(checkpointer=survivor_store).plan(
             demands, policy
         )
         assert resumed.plan_hash() == baseline.plan_hash()
         resumes = resumed.resilience_summary().get("failure.case_resumes", 0)
-        assert resumes == n_cases - n_cases // 2
+        assert resumes == 1
 
     def test_checkpointed_run_equals_uncheckpointed(
         self, demands, policy, tmp_path
@@ -168,3 +180,51 @@ class TestCheckpointResume:
             checkpointer=Checkpointer(tmp_path / "ckpt")
         ).plan(demands, policy, plan_failures=False)
         assert checkpointed.plan_hash() == baseline.plan_hash()
+
+    def test_completed_run_rotates_its_checkpoints_out(
+        self, demands, policy, tmp_path
+    ):
+        store = Checkpointer(tmp_path / "ckpt")
+        _framework(checkpointer=store).plan(demands, policy)
+        assert store.keys() == []
+
+    def test_changed_inputs_never_resume_stale_checkpoints(
+        self, demands, policy, tmp_path
+    ):
+        class _Killed(Exception):
+            pass
+
+        class _Interrupting(Checkpointer):
+            remaining = 2
+
+            def save(self, key, payload):
+                stuck = super().save(key, payload)
+                type(self).remaining -= 1
+                if type(self).remaining <= 0:
+                    raise _Killed
+                return stuck
+
+        directory = tmp_path / "ckpt"
+        with pytest.raises(_Killed):
+            _framework(checkpointer=_Interrupting(directory)).plan(
+                demands, policy
+            )
+        assert Checkpointer(directory).keys() != []
+
+        # Re-plan over *different inputs* (another search seed) against
+        # the same checkpoint directory: the leftover documents carry
+        # the old inputs' fingerprint, so nothing resumes — the genetic
+        # search restarts instead of silently inheriting the old run's
+        # (possibly converged) population.
+        changed = GeneticSearchConfig(
+            seed=1, max_generations=8, stall_generations=3, population_size=10
+        )
+        replan = _framework(
+            checkpointer=Checkpointer(directory), search_config=changed
+        ).plan(demands, policy)
+        fresh = _framework(search_config=changed).plan(demands, policy)
+        assert replan.plan_hash() == fresh.plan_hash()
+        summary = replan.resilience_summary()
+        assert summary.get("placement.ga_resumes", 0) == 0
+        assert summary.get("failure.case_resumes", 0) == 0
+        assert summary.get("checkpoint.fingerprint_mismatches", 0) >= 1

@@ -212,3 +212,28 @@ class TestCheckpointResume:
         store.save("genetic", {"generation": 1})  # missing every other field
         with pytest.raises(PlacementError, match="checkpoint"):
             search.run(seed_assignment, checkpointer=store)
+
+    def test_checkpoint_from_another_problem_raises_actionably(
+        self, cal, tmp_path
+    ):
+        from repro.engine.checkpoint import Checkpointer
+
+        search = self._search(cal)
+        seed_assignment = first_fit_decreasing(search.evaluator, search.pool)
+        store = Checkpointer(tmp_path / "ga")
+        # A structurally valid checkpoint whose population was evolved
+        # for a *different* ensemble (wrong workload count): restore
+        # must reject it via assignment validation, never evaluate it.
+        store.save(
+            "genetic",
+            {
+                "generation": 1,
+                "rng_state": {},
+                "population": [[0, 0]],
+                "best_feasible": None,
+                "stall": 0,
+                "history": [],
+            },
+        )
+        with pytest.raises(PlacementError, match="different planning problem"):
+            search.run(seed_assignment, checkpointer=store)
