@@ -128,6 +128,17 @@ KNOWN_SIGNATURES: dict[str, Signature] = {
             ("horizon", None),
         ),
     ),
+    "repro.placement.clustering.cluster_workloads": Signature(
+        params=(
+            ("features", None),
+            ("n_clusters", None),
+            ("seed", None),
+            ("method", None),
+        ),
+    ),
+    "repro.placement.clustering.demand_shape_features": Signature(
+        params=(("demands", None), ("translations", None)),
+    ),
     "repro.placement.kernels.evaluate_capacities": Signature(
         params=(("simulator", None), ("capacities", None)),
     ),
@@ -139,6 +150,27 @@ KNOWN_SIGNATURES: dict[str, Signature] = {
             ("tolerance", "CpuShares"),
             ("probes", None),
             ("mode", None),
+        ),
+    ),
+    "repro.placement.sharding.derive_shard_seed": Signature(
+        params=(("seed", None), ("shard_index", None)),
+    ),
+    "repro.placement.sharding.pair_shape_features": Signature(
+        params=(("pairs", None),),
+    ),
+    "repro.placement.sharding.partition_pool": Signature(
+        params=(
+            ("pool", None),
+            ("masses", None),
+            ("min_servers_per_shard", None),
+        ),
+    ),
+    "repro.workloads.ensemble.scaled_ensemble": Signature(
+        params=(
+            ("n_apps", None),
+            ("seed", None),
+            ("weeks", None),
+            ("slot_minutes", None),
         ),
     ),
     "repro.util.validation.require_fraction": Signature(

@@ -11,6 +11,15 @@ the paper draws them:
 4. the workload placement service consolidates the translated workloads
    onto few servers, and the failure planner reports whether a spare
    server is needed.
+
+:meth:`ROpus.plan` is a composition of named pipeline stages —
+``translate → cluster → shard → place → refine → failure_check``
+(:data:`PIPELINE_STAGES`). With ``sharding="off"`` (the default) the
+cluster/shard/refine stages are no-ops and placement runs the single
+monolithic consolidation exactly as it always has; with ``"auto"`` or an
+explicit shard count the hierarchical tier
+(:mod:`repro.placement.sharding`) clusters workloads by demand shape,
+plans sub-pools in parallel, and refines across them.
 """
 
 from __future__ import annotations
@@ -25,13 +34,33 @@ from repro.core.qos import ApplicationQoS, QoSPolicy
 from repro.core.translation import QoSTranslator, TranslationResult
 from repro.engine import Checkpointer, ExecutionEngine
 from repro.exceptions import ConfigurationError
+from repro.placement.clustering import demand_shape_features
 from repro.placement.consolidation import ConsolidationResult, Consolidator
 from repro.placement.failure import FailurePlanner, FailureReport
 from repro.placement.genetic import GeneticSearchConfig
+from repro.placement.sharding import (
+    HierarchicalPlanner,
+    ShardedPlacementResult,
+    ShardingPolicy,
+)
 from repro.resources.pool import ResourcePool
 from repro.traces.trace import DemandTrace
 
 PolicyMap = Union[Mapping[str, QoSPolicy], QoSPolicy]
+
+#: The named stages :meth:`ROpus.plan` composes, in execution order.
+#: Each maps to a ``_stage_<name>`` method on :class:`ROpus`; stages
+#: that do not apply to the current configuration (the hierarchical
+#: ones when ``sharding="off"``, ``failure_check`` when failures are
+#: not planned) record themselves as skipped and do no work.
+PIPELINE_STAGES = (
+    "translate",
+    "cluster",
+    "shard",
+    "place",
+    "refine",
+    "failure_check",
+)
 
 
 def _policy_digest(policies: PolicyMap) -> object:
@@ -59,16 +88,18 @@ def planning_fingerprint(
     plan_failures: bool,
     relax_all_on_failure: bool,
     previous: ConsolidationResult | None,
+    sharding: ShardingPolicy | None = None,
 ) -> str:
     """A digest of everything a planning run's decisions depend on.
 
     Checkpoints stamped with this fingerprint are only ever resumed by
     a run whose inputs hash identically — changing a trace, the pool,
-    the seed (inside ``search_config``), or any planning knob makes old
-    checkpoints read as absent instead of silently steering the new
-    run. Execution backend and worker count are deliberately excluded:
-    results are backend-independent, so a resume may legitimately use
-    different parallelism.
+    the seed (inside ``search_config``), or any planning knob — the
+    sharding policy included — makes old checkpoints read as absent
+    instead of silently steering the new run. Execution backend and
+    worker count are deliberately excluded: results are
+    backend-independent, so a resume may legitimately use different
+    parallelism.
     """
     document = {
         "demands": [
@@ -101,6 +132,7 @@ def planning_fingerprint(
                 for server, names in previous.assignment.items()
             )
         ),
+        "sharding": None if sharding is None else repr(sharding),
     }
     canonical = json.dumps(document, sort_keys=True)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -111,10 +143,14 @@ class CapacityPlan:
     """Everything the capacity manager needs from one planning run.
 
     ``timings`` maps stage names (``translation``, ``placement``,
-    ``failure_planning``) to the seconds this run spent in each, as
-    recorded by the engine's instrumentation; ``counters`` holds the
-    run's counter increments (kernel calls and bracket iterations,
-    evaluation cache hits/misses, bytes broadcast to workers, ...).
+    ``failure_planning``, and — for sharded runs — ``clustering``,
+    ``sharding``, ``refinement``) to the seconds this run spent in
+    each, as recorded by the engine's instrumentation; ``counters``
+    holds the run's counter increments (kernel calls and bracket
+    iterations, evaluation cache hits/misses, bytes broadcast to
+    workers, ...). ``sharding`` is the hierarchical tier's summary
+    (shard count and sizes, migration rounds, per-shard timings) when
+    the run was sharded, ``None`` otherwise.
     """
 
     translations: Mapping[str, TranslationResult]
@@ -122,6 +158,7 @@ class CapacityPlan:
     failure_report: Optional[FailureReport]
     timings: Mapping[str, float] = field(default_factory=dict)
     counters: Mapping[str, float] = field(default_factory=dict)
+    sharding: Optional[Mapping[str, object]] = None
 
     @property
     def servers_used(self) -> int:
@@ -143,6 +180,7 @@ class CapacityPlan:
             "sum_peak_allocations": self.consolidation.sum_peak_allocations,
             "sharing_savings": self.consolidation.sharing_savings(),
             "spare_server_needed": self.spare_server_needed,
+            "sharding": None if self.sharding is None else dict(self.sharding),
             "stage_timings": dict(self.timings),
             "counters": dict(self.counters),
             "resilience": self.resilience_summary(),
@@ -154,7 +192,11 @@ class CapacityPlan:
         counter map so operators see degraded-but-successful runs at a
         glance (an all-zero map means the run never needed recovery)."""
         prefixes = ("resilience.", "checkpoint.")
-        names = ("failure.case_resumes", "placement.ga_resumes")
+        names = (
+            "failure.case_resumes",
+            "placement.ga_resumes",
+            "placement.shard_resumes",
+        )
         return {
             name: value
             for name, value in self.counters.items()
@@ -209,6 +251,24 @@ class CapacityPlan:
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+@dataclass
+class _PlanContext:
+    """Mutable state threaded through one run of the staged pipeline."""
+
+    demands: Sequence[DemandTrace]
+    policies: PolicyMap
+    algorithm: str
+    previous: Optional[ConsolidationResult]
+    plan_failures: bool
+    relax_all_on_failure: bool
+    planner: Optional[HierarchicalPlanner] = None
+    translations: dict[str, TranslationResult] = field(default_factory=dict)
+    pairs: list = field(default_factory=list)
+    consolidation: Optional[ConsolidationResult] = None
+    sharded: Optional[ShardedPlacementResult] = None
+    failure_report: Optional[FailureReport] = None
+
+
 class ROpus:
     """The composite framework, end to end.
 
@@ -234,6 +294,9 @@ class ROpus:
         kernel: str = "batch",
         share_sweep_cache: bool = True,
         checkpointer: Checkpointer | None = None,
+        sharding: Union[int, str, ShardingPolicy] = "off",
+        cluster_seed: Optional[int] = None,
+        refine_rounds: int = 2,
     ):
         self.commitments = commitments
         self.pool = pool
@@ -244,6 +307,14 @@ class ROpus:
         self.kernel = kernel
         self.share_sweep_cache = share_sweep_cache
         self.checkpointer = checkpointer
+        if isinstance(sharding, ShardingPolicy):
+            self.sharding_policy = sharding
+        else:
+            self.sharding_policy = ShardingPolicy(
+                shards=sharding,
+                cluster_seed=cluster_seed,
+                refine_rounds=refine_rounds,
+            )
         if checkpointer is not None and checkpointer.instrumentation is None:
             checkpointer.instrumentation = self.engine.instrumentation
         self.translator = QoSTranslator(commitments, engine=self.engine)
@@ -283,11 +354,13 @@ class ROpus:
         algorithm: str = "genetic",
         previous: "ConsolidationResult | None" = None,
     ) -> CapacityPlan:
-        """Translate, consolidate, and (optionally) analyse failures.
+        """Run the staged pipeline and assemble the capacity plan.
 
         ``previous`` seeds the placement search with an earlier plan so
         re-planning favours low-migration solutions (see
-        :meth:`~repro.placement.consolidation.Consolidator.consolidate`).
+        :meth:`~repro.placement.consolidation.Consolidator.consolidate`);
+        it applies to the monolithic path (``sharding="off"``) only —
+        the hierarchical tier re-derives placements per shard.
         """
         instrumentation = self.engine.instrumentation
         baseline = instrumentation.snapshot()
@@ -310,44 +383,22 @@ class ROpus:
                 plan_failures=plan_failures,
                 relax_all_on_failure=relax_all_on_failure,
                 previous=previous,
+                sharding=self.sharding_policy,
             )
-        translations = self.translate(demands, policies)
-        pairs = [result.pair for result in translations.values()]
-        consolidator = Consolidator(
-            self.pool,
-            self.commitments.cos2,
-            config=self.search_config,
-            tolerance=self.tolerance,
-            attribute=self.attribute,
-            engine=self.engine,
-            kernel=self.kernel,
-        )
-        consolidation = consolidator.consolidate(
-            pairs,
+        context = _PlanContext(
+            demands=demands,
+            policies=policies,
             algorithm=algorithm,
             previous=previous,
-            checkpointer=self.checkpointer,
+            plan_failures=plan_failures,
+            relax_all_on_failure=relax_all_on_failure,
+            planner=self._hierarchical_planner(),
         )
-
-        failure_report: FailureReport | None = None
-        if plan_failures:
-            planner = FailurePlanner(
-                self.translator,
-                config=self.search_config,
-                tolerance=self.tolerance,
-                attribute=self.attribute,
-                engine=self.engine,
-                kernel=self.kernel,
-                share_cache=self.share_sweep_cache,
-                checkpointer=self.checkpointer,
-            )
-            failure_report = planner.plan(
-                demands,
-                policies,
-                self.pool,
-                consolidation,
-                relax_all=relax_all_on_failure,
-                algorithm=algorithm,
+        for name in PIPELINE_STAGES:
+            stage = getattr(self, f"_stage_{name}")
+            ran = stage(context)
+            instrumentation.event(
+                "pipeline.stage", stage=name, ran=bool(ran)
             )
         if self.checkpointer is not None:
             # The run completed: its checkpoints are spent. Rotating
@@ -355,12 +406,113 @@ class ROpus:
             # state behind.
             self.checkpointer.clear()
         return CapacityPlan(
-            translations=translations,
-            consolidation=consolidation,
-            failure_report=failure_report,
+            translations=context.translations,
+            consolidation=context.consolidation,
+            failure_report=context.failure_report,
             timings=instrumentation.timings_since(baseline),
             counters=instrumentation.counters_since(counter_baseline),
+            sharding=(
+                None
+                if context.sharded is None
+                else context.sharded.summary()
+            ),
         )
+
+    # ------------------------------------------------------------------
+    # Pipeline stages (see PIPELINE_STAGES for the composition order).
+    # Each returns True when it did work, False when it was skipped for
+    # the current configuration.
+    # ------------------------------------------------------------------
+    def _hierarchical_planner(self) -> Optional[HierarchicalPlanner]:
+        if not self.sharding_policy.enabled:
+            return None
+        return HierarchicalPlanner(
+            self.pool,
+            self.commitments.cos2,
+            config=self.search_config,
+            tolerance=self.tolerance,
+            attribute=self.attribute,
+            engine=self.engine,
+            kernel=self.kernel,
+            policy=self.sharding_policy,
+        )
+
+    def _stage_translate(self, context: _PlanContext) -> bool:
+        context.translations = self.translate(
+            context.demands, context.policies
+        )
+        context.pairs = [
+            result.pair for result in context.translations.values()
+        ]
+        return True
+
+    def _stage_cluster(self, context: _PlanContext) -> bool:
+        if context.planner is None:
+            return False
+        features = demand_shape_features(
+            context.demands, context.translations
+        )
+        context.planner.cluster(context.pairs, features)
+        return True
+
+    def _stage_shard(self, context: _PlanContext) -> bool:
+        if context.planner is None:
+            return False
+        context.planner.partition()
+        return True
+
+    def _stage_place(self, context: _PlanContext) -> bool:
+        if context.planner is None:
+            # The monolithic path: one consolidation over the whole
+            # pool, exactly as before the hierarchical tier existed.
+            consolidator = Consolidator(
+                self.pool,
+                self.commitments.cos2,
+                config=self.search_config,
+                tolerance=self.tolerance,
+                attribute=self.attribute,
+                engine=self.engine,
+                kernel=self.kernel,
+            )
+            context.consolidation = consolidator.consolidate(
+                context.pairs,
+                algorithm=context.algorithm,
+                previous=context.previous,
+                checkpointer=self.checkpointer,
+            )
+        else:
+            context.planner.place(self.checkpointer, context.algorithm)
+        return True
+
+    def _stage_refine(self, context: _PlanContext) -> bool:
+        if context.planner is None:
+            return False
+        context.sharded = context.planner.refine()
+        context.consolidation = context.sharded.consolidation
+        return True
+
+    def _stage_failure_check(self, context: _PlanContext) -> bool:
+        if not context.plan_failures:
+            return False
+        planner = FailurePlanner(
+            self.translator,
+            config=self.search_config,
+            tolerance=self.tolerance,
+            attribute=self.attribute,
+            engine=self.engine,
+            kernel=self.kernel,
+            share_cache=self.share_sweep_cache,
+            checkpointer=self.checkpointer,
+        )
+        context.failure_report = planner.plan(
+            context.demands,
+            context.policies,
+            self.pool,
+            context.consolidation,
+            relax_all=context.relax_all_on_failure,
+            algorithm=context.algorithm,
+        )
+        return True
 
     def _qos_for(
         self, policies: PolicyMap, name: str, failure_mode: bool

@@ -11,6 +11,7 @@ the structured event log.
 from repro.engine.broadcast import SharedMemoryHandle
 from repro.engine.checkpoint import Checkpointer
 from repro.engine.core import ExecutionEngine
+from repro.engine.dispatch import split_chunks
 from repro.engine.executor import (
     Executor,
     ExecutorSession,
@@ -44,4 +45,5 @@ __all__ = [
     "StageStats",
     "make_executor",
     "make_resilient_executor",
+    "split_chunks",
 ]

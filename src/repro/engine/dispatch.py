@@ -1,0 +1,37 @@
+"""Engine-level work dispatch helpers.
+
+Chunking policy is a property of the *executor*, not of any one
+algorithm: every fan-out stage that batches independent work units
+(GA generation evaluation, shard-wave planning) wants the same shape —
+one contiguous, near-equal chunk per unit of session parallelism, so
+each worker runs a single batched solve over its whole share.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+ItemT = TypeVar("ItemT")
+
+
+def split_chunks(
+    items: Sequence[ItemT], n_chunks: int
+) -> list[tuple[ItemT, ...]]:
+    """Split work items into ``n_chunks`` contiguous, near-equal chunks.
+
+    Rows are independent, so chunking only affects which worker solves
+    which item — never the results. Chunk sizes differ by at most one,
+    and input order is preserved across the concatenated chunks.
+    """
+    n_chunks = max(1, min(n_chunks, len(items)))
+    base, extra = divmod(len(items), n_chunks)
+    chunks: list[tuple[ItemT, ...]] = []
+    start = 0
+    for chunk_index in range(n_chunks):
+        size = base + (1 if chunk_index < extra else 0)
+        chunks.append(tuple(items[start : start + size]))
+        start += size
+    return chunks
+
+
+__all__ = ["split_chunks"]

@@ -13,9 +13,18 @@ Components:
   baseline placement algorithms;
 * :mod:`repro.placement.consolidation` — the end-to-end consolidation
   exercise;
-* :mod:`repro.placement.failure` — single-failure what-if planning.
+* :mod:`repro.placement.failure` — single-failure what-if planning;
+* :mod:`repro.placement.clustering` / :mod:`repro.placement.sharding` —
+  the hierarchical tier: demand-shape clustering, pool sharding,
+  parallel per-shard planning, and cross-shard refinement.
 """
 
+from repro.placement.clustering import (
+    ClusteringResult,
+    WorkloadFeatures,
+    cluster_workloads,
+    demand_shape_features,
+)
 from repro.placement.consolidation import ConsolidationResult, Consolidator
 from repro.placement.correlation import (
     allocation_correlation_matrix,
@@ -30,20 +39,36 @@ from repro.placement.multi_attribute import (
 )
 from repro.placement.objective import assignment_score, server_score
 from repro.placement.required_capacity import required_capacity
+from repro.placement.sharding import (
+    HierarchicalPlanner,
+    ShardedPlacementResult,
+    ShardingPolicy,
+    pair_shape_features,
+    partition_pool,
+)
 from repro.placement.simulator import AccessReport, SingleServerSimulator
 
 __all__ = [
     "AccessReport",
+    "ClusteringResult",
     "ConsolidationResult",
     "Consolidator",
     "FailurePlanner",
     "FailureReport",
     "GeneticPlacementSearch",
     "GeneticSearchConfig",
+    "HierarchicalPlanner",
     "MultiAttributeConsolidator",
     "MultiAttributeEvaluator",
+    "ShardedPlacementResult",
+    "ShardingPolicy",
     "SingleServerSimulator",
+    "WorkloadFeatures",
     "allocation_correlation_matrix",
+    "cluster_workloads",
+    "demand_shape_features",
+    "pair_shape_features",
+    "partition_pool",
     "assignment_score",
     "best_fit_decreasing",
     "correlation_aware_seed",

@@ -83,6 +83,49 @@ class ConsolidationResult:
                 return server
         raise PlacementError(f"workload {workload!r} is not in the assignment")
 
+    def to_payload(self) -> dict:
+        """This result as a JSON-able checkpoint document.
+
+        Search details are deliberately not persisted: the plan-level
+        outputs (assignment, capacities, score) never depend on them,
+        so a restored result carries ``search=None`` exactly like one
+        computed by a greedy algorithm.
+        """
+        return {
+            "assignment": {
+                server: list(names)
+                for server, names in self.assignment.items()
+            },
+            "required_by_server": dict(self.required_by_server),
+            "sum_required": self.sum_required,
+            "sum_peak_allocations": self.sum_peak_allocations,
+            "score": self.score,
+            "algorithm": self.algorithm,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ConsolidationResult":
+        """Rebuild a persisted result; raises on malformed documents.
+
+        Callers restoring from untrusted checkpoints catch the failure
+        and recompute (see :func:`repro.placement.failure._case_from_payload`
+        and the shard resume path) — a checkpoint is never load-bearing.
+        """
+        return cls(
+            assignment={
+                server: tuple(names)
+                for server, names in payload["assignment"].items()
+            },
+            required_by_server={
+                server: float(required)
+                for server, required in payload["required_by_server"].items()
+            },
+            sum_required=float(payload["sum_required"]),
+            sum_peak_allocations=float(payload["sum_peak_allocations"]),
+            score=float(payload["score"]),
+            algorithm=str(payload["algorithm"]),
+        )
+
 
 class Consolidator:
     """Runs the workload placement service for one pool configuration."""

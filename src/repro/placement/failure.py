@@ -176,21 +176,7 @@ def _case_to_payload(case: FailureCase) -> dict:
         "failed_server": case.failed_server,
         "feasible": case.feasible,
         "affected_workloads": list(case.affected_workloads),
-        "result": (
-            None
-            if result is None
-            else {
-                "assignment": {
-                    server: list(names)
-                    for server, names in result.assignment.items()
-                },
-                "required_by_server": dict(result.required_by_server),
-                "sum_required": result.sum_required,
-                "sum_peak_allocations": result.sum_peak_allocations,
-                "score": result.score,
-                "algorithm": result.algorithm,
-            }
-        ),
+        "result": None if result is None else result.to_payload(),
     }
 
 
@@ -204,24 +190,7 @@ def _case_from_payload(payload: dict) -> FailureCase | None:
     """
     try:
         doc = payload["result"]
-        result = (
-            None
-            if doc is None
-            else ConsolidationResult(
-                assignment={
-                    server: tuple(names)
-                    for server, names in doc["assignment"].items()
-                },
-                required_by_server={
-                    server: float(required)
-                    for server, required in doc["required_by_server"].items()
-                },
-                sum_required=float(doc["sum_required"]),
-                sum_peak_allocations=float(doc["sum_peak_allocations"]),
-                score=float(doc["score"]),
-                algorithm=str(doc["algorithm"]),
-            )
-        )
+        result = None if doc is None else ConsolidationResult.from_payload(doc)
         return FailureCase(
             failed_server=str(payload["failed_server"]),
             feasible=bool(payload["feasible"]),

@@ -27,12 +27,14 @@ that makes the search affordable is preserved under any backend.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.engine import Checkpointer, ExecutionEngine, ExecutorSession
+from repro.engine.dispatch import split_chunks
 from repro.exceptions import PlacementError
 from repro.placement.evaluation import (
     GroupItem,
@@ -50,22 +52,18 @@ Assignment = tuple[int, ...]
 def _split_chunks(
     items: Sequence[GroupItem], n_chunks: int
 ) -> list[tuple[GroupItem, ...]]:
-    """Split work items into ``n_chunks`` contiguous, near-equal chunks.
+    """Deprecated alias: chunking moved to the engine layer.
 
-    Rows are independent, so chunking only affects which worker solves
-    which bracket — never the results. One chunk per unit of session
-    parallelism keeps each worker running a single simultaneous
-    bisection over its whole share.
+    Use :func:`repro.engine.dispatch.split_chunks`; this re-export keeps
+    external callers of the historical private helper working.
     """
-    n_chunks = max(1, min(n_chunks, len(items)))
-    base, extra = divmod(len(items), n_chunks)
-    chunks: list[tuple[GroupItem, ...]] = []
-    start = 0
-    for chunk_index in range(n_chunks):
-        size = base + (1 if chunk_index < extra else 0)
-        chunks.append(tuple(items[start : start + size]))
-        start += size
-    return chunks
+    warnings.warn(
+        "repro.placement.genetic._split_chunks moved to "
+        "repro.engine.dispatch.split_chunks",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return split_chunks(items, n_chunks)
 
 
 @dataclass(frozen=True)
@@ -473,7 +471,7 @@ class GeneticPlacementSearch:
         keys = list(pending)
         items = [pending[key] for key in keys]
         parallelism = max(1, int(getattr(session, "parallelism", 1)))
-        chunks = _split_chunks(items, min(len(items), parallelism))
+        chunks = split_chunks(items, min(len(items), parallelism))
         chunk_results = session.map(evaluate_groups_worker, chunks)
         instrumentation = self.engine.instrumentation
         cursor = 0

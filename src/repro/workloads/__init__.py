@@ -15,7 +15,12 @@ statistical features the R-Opus analysis depends on:
   (:func:`~repro.workloads.ensemble.case_study_ensemble`).
 """
 
-from repro.workloads.ensemble import CASE_STUDY_APP_COUNT, case_study_ensemble
+from repro.workloads.ensemble import (
+    CASE_STUDY_APP_COUNT,
+    case_study_ensemble,
+    scaled_ensemble,
+    scaled_specs,
+)
 from repro.workloads.forecast import (
     GrowthEstimate,
     estimate_weekly_growth,
@@ -48,4 +53,6 @@ __all__ = [
     "double_peak_pattern",
     "flat_pattern",
     "inject_spikes",
+    "scaled_ensemble",
+    "scaled_specs",
 ]

@@ -19,7 +19,10 @@ two hundred 1-CPU units, consolidated onto a handful of 16-way servers.
 
 from __future__ import annotations
 
-from repro.exceptions import InvariantError
+from dataclasses import replace
+
+from repro.exceptions import ConfigurationError, InvariantError
+from repro.util.rng import SeedSequenceFactory
 from repro.traces.calendar import TraceCalendar
 from repro.traces.trace import DemandTrace
 from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
@@ -153,3 +156,59 @@ def case_study_ensemble(
     calendar = TraceCalendar(weeks=weeks, slot_minutes=slot_minutes)
     generator = WorkloadGenerator(seed=seed)
     return generator.generate_many(case_study_specs(), calendar)
+
+
+def scaled_specs(n_apps: int, seed: int = 2006) -> list[WorkloadSpec]:
+    """``n_apps`` workload profiles tiled from the 26 case-study ones.
+
+    Replica 0 is the case-study profile set verbatim (so
+    ``scaled_specs(26, seed)`` is exactly :func:`case_study_specs`);
+    each further replica re-uses the 26 shapes under new names
+    (``app-NN-rK``) with a deterministic, seeded perturbation of the
+    demand scale — the population stays Figure-6-shaped (spikers
+    through smooth services in the published proportions) while every
+    application's trace is distinct. Used to study how planning scales
+    beyond the paper's ensemble (see ``benchmarks/perf/scaling_bench``).
+    """
+    if n_apps < 1:
+        raise ConfigurationError(f"n_apps must be >= 1, got {n_apps}")
+    base = case_study_specs()
+    specs: list[WorkloadSpec] = []
+    replica = 0
+    while len(specs) < n_apps:
+        if replica == 0:
+            clones = base
+        else:
+            # One independent perturbation stream per replica: replica
+            # K's scales never depend on how many replicas are built.
+            rng = SeedSequenceFactory(seed).generator("replica", replica)
+            factors = rng.uniform(0.7, 1.3, size=len(base))
+            clones = [
+                replace(
+                    spec,
+                    name=f"{spec.name}-r{replica}",
+                    peak_cpus=spec.peak_cpus * float(factor),
+                )
+                for spec, factor in zip(base, factors)
+            ]
+        specs.extend(clones[: n_apps - len(specs)])
+        replica += 1
+    return specs
+
+
+def scaled_ensemble(
+    n_apps: int,
+    seed: int = 2006,
+    weeks: int = 4,
+    slot_minutes: int = 5,
+) -> list[DemandTrace]:
+    """Generate an ``n_apps``-application ensemble shaped like the study.
+
+    Deterministic in ``(n_apps, seed, weeks, slot_minutes)``; with
+    ``n_apps=26`` it reproduces :func:`case_study_ensemble` exactly.
+    Prefer coarser calendars (fewer weeks, larger slots) for large
+    ``n_apps`` — trace memory grows with both dimensions.
+    """
+    calendar = TraceCalendar(weeks=weeks, slot_minutes=slot_minutes)
+    generator = WorkloadGenerator(seed=seed)
+    return generator.generate_many(scaled_specs(n_apps, seed), calendar)

@@ -1,0 +1,38 @@
+"""Tests for the engine-level chunking helper (and its old alias)."""
+
+import pytest
+
+from repro.engine.dispatch import split_chunks
+
+
+class TestSplitChunks:
+    def test_preserves_order_and_partitions(self):
+        items = list(range(11))
+        chunks = split_chunks(items, 3)
+        assert [item for chunk in chunks for item in chunk] == items
+        assert len(chunks) == 3
+
+    def test_sizes_differ_by_at_most_one(self):
+        for n_items in range(1, 20):
+            for n_chunks in range(1, 8):
+                sizes = [
+                    len(chunk)
+                    for chunk in split_chunks(list(range(n_items)), n_chunks)
+                ]
+                assert max(sizes) - min(sizes) <= 1
+
+    def test_never_more_chunks_than_items(self):
+        assert len(split_chunks([1, 2], 5)) == 2
+        assert split_chunks([1, 2], 5) == [(1,), (2,)]
+
+    def test_at_least_one_chunk(self):
+        assert split_chunks([1, 2, 3], 0) == [(1, 2, 3)]
+
+
+class TestDeprecatedAlias:
+    def test_genetic_reexport_warns_and_delegates(self):
+        from repro.placement.genetic import _split_chunks
+
+        with pytest.warns(DeprecationWarning, match="moved to"):
+            chunks = _split_chunks([1, 2, 3, 4], 2)
+        assert chunks == split_chunks([1, 2, 3, 4], 2)

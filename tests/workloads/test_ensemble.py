@@ -4,10 +4,13 @@ import numpy as np
 import pytest
 
 from repro.traces.ops import percentile_profile
+from repro.exceptions import ConfigurationError
 from repro.workloads.ensemble import (
     CASE_STUDY_APP_COUNT,
     case_study_ensemble,
     case_study_specs,
+    scaled_ensemble,
+    scaled_specs,
 )
 
 
@@ -73,3 +76,49 @@ class TestEnsembleShape:
         a = case_study_ensemble(seed=1, weeks=1)
         b = case_study_ensemble(seed=2, weeks=1)
         assert not np.array_equal(a[0].values, b[0].values)
+
+
+class TestScaledEnsemble:
+    def test_spec_counts(self):
+        for n_apps in (1, 13, 26, 27, 60, 104):
+            assert len(scaled_specs(n_apps)) == n_apps
+
+    def test_first_replica_is_the_case_study_verbatim(self):
+        assert scaled_specs(26) == case_study_specs()
+
+    def test_26_apps_reproduce_the_case_study_ensemble(self):
+        scaled = scaled_ensemble(26, seed=2006, weeks=1)
+        study = case_study_ensemble(seed=2006, weeks=1)
+        assert [t.name for t in scaled] == [t.name for t in study]
+        for a, b in zip(scaled, study):
+            assert np.array_equal(a.values, b.values)
+
+    def test_names_unique_at_scale(self):
+        names = [spec.name for spec in scaled_specs(130)]
+        assert len(set(names)) == 130
+
+    def test_deterministic_in_its_inputs(self):
+        a = scaled_ensemble(40, seed=7, weeks=1, slot_minutes=60)
+        b = scaled_ensemble(40, seed=7, weeks=1, slot_minutes=60)
+        for x, y in zip(a, b):
+            assert x.name == y.name
+            assert np.array_equal(x.values, y.values)
+
+    def test_replica_peaks_are_perturbed_not_copied(self):
+        specs = scaled_specs(78)
+        base = {spec.name: spec.peak_cpus for spec in specs[:26]}
+        for spec in specs[26:]:
+            original = base[spec.name.rsplit("-r", 1)[0]]
+            assert spec.peak_cpus != original
+            assert 0.69 * original <= spec.peak_cpus <= 1.31 * original
+
+    def test_replica_prefix_is_stable(self):
+        # Replica K's perturbations must not depend on how many
+        # replicas are requested (prefix property for reproducibility).
+        short = scaled_specs(52)
+        long = scaled_specs(104)
+        assert long[:52] == short
+
+    def test_rejects_non_positive_counts(self):
+        with pytest.raises(ConfigurationError):
+            scaled_specs(0)
