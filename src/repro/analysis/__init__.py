@@ -19,7 +19,12 @@ this package enforces it at review time with a custom AST linter:
 Run it as ``python -m repro.analysis src`` or ``ropus lint``.
 """
 
-from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    prune_baseline,
+    write_baseline,
+)
 from repro.analysis.config import AnalysisConfig, resolve_config
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.reporters import (
@@ -32,6 +37,7 @@ from repro.analysis.reporters import (
 )
 from repro.analysis.rules import (
     ModuleContext,
+    ProjectRule,
     Rule,
     iter_rule_classes,
     register,
@@ -49,6 +55,7 @@ __all__ = [
     "AnalysisResult",
     "Finding",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
     "Severity",
     "analyze_file",
@@ -60,6 +67,7 @@ __all__ = [
     "load_baseline",
     "main",
     "parse_json",
+    "prune_baseline",
     "register",
     "registered_rules",
     "render_json",

@@ -22,11 +22,10 @@ from repro.exceptions import ConfigurationError
 BASELINE_VERSION = 1
 
 
-def write_baseline(findings: Iterable[Finding], path: Path) -> int:
-    """Record ``findings`` as the accepted baseline; returns the count."""
-    entries = sorted(
-        {finding.fingerprint() for finding in findings}
-    )
+def _write_fingerprints(
+    fingerprints: Iterable[tuple[str, str, str]], path: Path
+) -> int:
+    entries = sorted(set(fingerprints))
     payload = {
         "version": BASELINE_VERSION,
         "suppressions": [
@@ -36,6 +35,32 @@ def write_baseline(findings: Iterable[Finding], path: Path) -> int:
     }
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return len(entries)
+
+
+def write_baseline(findings: Iterable[Finding], path: Path) -> int:
+    """Record ``findings`` as the accepted baseline; returns the count."""
+    return _write_fingerprints(
+        (finding.fingerprint() for finding in findings), path
+    )
+
+
+def prune_baseline(
+    findings: Iterable[Finding], path: Path
+) -> tuple[int, list[tuple[str, str, str]]]:
+    """Drop baseline entries that no longer match any current finding.
+
+    Unlike :func:`write_baseline` this never *adds* suppressions —
+    new findings stay visible — it only removes entries whose debt has
+    been paid, so the baseline shrinks monotonically toward empty.
+    Returns ``(kept_count, stale_entries)``; the stale list is sorted
+    for stable warning output.
+    """
+    existing = load_baseline(path)
+    current = {finding.fingerprint() for finding in findings}
+    kept = existing & current
+    stale = sorted(existing - current)
+    _write_fingerprints(kept, path)
+    return len(kept), stale
 
 
 def load_baseline(path: Path) -> set[tuple[str, str, str]]:

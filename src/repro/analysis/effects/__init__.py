@@ -1,0 +1,60 @@
+"""Interprocedural effect & determinism inference.
+
+The dataflow package (ROP008-ROP011) checks one function at a time;
+this package answers the question those rules cannot: *what does a
+callable do, transitively?* It builds a project-wide call graph over
+every analyzed module (reusing the ImportMap canonical-name resolution
+the per-module rules already trust), computes a per-function
+:class:`EffectSummary` over a small effect lattice, and propagates
+summaries bottom-up through the condensation of the call graph (Tarjan
+SCCs, fixpoint within each component).
+
+The flow-aware rules ROP013-ROP016 consume the result:
+
+* **ROP013** — a transitively impure callable (ambient RNG, wall
+  clock, global mutation) submitted to an ``Executor`` /
+  ``ResilientExecutor``;
+* **ROP014** — nondeterministic iteration order reaching placement
+  decisions, checkpoint payloads, or hash inputs;
+* **ROP015** — RNG generator objects crossing process or checkpoint
+  boundaries (see :mod:`repro.analysis.rules.seed_discipline`);
+* **ROP016** — checkpoint payloads whose JSON round-trip is not
+  bit-stable.
+
+Manual knowledge lives in :data:`KNOWN_EFFECTS` as *verified
+overrides*: each entry declares both what inference must derive for
+the function (checked by :func:`verify_overrides` and the test suite,
+so the table can never drift from the code) and what effect set call
+sites should inherit (the sanctioned contract — e.g.
+``derive_rng(None)`` is ambient by design and policed by ROP001, so
+callers do not inherit the ambient-RNG effect).
+"""
+
+from repro.analysis.effects.intrinsics import KNOWN_EFFECTS, EffectOverride
+from repro.analysis.effects.lattice import Effect, EffectSummary, Origin
+from repro.analysis.effects.project import (
+    EffectProject,
+    FunctionInfo,
+    ProjectContext,
+    build_project,
+)
+from repro.analysis.effects.inference import (
+    OverrideMismatch,
+    infer_effects,
+    verify_overrides,
+)
+
+__all__ = [
+    "Effect",
+    "EffectOverride",
+    "EffectProject",
+    "EffectSummary",
+    "FunctionInfo",
+    "KNOWN_EFFECTS",
+    "Origin",
+    "OverrideMismatch",
+    "ProjectContext",
+    "build_project",
+    "infer_effects",
+    "verify_overrides",
+]

@@ -7,10 +7,12 @@ runner and the reporters consult.
 
 from repro.analysis.rules import (  # noqa: F401  (imported for registration)
     bare_assert,
+    effect_rules,
     executor_submission,
     float_equality,
     mutable_default,
     naked_rng,
+    seed_discipline,
     shared_mutation,
     swallowed_failure,
     unit_flow,
@@ -19,6 +21,7 @@ from repro.analysis.rules import (  # noqa: F401  (imported for registration)
 from repro.analysis.rules.base import (
     ImportMap,
     ModuleContext,
+    ProjectRule,
     Rule,
     dotted_name,
     iter_rule_classes,
@@ -29,6 +32,7 @@ from repro.analysis.rules.base import (
 __all__ = [
     "ImportMap",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
     "dotted_name",
     "iter_rule_classes",

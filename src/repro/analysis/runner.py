@@ -1,8 +1,10 @@
 """Analysis driver: file discovery, rule execution, suppression, CLI.
 
 ``python -m repro.analysis src`` (or ``ropus lint``) walks the given
-paths, parses every ``.py`` file once, runs each enabled rule's visitor
-over the tree, then applies the two suppression layers:
+paths, parses every ``.py`` file once, runs each enabled module rule's
+visitor over the tree, then runs the project-scope rules (ROP013+,
+built on the interprocedural effect engine) over the whole parsed set,
+and finally applies the two suppression layers:
 
 * inline ``# ropus: ignore`` / ``# ropus: ignore[ROP001]`` comments on
   the flagged line;
@@ -17,6 +19,7 @@ from __future__ import annotations
 import argparse
 import ast
 import re
+import subprocess
 import sys
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -31,7 +34,7 @@ from repro.analysis.config import (
 )
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.reporters import render_json, render_sarif, render_text
-from repro.analysis.rules.base import ModuleContext, iter_rule_classes
+from repro.analysis.rules.base import ModuleContext, Rule, iter_rule_classes
 from repro.exceptions import ConfigurationError
 
 #: Inline suppression marker: ``# ropus: ignore`` silences every rule on
@@ -109,54 +112,103 @@ def _inline_suppressed(finding: Finding, source_lines: list[str]) -> bool:
     return finding.rule in listed
 
 
-def analyze_file(
-    path: Path, config: AnalysisConfig
-) -> tuple[list[Finding], int]:
-    """Run every enabled rule over one file.
-
-    Returns ``(findings, inline_suppressed_count)``. A file that does
-    not parse yields a single ``ROP000`` syntax-error finding rather
-    than aborting the run.
-    """
+def _parse_module(path: Path) -> tuple[ModuleContext | None, Finding | None]:
+    """Parse one file into a ModuleContext, or a ROP000 finding."""
     display = _display_path(path)
     source = path.read_text(encoding="utf-8")
     source_lines = source.splitlines()
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as error:
-        return (
-            [
-                Finding(
-                    path=display,
-                    line=error.lineno or 1,
-                    column=(error.offset or 0) + 1,
-                    rule="ROP000",
-                    message=f"file does not parse: {error.msg}",
-                    hint="fix the syntax error; no rules were run",
-                )
-            ],
-            0,
+        return None, Finding(
+            path=display,
+            line=error.lineno or 1,
+            column=(error.offset or 0) + 1,
+            rule="ROP000",
+            message=f"file does not parse: {error.msg}",
+            hint="fix the syntax error; no rules were run",
         )
-
-    context = ModuleContext(
-        path=path, display_path=display, tree=tree, source_lines=source_lines
+    return (
+        ModuleContext(
+            path=path,
+            display_path=display,
+            tree=tree,
+            source_lines=source_lines,
+        ),
+        None,
     )
+
+
+def _apply_severity(finding: Finding, config: AnalysisConfig) -> Finding:
+    severity = config.severity_for(finding.rule, finding.severity)
+    if severity is not finding.severity:
+        return replace(finding, severity=severity)
+    return finding
+
+
+def _run_module_rules(
+    context: ModuleContext, config: AnalysisConfig
+) -> list[Finding]:
     raw: list[Finding] = []
     for rule_class in iter_rule_classes():
+        if rule_class.scope != "module":
+            continue
         if not config.rule_enabled(rule_class.rule_id):
             continue
         if not rule_class.applies_to(context):
             continue
         for finding in rule_class(context).check():
-            severity = config.severity_for(finding.rule, finding.severity)
-            if severity is not finding.severity:
-                finding = replace(finding, severity=severity)
-            raw.append(finding)
+            raw.append(_apply_severity(finding, config))
+    return raw
 
+
+def _run_project_rules(
+    contexts: Sequence[ModuleContext], config: AnalysisConfig
+) -> list[Finding]:
+    """Run every enabled project-scope rule over the parsed set.
+
+    The effect inference inside :class:`ProjectContext` is lazy, so a
+    run with every project rule deselected never builds the call graph.
+    """
+    rule_classes: list[type[Rule]] = [
+        rule_class
+        for rule_class in iter_rule_classes()
+        if rule_class.scope == "project"
+        and config.rule_enabled(rule_class.rule_id)
+    ]
+    if not rule_classes or not contexts:
+        return []
+    from repro.analysis.effects.project import ProjectContext
+
+    project = ProjectContext(list(contexts))
+    raw: list[Finding] = []
+    for rule_class in rule_classes:
+        for finding in rule_class(project).check():  # type: ignore[call-arg]
+            raw.append(_apply_severity(finding, config))
+    return raw
+
+
+def analyze_file(
+    path: Path, config: AnalysisConfig
+) -> tuple[list[Finding], int]:
+    """Run every enabled rule over one file.
+
+    Returns ``(findings, inline_suppressed_count)``. Project-scope
+    rules run with the single file as the whole project, so
+    intra-module interprocedural findings still surface. A file that
+    does not parse yields a single ``ROP000`` syntax-error finding
+    rather than aborting the run.
+    """
+    context, parse_error = _parse_module(path)
+    if context is None:
+        return [parse_error] if parse_error is not None else [], 0
+
+    raw = _run_module_rules(context, config)
+    raw.extend(_run_project_rules([context], config))
     findings = [
         finding
         for finding in raw
-        if not _inline_suppressed(finding, source_lines)
+        if not _inline_suppressed(finding, context.source_lines)
     ]
     return findings, len(raw) - len(findings)
 
@@ -167,12 +219,29 @@ def analyze_paths(
     """Analyze files/directories and apply every suppression layer."""
     config = config if config is not None else AnalysisConfig()
     files = iter_python_files([Path(path) for path in paths], config)
-    findings: list[Finding] = []
-    inline_suppressed = 0
+    raw: list[Finding] = []
+    contexts: list[ModuleContext] = []
+    sources: dict[str, list[str]] = {}
     for path in files:
-        file_findings, suppressed = analyze_file(path, config)
-        findings.extend(file_findings)
-        inline_suppressed += suppressed
+        context, parse_error = _parse_module(path)
+        if context is None:
+            if parse_error is not None:
+                raw.append(parse_error)
+            continue
+        contexts.append(context)
+        sources[context.display_path] = context.source_lines
+        raw.extend(_run_module_rules(context, config))
+
+    raw.extend(_run_project_rules(contexts, config))
+
+    findings = [
+        finding
+        for finding in raw
+        if not _inline_suppressed(
+            finding, sources.get(finding.path, [])
+        )
+    ]
+    inline_suppressed = len(raw) - len(findings)
 
     baseline_suppressed = 0
     if config.baseline is not None and config.baseline.exists():
@@ -187,6 +256,53 @@ def analyze_paths(
         suppressed_baseline=baseline_suppressed,
         files_analyzed=len(files),
     )
+
+
+def changed_python_files(roots: Sequence[Path]) -> list[Path]:
+    """Python files touched relative to ``HEAD``, scoped to ``roots``.
+
+    Union of worktree+index modifications and untracked files, so the
+    mode sees exactly what a ``git commit -a`` would ship. Deleted
+    files drop out naturally (they no longer exist on disk). Project
+    rules then see *only* the changed files, which keeps the mode fast
+    at the cost of cross-module edges into unchanged code — the full
+    run in CI retains complete coverage.
+    """
+    names: set[str] = set()
+    for command in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                command, capture_output=True, text=True, check=False
+            )
+        except OSError as error:  # pragma: no cover - git missing
+            raise ConfigurationError(
+                f"--changed requires git: {error}"
+            ) from error
+        if proc.returncode != 0:
+            raise ConfigurationError(
+                "--changed requires a git checkout: "
+                + proc.stderr.strip()
+            )
+        names.update(
+            line.strip() for line in proc.stdout.splitlines() if line.strip()
+        )
+
+    resolved_roots = [root.resolve() for root in roots]
+    selected: list[Path] = []
+    for name in sorted(names):
+        candidate = Path(name)
+        if candidate.suffix != ".py" or not candidate.is_file():
+            continue
+        resolved = candidate.resolve()
+        if any(
+            resolved == root or root in resolved.parents
+            for root in resolved_roots
+        ):
+            selected.append(candidate)
+    return selected
 
 
 def add_analysis_arguments(parser: argparse.ArgumentParser) -> None:
@@ -222,6 +338,20 @@ def add_analysis_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--write-baseline", action="store_true",
         help="record current findings into --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help=(
+            "prune baseline entries that no longer match a finding "
+            "(listing each stale suppression) and exit 0"
+        ),
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help=(
+            "analyze only files changed relative to git HEAD "
+            "(scoped to the given paths)"
+        ),
     )
     parser.add_argument(
         "--no-config", action="store_true",
@@ -273,22 +403,45 @@ def run_analysis_command(args: argparse.Namespace) -> int:
             baseline=args.baseline,
             pyproject=pyproject,
         )
-        if args.write_baseline:
+        paths: Sequence[str | Path] = args.paths
+        if getattr(args, "changed", False):
+            paths = changed_python_files(
+                [Path(path) for path in args.paths]
+            )
+            if not paths:
+                sys.stdout.write("no changed Python files to analyze\n")
+                return 0
+        if args.write_baseline or getattr(args, "update_baseline", False):
             if config.baseline is None:
                 raise ConfigurationError(
-                    "--write-baseline requires --baseline PATH"
+                    "--write-baseline/--update-baseline require "
+                    "--baseline PATH"
                 )
             # Record findings pre-baseline so the file is complete.
             scan_config = replace(config, baseline=None)
-            result = analyze_paths(args.paths, scan_config)
-            count = baseline_module.write_baseline(
+            result = analyze_paths(paths, scan_config)
+            if args.write_baseline:
+                count = baseline_module.write_baseline(
+                    result.findings, config.baseline
+                )
+                sys.stdout.write(
+                    f"wrote {count} suppression(s) to {config.baseline}\n"
+                )
+                return 0
+            kept, stale = baseline_module.prune_baseline(
                 result.findings, config.baseline
             )
+            for rule, file_path, message in stale:
+                sys.stderr.write(
+                    f"warning: stale suppression pruned: "
+                    f"{rule} {file_path}: {message}\n"
+                )
             sys.stdout.write(
-                f"wrote {count} suppression(s) to {config.baseline}\n"
+                f"baseline {config.baseline}: kept {kept} "
+                f"suppression(s), pruned {len(stale)} stale\n"
             )
             return 0
-        result = analyze_paths(args.paths, config)
+        result = analyze_paths(paths, config)
     except ConfigurationError as error:
         sys.stderr.write(f"repro.analysis: {error}\n")
         return 2

@@ -43,6 +43,13 @@ _WORKER_SHARED: Any = None
 
 def _install_shared(payload: Any) -> None:
     global _WORKER_SHARED
+    if os.environ.get("ROPUS_SANITIZE") == "1":
+        # Arm the determinism sanitizer before any work runs in this
+        # process (the env var is inherited from the driver). Imported
+        # lazily so unsanitized runs never load the analysis package.
+        from repro.analysis.sanitizer import maybe_install
+
+        maybe_install()
     _WORKER_SHARED = resolve(payload)
 
 

@@ -74,3 +74,13 @@ class InvariantError(ROpusError):
     checked with an explicit raise (enforced by the ``no-bare-assert``
     rule of :mod:`repro.analysis`).
     """
+
+
+class DeterminismViolation(ROpusError):
+    """Worker code touched an ambient nondeterminism source at runtime.
+
+    Raised by :mod:`repro.analysis.sanitizer` (armed in pool workers
+    under ``ROPUS_SANITIZE=1``) when a work unit reads the wall clock
+    or draws from process-ambient RNG state — the dynamic counterpart
+    of the static ROP013 rule.
+    """

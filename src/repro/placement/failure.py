@@ -103,6 +103,16 @@ class _FailureSweepPayload:
     kernel: str = "batch"
     share_cache: bool = True
 
+    def __getstate__(self) -> dict:
+        # The lazily attached scratch (see ``_scratch_for``) holds live
+        # evaluators; it must never cross a process boundary.
+        state = dict(self.__dict__)
+        state.pop("_scratch", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
 
 class _SweepScratch:
     """Process-local memo shared across one sweep's what-if cases.
@@ -124,21 +134,23 @@ class _SweepScratch:
         self.evaluators: dict = {}
 
 
-#: One scratch per live payload (keyed by id; the payload is kept
-#: referenced so the id cannot be recycled). A new sweep's payload
-#: evicts the previous scratch, bounding worker-resident memory.
-_SWEEP_SCRATCH: dict[int, tuple[_FailureSweepPayload, _SweepScratch]] = {}
-
-
 def _scratch_for(payload: _FailureSweepPayload) -> _SweepScratch | None:
+    """The payload's scratch, attached lazily to the payload itself.
+
+    Each worker process unpickles its own payload copy (broadcast once
+    per session), so hanging the scratch off that copy keeps it
+    process-local without any module-level registry — the scratch's
+    lifetime is exactly the payload's, and a new sweep starts cold by
+    construction. ``object.__setattr__`` is the sanctioned escape
+    hatch for caching on a frozen dataclass.
+    """
     if not payload.share_cache:
         return None
-    entry = _SWEEP_SCRATCH.get(id(payload))
-    if entry is None or entry[0] is not payload:
-        _SWEEP_SCRATCH.clear()
-        entry = (payload, _SweepScratch())
-        _SWEEP_SCRATCH[id(payload)] = entry
-    return entry[1]
+    scratch = getattr(payload, "_scratch", None)
+    if scratch is None:
+        scratch = _SweepScratch()
+        object.__setattr__(payload, "_scratch", scratch)
+    return scratch
 
 
 def _failure_case_worker(

@@ -1,0 +1,21 @@
+"""ROP016 positive fixture: payloads that break bit-stable round-trips."""
+
+import time
+
+
+def save_progress(checkpointer, generation, scores):
+    payload = {
+        "generation": generation,
+        "scores": list(scores),
+        "saved_at": time.time(),
+        "tags": {"elite", "mutated"},
+    }
+    checkpointer.save("progress", payload)
+
+
+def _build_summary(best):
+    return {"best": best, "sentinel": float("nan")}
+
+
+def save_summary(checkpointer, best):
+    checkpointer.save("summary", _build_summary(best))

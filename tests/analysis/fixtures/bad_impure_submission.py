@@ -1,0 +1,39 @@
+"""ROP013 positive fixture: transitively impure executor work units.
+
+The impurity is deliberately buried one call deep — the submitted
+callable itself looks innocent, which is exactly the case the
+module-local ROP004 heuristics cannot see and the interprocedural
+effect engine can.
+"""
+
+import random
+import time
+
+_COMPLETED = 0
+
+
+def _draw():
+    # Ambient RNG two frames below the submission site.
+    return random.random()
+
+
+def rng_worker(shared, item):
+    return _draw() + item
+
+
+def clock_worker(shared, item):
+    return time.time() + item
+
+
+def counting_worker(shared, item):
+    global _COMPLETED
+    _COMPLETED += 1
+    return item
+
+
+def fan_out(executor, items):
+    with executor.session(0) as session:
+        first = list(session.map(rng_worker, items))
+        second = list(session.map(clock_worker, items))
+        third = list(session.map(counting_worker, items))
+    return first, second, third

@@ -1,0 +1,19 @@
+"""ROP014 positive fixture: set iteration order flowing into sinks."""
+
+import hashlib
+import json
+
+
+def plan_fingerprint(names):
+    unique = set(names)
+    # Iteration order of a set is not reproducible across runs, and it
+    # lands verbatim in the hash input.
+    ordered = [name for name in unique]
+    return hashlib.sha256(json.dumps(ordered).encode("utf-8")).hexdigest()
+
+
+def persist_assignments(checkpointer, assignments):
+    placed = []
+    for server in {server for server, _ in assignments}:
+        placed.append(server)
+    checkpointer.save("servers", {"servers": placed})

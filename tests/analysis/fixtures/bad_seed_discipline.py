@@ -1,0 +1,23 @@
+"""ROP015 positive fixture: RNG objects crossing boundaries."""
+
+import numpy as np
+
+from repro.util.rng import derive_rng
+
+
+def worker(shared, item):
+    rng, value = item
+    return float(rng.normal()) + value
+
+
+def fan_out(executor, items, seed):
+    rng = derive_rng(seed)
+    # Every worker unpickles a copy of the same generator: the streams
+    # collide instead of being independent.
+    with executor.session(0) as session:
+        return list(session.map(worker, [(rng, item) for item in items]))
+
+
+def persist(checkpointer, rng: np.random.Generator) -> None:
+    # Generators are not JSON values; checkpoint their state, not them.
+    checkpointer.save("rng", {"rng": rng})

@@ -1,0 +1,20 @@
+"""ROP016 negative fixture: payloads built from stable values only."""
+
+
+def save_progress(checkpointer, generation, scores, tags):
+    payload = {
+        "generation": generation,
+        "scores": list(scores),
+        "tags": sorted(set(tags)),
+        "best": max(scores),
+    }
+    checkpointer.save("progress", payload)
+
+
+def _build_summary(best, elapsed_seconds):
+    # Timing measured by the driver arrives as a plain float argument.
+    return {"best": best, "elapsed_seconds": elapsed_seconds}
+
+
+def save_summary(checkpointer, best, elapsed_seconds):
+    checkpointer.save("summary", _build_summary(best, elapsed_seconds))

@@ -1,0 +1,29 @@
+"""ROP013 negative fixture: determinism threaded through arguments.
+
+Workers draw only from generators derived from explicit per-item
+seeds, and all timing happens in the driver.
+"""
+
+from repro.util.rng import derive_rng
+
+
+def _scale(value, factor):
+    return value * factor
+
+
+def seeded_worker(shared, item):
+    seed, value = item
+    rng = derive_rng(seed)
+    return float(rng.normal()) + _scale(value, shared)
+
+
+def pure_worker(shared, item):
+    return _scale(item, shared)
+
+
+def fan_out(executor, items, base_seed):
+    pairs = [(base_seed + index, item) for index, item in enumerate(items)]
+    with executor.session(2) as session:
+        drawn = list(session.map(seeded_worker, pairs))
+        scaled = list(session.map(pure_worker, items))
+    return drawn, scaled

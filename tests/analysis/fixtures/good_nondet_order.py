@@ -1,0 +1,22 @@
+"""ROP014 negative fixture: orders are materialized before the sinks."""
+
+import hashlib
+import json
+
+
+def plan_fingerprint(names):
+    ordered = sorted(set(names))
+    return hashlib.sha256(json.dumps(ordered).encode("utf-8")).hexdigest()
+
+
+def persist_assignments(checkpointer, assignments):
+    placed = sorted({server for server, _ in assignments})
+    checkpointer.save("servers", {"servers": placed})
+
+
+def membership_only(names, candidates):
+    # Sets used purely for membership never iterate, so they are fine
+    # even in a hashing function.
+    allowed = set(names)
+    kept = [name for name in candidates if name in allowed]
+    return hashlib.sha256("".join(kept).encode("utf-8")).hexdigest()

@@ -1,0 +1,22 @@
+"""ROP015 negative fixture: integer seeds cross, generators do not."""
+
+import numpy as np
+
+from repro.util.rng import derive_rng
+
+
+def worker(shared, item):
+    seed, value = item
+    rng = derive_rng(seed)
+    return float(rng.normal()) + value
+
+
+def fan_out(executor, items, base_seed):
+    pairs = [(base_seed + index, item) for index, item in enumerate(items)]
+    with executor.session(0) as session:
+        return list(session.map(worker, pairs))
+
+
+def persist(checkpointer, rng: np.random.Generator) -> None:
+    # Explicit state extraction is the sanctioned checkpoint form.
+    checkpointer.save("rng", {"state": rng.bit_generator.state})

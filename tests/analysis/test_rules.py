@@ -29,6 +29,10 @@ RULE_FIXTURES = [
     ("ROP010", "bad_unconverted_return.py", "good_unconverted_return.py"),
     ("ROP011", "bad_unvalidated_boundary.py", "good_unvalidated_boundary.py"),
     ("ROP012", "bad_swallowed_failure.py", "good_swallowed_failure.py"),
+    ("ROP013", "bad_impure_submission.py", "good_impure_submission.py"),
+    ("ROP014", "bad_nondet_order.py", "good_nondet_order.py"),
+    ("ROP015", "bad_seed_discipline.py", "good_seed_discipline.py"),
+    ("ROP016", "bad_checkpoint_payload.py", "good_checkpoint_payload.py"),
 ]
 
 

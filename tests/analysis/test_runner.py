@@ -240,3 +240,146 @@ class TestExitCodes:
             text=True,
         )
         assert dirty.returncode == 1, dirty.stdout + dirty.stderr
+
+
+class TestUpdateBaseline:
+    _VIOLATING = "import time\n\n\ndef stamped():\n    return time.time()\n"
+    _CLEAN = "def stamped(now):\n    return now\n"
+
+    def test_prunes_stale_entries_with_warning(self, tmp_path, capsys):
+        subject = tmp_path / "subject.py"
+        subject.write_text(self._VIOLATING, encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            [
+                str(subject),
+                "--baseline",
+                str(baseline),
+                "--write-baseline",
+                "--no-config",
+            ]
+        ) == 0
+        # Pay the debt: the baselined finding no longer exists.
+        subject.write_text(self._CLEAN, encoding="utf-8")
+        assert main(
+            [
+                str(subject),
+                "--baseline",
+                str(baseline),
+                "--update-baseline",
+                "--no-config",
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "stale suppression pruned" in captured.err
+        assert "ROP002" in captured.err
+        assert "pruned 1 stale" in captured.out
+
+        from repro.analysis import load_baseline
+
+        assert load_baseline(baseline) == set()
+
+    def test_keeps_live_entries_and_never_adds(self, tmp_path, capsys):
+        subject = tmp_path / "subject.py"
+        subject.write_text(self._VIOLATING, encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            [
+                str(subject),
+                "--baseline",
+                str(baseline),
+                "--write-baseline",
+                "--no-config",
+            ]
+        ) == 0
+        # Introduce a *new* violation alongside the baselined one.
+        subject.write_text(
+            self._VIOLATING + "\n\ndef drawn():\n    import random\n"
+            "    return random.random()\n",
+            encoding="utf-8",
+        )
+        assert main(
+            [
+                str(subject),
+                "--baseline",
+                str(baseline),
+                "--update-baseline",
+                "--no-config",
+            ]
+        ) == 0
+        assert "pruned 0 stale" in capsys.readouterr().out
+
+        from repro.analysis import load_baseline
+
+        kept = load_baseline(baseline)
+        assert {rule for rule, _, _ in kept} == {"ROP002"}
+        # The run with the pruned baseline still fails on the new debt.
+        code = main(
+            [str(subject), "--baseline", str(baseline), "--no-config"]
+        )
+        assert code == 1
+
+    def test_update_requires_baseline_path(self, tmp_path, capsys):
+        subject = tmp_path / "subject.py"
+        subject.write_text(self._CLEAN, encoding="utf-8")
+        assert main([str(subject), "--update-baseline", "--no-config"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+
+class TestChangedMode:
+    @staticmethod
+    def _git(repo: Path, *args: str) -> None:
+        subprocess.run(
+            [
+                "git",
+                "-c",
+                "user.email=test@example.com",
+                "-c",
+                "user.name=test",
+                *args,
+            ],
+            cwd=repo,
+            check=True,
+            capture_output=True,
+        )
+
+    def test_changed_scopes_to_modified_files(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        repo = tmp_path / "repo"
+        repo.mkdir()
+        self._git(repo, "init", "-q")
+        committed = repo / "committed.py"
+        committed.write_text(
+            "import time\n\n\ndef old():\n    return time.time()\n",
+            encoding="utf-8",
+        )
+        self._git(repo, "add", "committed.py")
+        self._git(repo, "commit", "-q", "-m", "seed")
+
+        fresh = repo / "fresh.py"
+        fresh.write_text(
+            "import random\n\n\ndef draw():\n    return random.random()\n",
+            encoding="utf-8",
+        )
+        monkeypatch.chdir(repo)
+        # Only the untracked file is analyzed: the committed violation
+        # stays invisible to --changed.
+        assert main([".", "--changed", "--no-config"]) == 1
+        out = capsys.readouterr().out
+        assert "fresh.py" in out
+        assert "committed.py" not in out
+
+    def test_changed_with_clean_tree_is_a_noop(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        repo = tmp_path / "repo"
+        repo.mkdir()
+        self._git(repo, "init", "-q")
+        module = repo / "module.py"
+        module.write_text("def identity(x):\n    return x\n", encoding="utf-8")
+        self._git(repo, "add", "module.py")
+        self._git(repo, "commit", "-q", "-m", "seed")
+        monkeypatch.chdir(repo)
+        assert main([".", "--changed", "--no-config"]) == 0
+        assert "no changed Python files" in capsys.readouterr().out
