@@ -1,0 +1,140 @@
+"""On-disk cache for the project-scope analysis passes.
+
+The module rules are cheap — one AST visitor per file. The project
+rules are not: they build the interprocedural call graph, run the
+effect fixpoint, and run the typestate checker's per-function CFG
+fixpoints. On an unchanged tree that work is fully determined by the
+file contents and the rule set, so the runner memoises the *project
+findings* under ``.ropus_cache/``:
+
+* the key is a digest over a cache-format version, the enabled
+  project-rule ids, each rule's severity (overrides change rendered
+  findings), and every analyzed file's ``(display_path, content
+  digest)`` pair — editing any byte of any file, or changing rule
+  selection, produces a fresh key;
+* a hit replays the stored findings without building the project at
+  all; a miss computes and stores them;
+* entries are self-contained JSON; deleting the directory is always
+  safe, and ``--no-cache`` (or ``cache_dir=None``) bypasses it.
+
+Only project findings are cached — inline/baseline suppression and
+severity resolution already happened upstream of the store, and module
+rules are too cheap to be worth invalidation complexity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules.base import ModuleContext
+
+#: Bumped whenever cached content would be misread by newer code.
+CACHE_VERSION = 1
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = Path(".ropus_cache")
+
+
+def project_cache_key(
+    contexts: Sequence[ModuleContext],
+    rule_ids: Sequence[str],
+    severities: Sequence[str],
+) -> str:
+    """Content-addressed key for one project-rule pass."""
+    digest = hashlib.sha256()
+    digest.update(f"v{CACHE_VERSION}".encode())
+    for rule_id, severity in zip(rule_ids, severities):
+        digest.update(f"|{rule_id}={severity}".encode())
+    for context in sorted(contexts, key=lambda c: c.display_path):
+        content = "\n".join(context.source_lines).encode("utf-8")
+        file_digest = hashlib.sha256(content).hexdigest()
+        digest.update(f"|{context.display_path}:{file_digest}".encode())
+    return digest.hexdigest()
+
+
+def _entry_path(cache_dir: Path, key: str) -> Path:
+    return cache_dir / f"project-{key}.json"
+
+
+def load_project_findings(
+    cache_dir: Path, key: str
+) -> list[Finding] | None:
+    """The cached findings for ``key``, or ``None`` on miss/corruption."""
+    try:
+        text = _entry_path(cache_dir, key).read_text(encoding="utf-8")
+    except OSError:
+        return None
+    try:
+        document = json.loads(text)
+        if document["version"] != CACHE_VERSION:
+            return None
+        return [
+            Finding(
+                path=str(entry["path"]),
+                line=int(entry["line"]),
+                column=int(entry["column"]),
+                rule=str(entry["rule"]),
+                message=str(entry["message"]),
+                hint=str(entry["hint"]),
+                severity=Severity(str(entry["severity"])),
+            )
+            for entry in document["findings"]
+        ]
+    except (ValueError, KeyError, TypeError):
+        # Corrupt entries read as misses; the rewrite below heals them.
+        return None
+
+
+def store_project_findings(
+    cache_dir: Path, key: str, findings: Sequence[Finding]
+) -> None:
+    """Persist ``findings`` under ``key``; failures are non-fatal."""
+    document = {
+        "version": CACHE_VERSION,
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "column": finding.column,
+                "rule": finding.rule,
+                "message": finding.message,
+                "hint": finding.hint,
+                "severity": finding.severity.value,
+            }
+            for finding in findings
+        ],
+    }
+    try:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename so a concurrent reader never sees a torn
+        # entry (same journaling discipline as the checkpoint store).
+        fd, tmp_name = tempfile.mkstemp(
+            dir=cache_dir, suffix=".tmp", prefix="project-"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(document, handle)
+            os.replace(tmp_name, _entry_path(cache_dir, key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass  # the stray .tmp entry is harmless
+            raise
+    except OSError:
+        return  # a read-only checkout just runs uncached
+
+
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "load_project_findings",
+    "project_cache_key",
+    "store_project_findings",
+]

@@ -45,6 +45,9 @@ class AnalysisConfig:
     exclude: tuple[str, ...] = ()
     baseline: Path | None = None
     severity_overrides: Mapping[str, Severity] = field(default_factory=dict)
+    #: Where project-pass results are memoised; ``None`` disables the
+    #: cache entirely (the ``--no-cache`` escape hatch).
+    cache_dir: Path | None = Path(".ropus_cache")
 
     def rule_enabled(self, rule_id: str) -> bool:
         if rule_id in self.ignore:
@@ -114,6 +117,7 @@ def resolve_config(
     exclude: Sequence[str] | None = None,
     baseline: str | Path | None = None,
     pyproject: Mapping[str, Any] | None = None,
+    no_cache: bool = False,
 ) -> AnalysisConfig:
     """Merge pyproject defaults with explicit (CLI) overrides."""
     pyproject = pyproject or {}
@@ -129,6 +133,12 @@ def resolve_config(
         exclude = [str(item) for item in raw]
     if baseline is None and "baseline" in pyproject:
         baseline = str(pyproject["baseline"])
+
+    cache_dir: Path | None = Path(".ropus_cache")
+    if "cache-dir" in pyproject:
+        cache_dir = Path(str(pyproject["cache-dir"]))
+    if no_cache:
+        cache_dir = None
 
     overrides: dict[str, Severity] = {}
     for rule_id, name in dict(pyproject.get("severity", {})).items():
@@ -154,4 +164,5 @@ def resolve_config(
         exclude=tuple(exclude or ()),
         baseline=Path(baseline) if baseline is not None else None,
         severity_overrides=overrides,
+        cache_dir=cache_dir,
     )

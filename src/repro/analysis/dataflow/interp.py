@@ -797,7 +797,11 @@ def _analyze_function(
             cfg.blocks[index].statements, in_envs[index]
         )
         for edge in cfg.successors(index):
-            candidate = out_env
+            # Exception edges fire before the raising statement
+            # completes; propagate the block's entry state along them
+            # (may-raise statements sit in singleton blocks, so this is
+            # exactly the pre-statement state).
+            candidate = in_envs[index] if edge.kind == "exception" else out_env
             if edge.guard is not None:
                 candidate = interpreter.refine(
                     edge.guard, edge.guard_value, out_env

@@ -31,7 +31,7 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, Mapping
+from typing import Any, Iterator, Mapping
 
 from repro.analysis.effects.intrinsics import (
     NONDET_LISTING_CALLS,
@@ -657,6 +657,7 @@ class ProjectContext:
     def __init__(self, modules: list[ModuleContext]) -> None:
         self.modules = modules
         self._project: EffectProject | None = None
+        self._typestate: "list[Any] | None" = None
 
     @property
     def effects(self) -> EffectProject:
@@ -667,6 +668,20 @@ class ProjectContext:
             infer_effects(project)
             self._project = project
         return self._project
+
+    @property
+    def typestate(self) -> "list[Any]":
+        """Typestate findings, computed once and shared by ROP017–ROP020.
+
+        The four lifecycle rules each filter one category out of the
+        same checker run, so the CFG fixpoints execute once per
+        analysis, not once per rule.
+        """
+        if self._typestate is None:
+            from repro.analysis.typestate.checker import check_project
+
+            self._typestate = check_project(self.effects)
+        return self._typestate
 
 
 #: Re-exported for rule modules that need the same receiver heuristic.

@@ -15,6 +15,7 @@ from repro.analysis.rules import (  # noqa: F401  (imported for registration)
     seed_discipline,
     shared_mutation,
     swallowed_failure,
+    typestate_rules,
     unit_flow,
     wall_clock,
 )

@@ -30,6 +30,19 @@ class BareAssertRule(Rule):
         "raise a repro.exceptions error (e.g. InvariantError) with a "
         "message naming the violated invariant"
     )
+    rationale: ClassVar[str] = (
+        "assert statements vanish under python -O, so an invariant "
+        "guarded only by assert is unguarded in optimized "
+        "deployments; a bare assert also raises a message-free "
+        "AssertionError that names nothing about what went wrong."
+    )
+    example_bad: ClassVar[str] = (
+        "assert demand >= 0"
+    )
+    example_good: ClassVar[str] = (
+        "if demand < 0:\n"
+        "    raise InvariantError(f'negative demand: {demand}')"
+    )
 
     @classmethod
     def applies_to(cls, context: ModuleContext) -> bool:

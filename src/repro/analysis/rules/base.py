@@ -124,6 +124,13 @@ class Rule(ast.NodeVisitor):
     name: ClassVar[str] = "abstract"
     description: ClassVar[str] = ""
     hint: ClassVar[str] = ""
+    #: Why the invariant matters in this codebase — shown by
+    #: ``ropus lint --explain ROPxxx`` alongside the examples.
+    rationale: ClassVar[str] = ""
+    #: A minimal violating snippet (``--explain`` prints it verbatim).
+    example_bad: ClassVar[str] = ""
+    #: The sanctioned equivalent of :attr:`example_bad`.
+    example_good: ClassVar[str] = ""
     default_severity: ClassVar[Severity] = Severity.ERROR
     #: ``module`` rules visit one file at a time; ``project`` rules
     #: (see :class:`ProjectRule`) run once over the whole analyzed

@@ -67,6 +67,23 @@ class TransitivelyImpureSubmission(ProjectRule):
         "timestamps in the driver, and pass state explicitly instead "
         "of mutating module globals from workers."
     )
+    rationale: ClassVar[str] = (
+        "The impurity may live three calls below the submitted "
+        "function, where no module-scope rule can see it; the effect "
+        "fixpoint propagates it to the submission site, which is the "
+        "one place the fix (threading seeds and clocks through "
+        "arguments) must be applied."
+    )
+    example_bad: ClassVar[str] = (
+        "def run_shard(shard):\n"
+        "    return simulate(shard)  # simulate() uses random.random\n"
+        "pool.submit(run_shard, shard)"
+    )
+    example_good: ClassVar[str] = (
+        "def run_shard(shard, seed):\n"
+        "    return simulate(shard, derive_rng(seed))\n"
+        "pool.submit(run_shard, shard, derive_shard_seed(base, i))"
+    )
     default_severity: ClassVar[Severity] = Severity.ERROR
 
     def check(self) -> list[Finding]:
@@ -133,6 +150,21 @@ class NondetOrderIntoDecision(ProjectRule):
         "Materialize a stable order first: sorted(the_set), "
         "sorted(os.listdir(...)), or keep the data in an "
         "insertion-ordered list/dict from the start."
+    )
+    rationale: ClassVar[str] = (
+        "Set iteration order varies with hash seeding and insertion "
+        "history, so a greedy pass that walks a set picks different "
+        "winners run to run — same seed, different placement plan. "
+        "Decisions, checkpoints, and hashes must consume a "
+        "materialized, sorted order."
+    )
+    example_bad: ClassVar[str] = (
+        "for app in pending_apps:  # a set\n"
+        "    assign(app, best_node(app))"
+    )
+    example_good: ClassVar[str] = (
+        "for app in sorted(pending_apps, key=lambda a: a.name):\n"
+        "    assign(app, best_node(app))"
     )
     default_severity: ClassVar[Severity] = Severity.ERROR
 
@@ -205,6 +237,21 @@ class UnstableCheckpointPayload(ProjectRule):
         "instead of sets, explicit seeds or bit_generator.state "
         "instead of fresh draws, and no timestamps inside the payload "
         "(log them outside the checkpoint instead)."
+    )
+    rationale: ClassVar[str] = (
+        "Resume correctness depends on the checkpoint meaning the "
+        "same thing when read back: a set loses its order, a "
+        "timestamp never matches, and a fresh RNG draw differs every "
+        "write — each one makes resumed runs diverge from "
+        "uninterrupted ones."
+    )
+    example_bad: ClassVar[str] = (
+        "save_checkpoint({'done': done_set,\n"
+        "                 'at': time.time()})"
+    )
+    example_good: ClassVar[str] = (
+        "save_checkpoint({'done': sorted(done_set)})\n"
+        "log.info('checkpoint at %s', time.time())"
     )
     default_severity: ClassVar[Severity] = Severity.ERROR
 

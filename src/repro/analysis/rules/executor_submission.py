@@ -70,6 +70,21 @@ class ExecutorSubmissionRule(Rule):
         "define the work unit as a module-level function fn(shared, item) "
         "and pass data through the shared payload"
     )
+    rationale: ClassVar[str] = (
+        "Closures and lambdas submitted to a process pool either fail "
+        "to pickle outright or drag their enclosing scope across the "
+        "process boundary, smuggling unshared mutable state into "
+        "workers. Module-level work units keep the payload explicit "
+        "and picklable."
+    )
+    example_bad: ClassVar[str] = (
+        "pool.submit(lambda: score(plan, weights))"
+    )
+    example_good: ClassVar[str] = (
+        "def score_plan(shared, plan):\n"
+        "    return score(plan, shared.weights)\n"
+        "# pool.submit(score_plan, shared, plan)"
+    )
 
     _nested_names: set[str]
 

@@ -42,6 +42,21 @@ class FloatEqualityRule(Rule):
         "use repro.util.floats.isclose / is_zero / at_most with an "
         "explicit tolerance"
     )
+    rationale: ClassVar[str] = (
+        "Exact == on floats flips with summation order, BLAS builds, "
+        "and optimization levels — the degradation and compliance "
+        "fractions here are all products of float arithmetic. A "
+        "tolerance-based comparison states the intended precision "
+        "instead of relying on bit-identical rounding."
+    )
+    example_bad: ClassVar[str] = (
+        "if utilization == 1.0:\n"
+        "    mark_saturated(node)"
+    )
+    example_good: ClassVar[str] = (
+        "if isclose(utilization, 1.0):\n"
+        "    mark_saturated(node)"
+    )
 
     def visit_Compare(self, node: ast.Compare) -> None:
         operands = [node.left, *node.comparators]

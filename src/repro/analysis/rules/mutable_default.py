@@ -41,6 +41,21 @@ class MutableDefaultRule(Rule):
         "default to None and construct the container in the body, or use "
         "dataclasses.field(default_factory=...)"
     )
+    rationale: ClassVar[str] = (
+        "A mutable default is built once at definition time and "
+        "shared by every call: state accumulated in one planning run "
+        "silently bleeds into the next, a bug that only appears on "
+        "the second invocation and never in a one-shot test."
+    )
+    example_bad: ClassVar[str] = (
+        "def plan(apps, constraints=[]):\n"
+        "    constraints.append(default_rule())"
+    )
+    example_good: ClassVar[str] = (
+        "def plan(apps, constraints=None):\n"
+        "    constraints = list(constraints or ())\n"
+        "    constraints.append(default_rule())"
+    )
 
     def _check_function(
         self, node: ast.FunctionDef | ast.AsyncFunctionDef

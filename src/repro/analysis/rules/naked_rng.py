@@ -37,6 +37,23 @@ class NakedRngRule(Rule):
         "derive a generator via repro.util.rng.derive_rng / "
         "SeedSequenceFactory and thread it through as an argument"
     )
+    rationale: ClassVar[str] = (
+        "An ambient generator makes every run a different experiment: "
+        "placement plans and synthetic workloads stop being "
+        "reproducible, and a CI failure cannot be replayed. Seeding "
+        "through derive_rng keeps each component's stream independent "
+        "and replayable from the run manifest."
+    )
+    example_bad: ClassVar[str] = (
+        "import random\n"
+        "def jitter(delay):\n"
+        "    return delay * random.random()"
+    )
+    example_good: ClassVar[str] = (
+        "def jitter(delay, rng):\n"
+        "    return delay * rng.random()\n"
+        "# caller: jitter(d, derive_rng(seed))"
+    )
 
     @classmethod
     def applies_to(cls, context: ModuleContext) -> bool:

@@ -78,6 +78,21 @@ class SeedDisciplineViolation(Rule):
         "the other side; checkpoint rng.bit_generator.state, never "
         "the generator itself."
     )
+    rationale: ClassVar[str] = (
+        "Pickling a live Generator across a process boundary forks "
+        "its stream: parent and worker continue from the same state "
+        "and draw identical 'random' numbers, correlating shards that "
+        "must be independent. Sending a derived integer seed gives "
+        "each side its own stream."
+    )
+    example_bad: ClassVar[str] = (
+        "pool.submit(run_shard, shard, rng)"
+    )
+    example_good: ClassVar[str] = (
+        "seed = derive_shard_seed(base_seed, shard.index)\n"
+        "pool.submit(run_shard, shard, seed)\n"
+        "# worker: rng = derive_rng(seed)"
+    )
     default_severity: ClassVar[Severity] = Severity.ERROR
 
     def __init__(self, context: ModuleContext) -> None:

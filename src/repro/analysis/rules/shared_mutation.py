@@ -88,6 +88,22 @@ class SharedMutationRule(Rule):
         "return new values from the work unit and fold them in the "
         "driver; keep the payload a frozen dataclass of plain data"
     )
+    rationale: ClassVar[str] = (
+        "Each pool worker mutates its own copy of the shared payload, "
+        "so writes to it are silently discarded — the driver never "
+        "sees them, and results differ from the in-process execution "
+        "path that does see them. Data must flow back through return "
+        "values."
+    )
+    example_bad: ClassVar[str] = (
+        "def work(shared, item):\n"
+        "    shared.results.append(score(item))"
+    )
+    example_good: ClassVar[str] = (
+        "def work(shared, item):\n"
+        "    return score(item)\n"
+        "# driver folds the returned scores"
+    )
 
     def check(self) -> list[Finding]:
         collector = _WorkerNameCollector()

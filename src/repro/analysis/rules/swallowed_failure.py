@@ -79,6 +79,26 @@ class SwallowedFailureRule(Rule):
         "or re-raise anything broader, and give retry loops a bounded "
         "budget that ends in an explicit raise"
     )
+    rationale: ClassVar[str] = (
+        "An except that swallows everything converts crashes into "
+        "silently wrong results: a failed shard looks like an empty "
+        "shard, and the fault-tolerance layer cannot retry what it "
+        "never saw. Narrow handlers that record or re-raise keep "
+        "failures observable."
+    )
+    example_bad: ClassVar[str] = (
+        "try:\n"
+        "    shard_result = run_shard(shard)\n"
+        "except Exception:\n"
+        "    pass"
+    )
+    example_good: ClassVar[str] = (
+        "try:\n"
+        "    shard_result = run_shard(shard)\n"
+        "except ShardTimeout as error:\n"
+        "    instrumentation.record_failure(shard, error)\n"
+        "    raise"
+    )
 
     @classmethod
     def applies_to(cls, context: ModuleContext) -> bool:

@@ -1,0 +1,192 @@
+"""Resource-lifecycle rules (ROP017–ROP020) over the typestate checker.
+
+All four rules filter one finding category out of a single shared
+checker run (cached on
+:attr:`repro.analysis.effects.project.ProjectContext.typestate`), so
+the per-function CFG fixpoints execute once per analysis regardless of
+how many of these rules are selected.
+
+The imports from the typestate package are deferred into method bodies
+for the same reason as in :mod:`repro.analysis.rules.effect_rules`:
+rule modules load while the analysis package may still be mid-import.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules.base import ProjectRule, register
+
+
+class _TypestateRule(ProjectRule):
+    """Shared plumbing: report every finding of one category."""
+
+    category: ClassVar[str] = ""
+
+    def check(self) -> list[Finding]:
+        for finding in self.project.typestate:
+            if finding.category != self.category:
+                continue
+            self.report_at(
+                path=finding.path,
+                line=finding.line,
+                column=finding.column + 1,
+                message=finding.message,
+            )
+        return self.findings
+
+
+@register
+class LeakOnPath(_TypestateRule):
+    """ROP017: a resource stays open on some path out of its function.
+
+    The paths include the exception edges the upgraded CFG models, so
+    an acquire whose release can be skipped by a raise in between is
+    flagged even when the happy path is spotless — exactly the shape
+    of the PR-5 ``broadcast.py`` SharedMemory leak.
+    """
+
+    rule_id: ClassVar[str] = "ROP017"
+    name: ClassVar[str] = "resource-leak-on-path"
+    description: ClassVar[str] = (
+        "A tracked resource (SharedMemory segment, process pool, "
+        "engine, file handle, temp file) is acquired but not released "
+        "on some path — including exception paths."
+    )
+    hint: ClassVar[str] = (
+        "Release on every path: use a with statement, a try/finally, "
+        "or transfer ownership (return it, store it on an owner, or "
+        "register it with a cleanup registry)."
+    )
+    rationale: ClassVar[str] = (
+        "A long-running planner leaks one segment, pool, or temp file "
+        "per failed request; /dev/shm fills and the shared pool "
+        "degrades for every tenant. Exception paths are where manual "
+        "audits miss releases, so the checker walks them explicitly."
+    )
+    example_bad: ClassVar[str] = (
+        "segment = SharedMemory(create=True, size=n)\n"
+        "copy_payload(segment)   # raises -> segment leaks\n"
+        "segment.unlink()"
+    )
+    example_good: ClassVar[str] = (
+        "segment = SharedMemory(create=True, size=n)\n"
+        "try:\n"
+        "    copy_payload(segment)\n"
+        "finally:\n"
+        "    segment.unlink()"
+    )
+    default_severity: ClassVar[Severity] = Severity.ERROR
+    category: ClassVar[str] = "leak"
+
+
+@register
+class UseAfterRelease(_TypestateRule):
+    """ROP018: a method call on a resource that is already released.
+
+    Reported only when the resource is released on *every* path
+    reaching the use (a must-fact), so conditional releases never
+    produce false positives.
+    """
+
+    rule_id: ClassVar[str] = "ROP018"
+    name: ClassVar[str] = "use-after-release"
+    description: ClassVar[str] = (
+        "A resource is used (method call) after it was released on "
+        "every path reaching the use."
+    )
+    hint: ClassVar[str] = (
+        "Move the use before the release, or re-acquire the resource; "
+        "released handles raise or silently misbehave."
+    )
+    rationale: ClassVar[str] = (
+        "Using a closed pool or an unlinked segment raises at best "
+        "and corrupts shared state at worst; the failure surfaces far "
+        "from the release that caused it, so the checker pins the "
+        "ordering statically."
+    )
+    example_bad: ClassVar[str] = (
+        "pool.shutdown()\n"
+        "pool.submit(task)   # pool is gone"
+    )
+    example_good: ClassVar[str] = (
+        "pool.submit(task)\n"
+        "pool.shutdown()"
+    )
+    default_severity: ClassVar[Severity] = Severity.ERROR
+    category: ClassVar[str] = "use-after-release"
+
+
+@register
+class DoubleRelease(_TypestateRule):
+    """ROP019: releasing a non-idempotent resource twice.
+
+    ``Executor.shutdown`` and ``broadcast.release`` are idempotent and
+    exempt; ``SharedMemory.unlink`` raises ``FileNotFoundError`` the
+    second time, which usually lands inside cleanup code and masks the
+    original error.
+    """
+
+    rule_id: ClassVar[str] = "ROP019"
+    name: ClassVar[str] = "double-release"
+    description: ClassVar[str] = (
+        "A resource whose release is not idempotent may be released "
+        "twice along some path."
+    )
+    hint: ClassVar[str] = (
+        "Release exactly once (single owner), or go through an "
+        "idempotent wrapper like repro.engine.broadcast.release()."
+    )
+    rationale: ClassVar[str] = (
+        "The second unlink raises inside except/finally blocks, "
+        "replacing the real error with a FileNotFoundError and "
+        "aborting the rest of the cleanup."
+    )
+    example_bad: ClassVar[str] = (
+        "segment.unlink()\n"
+        "segment.unlink()   # FileNotFoundError"
+    )
+    example_good: ClassVar[str] = (
+        "release(segment.name)  # idempotent registry release\n"
+        "release(segment.name)  # safe no-op"
+    )
+    default_severity: ClassVar[Severity] = Severity.ERROR
+    category: ClassVar[str] = "double-release"
+
+
+@register
+class UnownedResource(_TypestateRule):
+    """ROP020: an acquired resource that nothing owns.
+
+    Either dropped on the floor in the acquiring statement
+    (``ProcessPoolExecutor().submit(...)``) or passed straight into an
+    external callable with no local binding — in both cases no code
+    *can* release it.
+    """
+
+    rule_id: ClassVar[str] = "ROP020"
+    name: ClassVar[str] = "escaping-unowned-resource"
+    description: ClassVar[str] = (
+        "An acquired resource is never bound to a name nor transferred "
+        "to an owner, so nothing can ever release it."
+    )
+    hint: ClassVar[str] = (
+        "Bind the resource to a name and release it (or use a with "
+        "statement); to hand it off, return it or store it on an "
+        "owning object/registry."
+    )
+    rationale: ClassVar[str] = (
+        "An unowned pool or segment is a guaranteed leak, not a "
+        "possible one: no reference survives the statement, so even "
+        "careful callers cannot clean it up."
+    )
+    example_bad: ClassVar[str] = (
+        "ProcessPoolExecutor(max_workers=4).submit(task)"
+    )
+    example_good: ClassVar[str] = (
+        "with ProcessPoolExecutor(max_workers=4) as pool:\n"
+        "    pool.submit(task)"
+    )
+    default_severity: ClassVar[Severity] = Severity.ERROR
+    category: ClassVar[str] = "unowned"

@@ -68,6 +68,19 @@ class UnitConfusionRule(_DataflowRule):
         "percent) or use the m_degr_fraction/compliance_fraction "
         "properties"
     )
+    rationale: ClassVar[str] = (
+        "The paper's QoS metrics come in both percent (0-100) and "
+        "fraction (0-1) forms; mixing them without the /100 is a "
+        "factor-of-100 error that still type-checks and still "
+        "produces plausible-looking plans — only the tracked unit "
+        "annotations make it mechanically detectable."
+    )
+    example_bad: ClassVar[str] = (
+        "penalty = m_degr_percent * weight  # weight is Fraction01"
+    )
+    example_good: ClassVar[str] = (
+        "penalty = (m_degr_percent / 100.0) * weight"
+    )
     kinds: ClassVar[tuple[str, ...]] = ("unit-mix", "call-arg")
 
 
@@ -88,6 +101,18 @@ class IntervalViolationRule(_DataflowRule):
         "impossible input, validate with the matching require_* helper "
         "instead"
     )
+    rationale: ClassVar[str] = (
+        "A probability compared against 50 or assigned 1.5 means the "
+        "declared unit and the actual value disagree; one of them is "
+        "wrong, and whichever it is, downstream consumers trusting "
+        "the annotation compute garbage."
+    )
+    example_bad: ClassVar[str] = (
+        "availability: Probability = 99.9"
+    )
+    example_good: ClassVar[str] = (
+        "availability: Probability = 0.999"
+    )
     kinds: ClassVar[tuple[str, ...]] = ("interval",)
 
 
@@ -105,6 +130,20 @@ class UnconvertedReturnRule(_DataflowRule):
     hint: ClassVar[str] = (
         "apply the conversion before returning, or correct the return "
         "annotation"
+    )
+    rationale: ClassVar[str] = (
+        "The return annotation is the only unit contract callers "
+        "see; returning a percent from a function annotated "
+        "Fraction01 poisons every call site at once, and the error "
+        "surfaces far from the function that caused it."
+    )
+    example_bad: ClassVar[str] = (
+        "def degradation(node) -> Fraction01:\n"
+        "    return node.m_degr_percent"
+    )
+    example_good: ClassVar[str] = (
+        "def degradation(node) -> Fraction01:\n"
+        "    return node.m_degr_percent / 100.0"
     )
     kinds: ClassVar[tuple[str, ...]] = ("return",)
 
@@ -133,6 +172,25 @@ class UnvalidatedBoundaryRule(Rule):
         "add a __post_init__ validating the field with "
         "require_fraction/require_probability or an explicit range "
         "check"
+    )
+    rationale: ClassVar[str] = (
+        "Dataclasses are the ingestion boundary: workload specs and "
+        "SLA parameters enter here from config files. A unit "
+        "annotation without a __post_init__ check documents a range "
+        "nothing enforces, so a 99.9 meant as 0.999 sails straight "
+        "into the planner."
+    )
+    example_bad: ClassVar[str] = (
+        "@dataclass(frozen=True)\n"
+        "class Sla:\n"
+        "    target: Probability"
+    )
+    example_good: ClassVar[str] = (
+        "@dataclass(frozen=True)\n"
+        "class Sla:\n"
+        "    target: Probability\n"
+        "    def __post_init__(self):\n"
+        "        require_probability(self.target, 'target')"
     )
     default_severity: ClassVar[Severity] = Severity.ERROR
 

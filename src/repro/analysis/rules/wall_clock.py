@@ -48,6 +48,22 @@ class WallClockRule(Rule):
         "repro.engine.instrumentation.Instrumentation(clock=...)) or take "
         "timestamps as parameters"
     )
+    rationale: ClassVar[str] = (
+        "Wall-clock reads inside library code couple results to the "
+        "machine the run happened on: availability windows, timeout "
+        "math, and penalty accounting silently change between runs. "
+        "An injected clock lets tests pin time and lets replays reuse "
+        "recorded timestamps."
+    )
+    example_bad: ClassVar[str] = (
+        "def window_open(spec):\n"
+        "    return time.time() < spec.deadline"
+    )
+    example_good: ClassVar[str] = (
+        "def window_open(spec, now):\n"
+        "    return now < spec.deadline\n"
+        "# caller passes instrumentation.clock()"
+    )
 
     def visit_Call(self, node: ast.Call) -> None:
         resolved = self.context.imports.resolve_imported(node.func)

@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.analysis import baseline as baseline_module
+from repro.analysis import cache as cache_module
 from repro.analysis.config import (
     DEFAULT_EXCLUDED_DIRS,
     AnalysisConfig,
@@ -178,6 +179,25 @@ def _run_project_rules(
     ]
     if not rule_classes or not contexts:
         return []
+
+    cache_key: str | None = None
+    if config.cache_dir is not None:
+        cache_key = cache_module.project_cache_key(
+            contexts,
+            [rule_class.rule_id for rule_class in rule_classes],
+            [
+                config.severity_for(
+                    rule_class.rule_id, rule_class.default_severity
+                ).value
+                for rule_class in rule_classes
+            ],
+        )
+        cached = cache_module.load_project_findings(
+            config.cache_dir, cache_key
+        )
+        if cached is not None:
+            return cached
+
     from repro.analysis.effects.project import ProjectContext
 
     project = ProjectContext(list(contexts))
@@ -185,6 +205,10 @@ def _run_project_rules(
     for rule_class in rule_classes:
         for finding in rule_class(project).check():  # type: ignore[call-arg]
             raw.append(_apply_severity(finding, config))
+    if cache_key is not None and config.cache_dir is not None:
+        cache_module.store_project_findings(
+            config.cache_dir, cache_key, raw
+        )
     return raw
 
 
@@ -361,6 +385,17 @@ def add_analysis_arguments(parser: argparse.ArgumentParser) -> None:
         "--list-rules", action="store_true",
         help="print every registered rule and exit",
     )
+    parser.add_argument(
+        "--explain", metavar="ROPxxx", default=None,
+        help=(
+            "print one rule's description, rationale, and good/bad "
+            "examples, then exit"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the .ropus_cache project-pass cache",
+    )
 
 
 def build_parser(prog: str = "repro.analysis") -> argparse.ArgumentParser:
@@ -386,10 +421,75 @@ def _list_rules() -> str:
     return "\n".join(lines) + "\n"
 
 
+def explain_rule(rule_id: str) -> str:
+    """Human-readable card for one registered rule.
+
+    Raises :class:`ConfigurationError` for unknown ids, so both the
+    CLI and the README generator share one lookup.
+    """
+    from repro.analysis.rules import registered_rules
+
+    rule_class = registered_rules().get(rule_id)
+    if rule_class is None:
+        raise ConfigurationError(
+            f"--explain names an unknown rule id: {rule_id} "
+            "(see --list-rules)"
+        )
+    sections = [
+        f"{rule_class.rule_id}: {rule_class.name} "
+        f"[{rule_class.default_severity.value}]",
+        "",
+        rule_class.description,
+    ]
+    if rule_class.rationale:
+        sections += ["", "Why it matters:", f"  {rule_class.rationale}"]
+    if rule_class.example_bad:
+        sections += ["", "Flagged:"]
+        sections += [
+            f"    {line}" for line in rule_class.example_bad.splitlines()
+        ]
+    if rule_class.example_good:
+        sections += ["", "Sanctioned:"]
+        sections += [
+            f"    {line}" for line in rule_class.example_good.splitlines()
+        ]
+    if rule_class.hint:
+        sections += ["", f"Hint: {rule_class.hint}"]
+    return "\n".join(sections) + "\n"
+
+
+def rule_table_markdown() -> str:
+    """Markdown table over every registered rule, for the README.
+
+    The README embeds this between ``<!-- rule-table:begin -->`` /
+    ``<!-- rule-table:end -->`` markers and a test regenerates it from
+    the registry, so the documented rule list can never drift from the
+    enforced one.
+    """
+    rows = [
+        "| Rule | Name | Severity | Checks that |",
+        "| --- | --- | --- | --- |",
+    ]
+    for rule_class in iter_rule_classes():
+        description = " ".join(rule_class.description.split())
+        rows.append(
+            f"| {rule_class.rule_id} | `{rule_class.name}` "
+            f"| {rule_class.default_severity.value} | {description} |"
+        )
+    return "\n".join(rows) + "\n"
+
+
 def run_analysis_command(args: argparse.Namespace) -> int:
     """Execute an already-parsed analyzer invocation."""
     if args.list_rules:
         sys.stdout.write(_list_rules())
+        return 0
+    if getattr(args, "explain", None):
+        try:
+            sys.stdout.write(explain_rule(args.explain))
+        except ConfigurationError as error:
+            sys.stderr.write(f"repro.analysis: {error}\n")
+            return 2
         return 0
 
     try:
@@ -402,6 +502,7 @@ def run_analysis_command(args: argparse.Namespace) -> int:
             exclude=args.exclude,
             baseline=args.baseline,
             pyproject=pyproject,
+            no_cache=getattr(args, "no_cache", False),
         )
         paths: Sequence[str | Path] = args.paths
         if getattr(args, "changed", False):

@@ -1,0 +1,35 @@
+"""Path-sensitive typestate analysis of resource lifecycles.
+
+The package checks *object protocols*: a resource is acquired (a
+shared-memory segment published, a process pool spawned, a temp file
+written), moves through a small finite-state automaton, and must be
+released on **every** path out of the acquiring function — including
+the exception paths the upgraded CFG now models — unless ownership is
+transferred somewhere sanctioned (returned to the caller, stored in a
+registry or attribute, or passed to a callee the interprocedural
+escape index knows will release or keep it).
+
+Layout:
+
+* :mod:`~repro.analysis.typestate.protocols` — the declarative
+  ``KNOWN_PROTOCOLS`` table of resource automata;
+* :mod:`~repro.analysis.typestate.escape` — per-parameter disposition
+  index (releases / stores / returns) over the PR-7 effects project;
+* :mod:`~repro.analysis.typestate.checker` — the abstract interpreter
+  over the exception-edge CFG that produces
+  :class:`~repro.analysis.typestate.checker.TypestateFinding` records
+  consumed by rules ROP017–ROP020.
+"""
+
+from repro.analysis.typestate.checker import TypestateFinding, check_project
+from repro.analysis.typestate.protocols import (
+    KNOWN_PROTOCOLS,
+    ResourceProtocol,
+)
+
+__all__ = [
+    "KNOWN_PROTOCOLS",
+    "ResourceProtocol",
+    "TypestateFinding",
+    "check_project",
+]

@@ -1,0 +1,227 @@
+"""Interprocedural escape index: what a callee does with each parameter.
+
+The typestate checker is intraprocedural — it tracks a resource from
+its acquire site through one function's CFG. When the resource is
+passed to another *project* function, this index answers the only
+question the caller needs: does the callee **release** the argument,
+take **ownership** of it (store it somewhere that outlives the call,
+or return it), or neither? A helper that releases its argument is then
+understood at every call site, and a constructor that stashes the
+resource on ``self`` counts as an ownership transfer.
+
+Dispositions are syntactic facts about the callee body, closed
+transitively over the project call graph by a simple fixpoint: if
+``close_all(pool)`` forwards ``pool`` to ``shutdown_pool(pool)``, the
+``releases`` disposition propagates back. The lattice is three
+independent bits that only ever turn on, so the iteration terminates
+in at most ``O(params)`` rounds.
+
+Unknown external callees are *not* consulted here; the checker treats
+passing a resource to them as an ownership escape (optimistic — the
+house style throughout the analysis package).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.rules.base import dotted_name
+from repro.analysis.typestate.protocols import (
+    ALL_RELEASE_METHODS,
+    RELEASE_FUNCTIONS,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.effects.project import EffectProject, FunctionInfo
+
+RELEASES = "releases"
+STORES = "stores"
+RETURNS = "returns"
+
+#: qualified function name -> parameter name -> disposition set.
+EscapeIndex = dict[str, dict[str, frozenset[str]]]
+
+
+def parameter_names(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[str]:
+    args = node.args
+    return [arg.arg for arg in [*args.posonlyargs, *args.args]]
+
+
+def _names_in(expr: ast.expr) -> set[str]:
+    return {
+        node.id
+        for node in ast.walk(expr)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+    }
+
+
+def _argument_bindings(
+    call: ast.Call, callee_params: list[str]
+) -> Iterable[tuple[str, ast.expr]]:
+    """Pair each call argument with the callee parameter receiving it.
+
+    The implicit ``self``/``cls`` slot is always skipped: constructor
+    calls and bound-method calls both leave it out of the argument
+    list, and explicit unbound calls are rare enough to misalign
+    optimistically.
+    """
+    params = list(callee_params)
+    if params and params[0] in ("self", "cls"):
+        params = params[1:]
+    for index, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            break
+        if index < len(params):
+            yield params[index], arg
+    for keyword in call.keywords:
+        if keyword.arg is not None and keyword.arg in callee_params:
+            yield keyword.arg, keyword.value
+
+
+class _Collector(ast.NodeVisitor):
+    """One pass over a function body collecting dispositions and deps."""
+
+    _STORING_METHODS = frozenset(
+        {"append", "add", "insert", "setdefault", "update", "register"}
+    )
+
+    def __init__(
+        self, info: "FunctionInfo", project: "EffectProject"
+    ) -> None:
+        self.info = info
+        self.project = project
+        self.params = parameter_names(info.node)
+        self.tracked = set(self.params) - {"self", "cls"}
+        self.dispositions: dict[str, set[str]] = {
+            name: set() for name in self.params
+        }
+        self.deps: list[tuple[str, str, str]] = []
+        self._sites = {
+            id(site.node): site
+            for site in info.calls
+            if site.node is not None
+        }
+
+    def _mark(self, expr: ast.expr, disposition: str) -> None:
+        for name in _names_in(expr) & self.tracked:
+            self.dispositions[name].add(disposition)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None:
+            self._mark(node.value, RETURNS)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if any(
+            isinstance(target, (ast.Attribute, ast.Subscript))
+            for target in node.targets
+        ):
+            self._mark(node.value, STORES)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            # ``param.close()`` — a release method on the parameter.
+            if (
+                isinstance(base, ast.Name)
+                and base.id in self.tracked
+                and func.attr in ALL_RELEASE_METHODS
+            ):
+                self.dispositions[base.id].add(RELEASES)
+            # ``registry.append(param)`` — stored in a container.
+            if func.attr in self._STORING_METHODS:
+                for arg in node.args:
+                    self._mark(arg, STORES)
+            # ``super().__init__(param, ...)`` — the base class almost
+            # certainly stashes its constructor arguments on the
+            # instance; the call itself resolves to nothing statically,
+            # so treat forwarding through it as an ownership store.
+            if (
+                isinstance(base, ast.Call)
+                and isinstance(base.func, ast.Name)
+                and base.func.id == "super"
+            ):
+                for arg in node.args:
+                    self._mark(arg, STORES)
+                for keyword in node.keywords:
+                    self._mark(keyword.value, STORES)
+
+        canonical = self.info.context.imports.resolve(
+            dotted_name(func) or ""
+        )
+        release = RELEASE_FUNCTIONS.get(canonical)
+        if release is not None:
+            _, index = release
+            if index < len(node.args):
+                # The released argument may be the parameter itself or
+                # a value derived from it (``release(segment.name)``).
+                self._mark(node.args[index], RELEASES)
+
+        site = self._sites.get(id(node))
+        if (
+            site is not None
+            and site.kind == "name"
+            and site.target is not None
+        ):
+            callee = self.project.functions.get(site.target)
+            if callee is not None:
+                callee_params = parameter_names(callee.node)
+                for param, arg in _argument_bindings(
+                    node, callee_params
+                ):
+                    if isinstance(arg, ast.Name) and arg.id in self.tracked:
+                        self.deps.append((arg.id, site.target, param))
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node is not self.info.node:
+            return  # nested defs have their own FunctionInfo
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+
+def build_escape_index(project: "EffectProject") -> EscapeIndex:
+    """Compute per-parameter dispositions for every project function."""
+    raw: dict[str, dict[str, set[str]]] = {}
+    all_deps: dict[str, list[tuple[str, str, str]]] = {}
+    for qualified, info in project.functions.items():
+        collector = _Collector(info, project)
+        collector.visit(info.node)
+        raw[qualified] = collector.dispositions
+        all_deps[qualified] = collector.deps
+
+    changed = True
+    while changed:
+        changed = False
+        for qualified, deps in all_deps.items():
+            for param, callee, callee_param in deps:
+                inherited = raw.get(callee, {}).get(callee_param)
+                if not inherited:
+                    continue
+                mine = raw[qualified][param]
+                if not inherited <= mine:
+                    mine |= inherited
+                    changed = True
+
+    return {
+        qualified: {
+            name: frozenset(values) for name, values in params.items()
+        }
+        for qualified, params in raw.items()
+    }
+
+
+__all__ = [
+    "RELEASES",
+    "RETURNS",
+    "STORES",
+    "EscapeIndex",
+    "build_escape_index",
+    "parameter_names",
+]

@@ -122,11 +122,16 @@ class Checkpointer:
         except (OSError, TypeError, ValueError, InjectedFault) as error:
             self._count("checkpoint.write_failures")
             self._event("checkpoint.write_failed", key=key, error=repr(error))
+            return False
+        finally:
+            # After a successful rename the temp file is gone and the
+            # unlink is a no-op; on *any* failure — including the
+            # exceptions the handler above does not swallow, like a
+            # KeyboardInterrupt mid-write — it removes the stray file.
             try:
                 tmp.unlink(missing_ok=True)
             except OSError:  # pragma: no cover - best-effort cleanup
                 self._count("checkpoint.tmp_cleanup_failures")
-            return False
         self._count("checkpoint.writes")
         return True
 

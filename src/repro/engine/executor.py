@@ -50,6 +50,13 @@ def _install_shared(payload: Any) -> None:
         from repro.analysis.sanitizer import maybe_install
 
         maybe_install()
+    if os.environ.get("ROPUS_LEAKTRACK") == "1":
+        # Same discipline for the resource-leak tracker: workers track
+        # their own acquisitions (nested pools, temp dirs) and report
+        # at their interpreter exit.
+        from repro.analysis.leaktrack import maybe_install as _arm_leaktrack
+
+        _arm_leaktrack()
     _WORKER_SHARED = resolve(payload)
 
 
@@ -200,14 +207,28 @@ class ParallelExecutor(Executor):
         # each unpickling their own (repro.engine.broadcast documents
         # when this falls back to the plain pickle path).
         broadcast, segment, shared_bytes = publish(shared)
-        pool = ProcessPoolExecutor(
-            max_workers=self.workers,
-            initializer=_install_shared,
-            initargs=(broadcast,),
-        )
-        return _ParallelSessionWithDefault(
-            pool, self.workers, self.chunksize, segment, shared_bytes
-        )
+        # Between publishing the segment and handing both resources to
+        # the session object, a failure (pool spawn, session ctor)
+        # would otherwise strand them until interpreter exit — fatal
+        # for a long-running planner that opens sessions per request.
+        pool = None
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_install_shared,
+                initargs=(broadcast,),
+            )
+            return _ParallelSessionWithDefault(
+                pool, self.workers, self.chunksize, segment, shared_bytes
+            )
+        except BaseException:
+            try:
+                if pool is not None:
+                    pool.shutdown(wait=False)
+            finally:
+                if segment is not None:
+                    release(segment.name)
+            raise
 
 
 class _ParallelSessionWithDefault(_ParallelSession):

@@ -27,7 +27,6 @@ that makes the search affordable is preserved under any backend.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -47,23 +46,6 @@ from repro.resources.pool import ResourcePool
 from repro.util.rng import derive_rng
 
 Assignment = tuple[int, ...]
-
-
-def _split_chunks(
-    items: Sequence[GroupItem], n_chunks: int
-) -> list[tuple[GroupItem, ...]]:
-    """Deprecated alias: chunking moved to the engine layer.
-
-    Use :func:`repro.engine.dispatch.split_chunks`; this re-export keeps
-    external callers of the historical private helper working.
-    """
-    warnings.warn(
-        "repro.placement.genetic._split_chunks moved to "
-        "repro.engine.dispatch.split_chunks",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return split_chunks(items, n_chunks)
 
 
 @dataclass(frozen=True)

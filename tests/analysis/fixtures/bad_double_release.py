@@ -1,0 +1,15 @@
+"""ROP019 positive fixture: double-unlink of a shared-memory segment.
+
+``SharedMemory.unlink`` raises ``FileNotFoundError`` the second time —
+unlike ``Executor.shutdown`` or ``file.close``, which are idempotent
+and deliberately exempt.
+"""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def unlink_twice(size):
+    segment = SharedMemory(create=True, size=size)
+    segment.close()
+    segment.unlink()
+    segment.unlink()

@@ -1,0 +1,27 @@
+"""ROP017 positive fixture: resources that can leak on some path.
+
+Three shapes: a segment that is never unlinked (normal-path leak), a
+pool that is never shut down, and a file handle closed only on the
+success path (exception-path leak — the ``write`` can raise first).
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leaky_segment(payload):
+    segment = SharedMemory(create=True, size=len(payload))
+    segment.buf[: len(payload)] = payload
+    return len(payload)
+
+
+def leaky_pool(items):
+    pool = ProcessPoolExecutor(max_workers=2)
+    return list(pool.map(str, items))
+
+
+def leak_on_error_only(path, data):
+    handle = open(path, "w")
+    handle.write(data)
+    handle.close()
+    return True

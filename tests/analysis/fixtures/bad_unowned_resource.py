@@ -1,0 +1,17 @@
+"""ROP020 positive fixture: fresh resources handed off anonymously.
+
+Passing a just-acquired resource straight into an unknown callee
+without ever binding it means no code in this function *can* release
+it — ownership silently depends on the callee doing the right thing.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing.shared_memory import SharedMemory
+
+
+def attach_anonymous_pool(registry):
+    registry.attach(ProcessPoolExecutor(max_workers=2))
+
+
+def log_anonymous_segment(sink, size):
+    sink.record(SharedMemory(create=True, size=size))

@@ -1,0 +1,15 @@
+"""ROP018 positive fixture: operations on already-released resources."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def map_after_shutdown(items):
+    pool = ProcessPoolExecutor(max_workers=2)
+    pool.shutdown()
+    return list(pool.map(str, items))
+
+
+def read_after_close(path):
+    handle = open(path)
+    handle.close()
+    return handle.read()

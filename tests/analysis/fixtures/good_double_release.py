@@ -1,0 +1,22 @@
+"""ROP019 negative fixture: idempotent and single releases stay quiet."""
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing.shared_memory import SharedMemory
+
+
+def shutdown_twice(items):
+    pool = ProcessPoolExecutor(max_workers=2)
+    try:
+        return list(pool.map(str, items))
+    finally:
+        pool.shutdown()
+        pool.shutdown()
+
+
+def close_is_neutral(size):
+    segment = SharedMemory(create=True, size=size)
+    try:
+        return segment.size
+    finally:
+        segment.close()
+        segment.unlink()

@@ -1,0 +1,50 @@
+"""ROP017 negative fixture: every sanctioned ownership shape.
+
+try/finally release, ``with``-managed handles, ownership transfer by
+return, and ownership transfer into a module registry (the pattern
+``repro.engine.broadcast`` uses) must all read as non-leaking.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing.shared_memory import SharedMemory
+
+_REGISTRY = {}
+
+
+def released_in_finally(payload):
+    segment = SharedMemory(create=True, size=len(payload))
+    try:
+        segment.buf[: len(payload)] = payload
+        return len(payload)
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def pooled(items):
+    pool = ProcessPoolExecutor(max_workers=2)
+    try:
+        return list(pool.map(str, items))
+    finally:
+        pool.shutdown()
+
+
+def context_managed(items):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(str, items))
+
+
+def stored_in_registry(payload):
+    segment = SharedMemory(create=True, size=len(payload))
+    _REGISTRY[segment.name] = segment
+    return segment.name
+
+
+def transferred_to_caller(workers):
+    return ProcessPoolExecutor(max_workers=workers)
+
+
+def with_managed_file(path, lines):
+    with open(path, "w") as handle:
+        for line in lines:
+            handle.write(line)

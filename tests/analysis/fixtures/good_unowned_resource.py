@@ -1,0 +1,21 @@
+"""ROP020 negative fixture: bind before handing off, or transfer clearly.
+
+Once the resource has a local name the function retains a handle, the
+hand-off reads as an ordinary optimistic ownership escape, and the
+except-release-reraise guard keeps the exception paths leak-free.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def attach_bound_pool(registry):
+    pool = ProcessPoolExecutor(max_workers=2)
+    try:
+        registry.attach(pool)
+    except BaseException:
+        pool.shutdown()
+        raise
+
+
+def construct_and_return(workers):
+    return ProcessPoolExecutor(max_workers=workers)

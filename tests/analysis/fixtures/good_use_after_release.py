@@ -1,0 +1,31 @@
+"""ROP018 negative fixture: rebinding and may-released joins stay quiet.
+
+A name rebound to a fresh resource is a new resource, and a use that
+is only *possibly* after release (one branch released, one did not)
+must not fire — ROP018 reports must-facts only.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def close_then_reopen(path):
+    handle = open(path)
+    try:
+        first = handle.read()
+    finally:
+        handle.close()
+    handle = open(path)
+    try:
+        return first + handle.read()
+    finally:
+        handle.close()
+
+
+def maybe_released(items, eager):
+    pool = ProcessPoolExecutor(max_workers=2)
+    try:
+        if eager:
+            pool.shutdown()
+        return list(pool.map(str, items))
+    finally:
+        pool.shutdown()

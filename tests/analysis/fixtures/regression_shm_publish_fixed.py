@@ -1,0 +1,29 @@
+"""The post-fix publish shape: ownership established before any risk.
+
+Identical to ``regression_shm_publish_leak.py`` except the segment is
+stored in the module registry immediately after creation — every
+raise site after that point finds the segment already owned, so a
+failed copy no longer strands it.
+"""
+
+import numpy as np
+from multiprocessing import shared_memory
+
+_PUBLISHED = {}
+
+
+def publish(arrays):
+    total = sum(array.nbytes for array in arrays)
+    segment = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    _PUBLISHED[segment.name] = segment
+    specs = []
+    offset = 0
+    for array in arrays:
+        view = np.ndarray(
+            array.shape, dtype=array.dtype, buffer=segment.buf, offset=offset
+        )
+        view[...] = array
+        specs.append((offset, array.shape, array.dtype.str))
+        offset += array.nbytes
+    handle = {"segment_name": segment.name, "specs": tuple(specs)}
+    return handle, segment, total

@@ -33,6 +33,10 @@ RULE_FIXTURES = [
     ("ROP014", "bad_nondet_order.py", "good_nondet_order.py"),
     ("ROP015", "bad_seed_discipline.py", "good_seed_discipline.py"),
     ("ROP016", "bad_checkpoint_payload.py", "good_checkpoint_payload.py"),
+    ("ROP017", "bad_resource_leak.py", "good_resource_leak.py"),
+    ("ROP018", "bad_use_after_release.py", "good_use_after_release.py"),
+    ("ROP019", "bad_double_release.py", "good_double_release.py"),
+    ("ROP020", "bad_unowned_resource.py", "good_unowned_resource.py"),
 ]
 
 
@@ -47,6 +51,10 @@ class TestRegistry:
             assert rule_class.name
             assert rule_class.description
             assert rule_class.hint
+            # --explain renders these; every rule must supply them.
+            assert rule_class.rationale
+            assert rule_class.example_bad
+            assert rule_class.example_good
 
 
 @pytest.mark.parametrize(
@@ -124,3 +132,30 @@ class TestSeededRegression:
         assert finding.line == 16
         assert "Percent" in finding.message
         assert "Fraction01" in finding.message
+
+
+class TestShmPublishLeakRegression:
+    """The pre-fault-tolerance ``broadcast.publish`` shm leak.
+
+    The segment used to be created and populated before any owner knew
+    about it; a view copy raising mid-loop stranded the ``/dev/shm``
+    segment. ROP017 flags the historical shape on its exception paths,
+    and the fixed shape (registry store immediately after creation)
+    passes clean — the retroactive proof the typestate pass would have
+    caught the bug.
+    """
+
+    def test_historical_publish_shape_is_flagged(self):
+        result = analyze_paths(
+            [FIXTURES / "regression_shm_publish_leak.py"]
+        )
+        rop017 = [f for f in result.findings if f.rule == "ROP017"]
+        assert len(rop017) == 1
+        assert "SharedMemory segment" in rop017[0].message
+        assert "exception path" in rop017[0].message
+
+    def test_fixed_publish_shape_is_clean(self):
+        result = analyze_paths(
+            [FIXTURES / "regression_shm_publish_fixed.py"]
+        )
+        assert result.findings == ()

@@ -383,3 +383,156 @@ class TestChangedMode:
         monkeypatch.chdir(repo)
         assert main([".", "--changed", "--no-config"]) == 0
         assert "no changed Python files" in capsys.readouterr().out
+
+
+LEAKY_SOURCE = (
+    "from multiprocessing import shared_memory\n"
+    "\n"
+    "\n"
+    "def publish(payload, n):\n"
+    "    segment = shared_memory.SharedMemory(create=True, size=n)\n"
+    "    payload.copy_into(segment)\n"
+    "    segment.unlink()\n"
+)
+
+
+class TestProjectFindingsCache:
+    """The .ropus_cache/ memoisation of project-scope findings."""
+
+    def _config(self, tmp_path):
+        return AnalysisConfig(cache_dir=tmp_path / ".ropus_cache")
+
+    def test_run_writes_one_cache_entry(self, tmp_path):
+        module = tmp_path / "leak.py"
+        module.write_text(LEAKY_SOURCE, encoding="utf-8")
+        config = self._config(tmp_path)
+        result = analyze_paths([module], config)
+        assert {finding.rule for finding in result.findings} == {"ROP017"}
+        entries = list((tmp_path / ".ropus_cache").glob("project-*.json"))
+        assert len(entries) == 1
+
+    def test_hit_replays_stored_findings(self, tmp_path):
+        """The second run reads the entry instead of re-analyzing.
+
+        Proven by tampering with the stored message: if the cache were
+        bypassed the recomputed finding would not carry the marker.
+        """
+        module = tmp_path / "leak.py"
+        module.write_text(LEAKY_SOURCE, encoding="utf-8")
+        config = self._config(tmp_path)
+        first = analyze_paths([module], config)
+
+        [entry] = (tmp_path / ".ropus_cache").glob("project-*.json")
+        document = entry.read_text(encoding="utf-8")
+        entry.write_text(
+            document.replace("may never be released", "CACHED-MARKER"),
+            encoding="utf-8",
+        )
+        second = analyze_paths([module], config)
+        assert len(second.findings) == len(first.findings) == 1
+        assert "CACHED-MARKER" in second.findings[0].message
+
+    def test_editing_the_file_invalidates(self, tmp_path):
+        module = tmp_path / "leak.py"
+        module.write_text(LEAKY_SOURCE, encoding="utf-8")
+        config = self._config(tmp_path)
+        assert len(analyze_paths([module], config).findings) == 1
+
+        fixed = LEAKY_SOURCE.replace(
+            "    payload.copy_into(segment)\n    segment.unlink()\n",
+            "    try:\n"
+            "        payload.copy_into(segment)\n"
+            "    finally:\n"
+            "        segment.unlink()\n",
+        )
+        assert fixed != LEAKY_SOURCE
+        module.write_text(fixed, encoding="utf-8")
+        result = analyze_paths([module], config)
+        assert result.findings == ()
+        entries = list((tmp_path / ".ropus_cache").glob("project-*.json"))
+        assert len(entries) == 2  # old key untouched, new key added
+
+    def test_rule_selection_changes_the_key(self, tmp_path):
+        module = tmp_path / "leak.py"
+        module.write_text(LEAKY_SOURCE, encoding="utf-8")
+        cache_dir = tmp_path / ".ropus_cache"
+        analyze_paths(
+            [module], AnalysisConfig(cache_dir=cache_dir)
+        )
+        analyze_paths(
+            [module],
+            AnalysisConfig(
+                cache_dir=cache_dir, select=frozenset({"ROP017"})
+            ),
+        )
+        assert len(list(cache_dir.glob("project-*.json"))) == 2
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        module = tmp_path / "leak.py"
+        module.write_text(LEAKY_SOURCE, encoding="utf-8")
+        config = self._config(tmp_path)
+        analyze_paths([module], config)
+        [entry] = (tmp_path / ".ropus_cache").glob("project-*.json")
+        entry.write_text("{not json", encoding="utf-8")
+        result = analyze_paths([module], config)
+        assert len(result.findings) == 1  # recomputed, then re-stored
+        assert "not json" not in entry.read_text(encoding="utf-8")
+
+    def test_no_cache_flag_disables_writes(self, tmp_path, monkeypatch):
+        module = tmp_path / "leak.py"
+        module.write_text(LEAKY_SOURCE, encoding="utf-8")
+        monkeypatch.chdir(tmp_path)
+        assert main([str(module), "--no-config", "--no-cache"]) == 1
+        assert not (tmp_path / ".ropus_cache").exists()
+
+    def test_cli_run_populates_default_directory(
+        self, tmp_path, monkeypatch
+    ):
+        module = tmp_path / "leak.py"
+        module.write_text(LEAKY_SOURCE, encoding="utf-8")
+        monkeypatch.chdir(tmp_path)
+        assert main([str(module), "--no-config"]) == 1
+        assert list((tmp_path / ".ropus_cache").glob("project-*.json"))
+
+
+class TestExplain:
+    def test_explain_prints_the_rule_card(self, capsys):
+        assert main(["--explain", "ROP017"]) == 0
+        out = capsys.readouterr().out
+        assert "ROP017: resource-leak-on-path [error]" in out
+        assert "Why it matters:" in out
+        assert "Flagged:" in out
+        assert "Sanctioned:" in out
+        assert "Hint:" in out
+
+    def test_explain_unknown_rule_exits_2(self, capsys):
+        assert main(["--explain", "ROP999"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_every_rule_renders_a_full_card(self):
+        from repro.analysis.rules import registered_rules
+        from repro.analysis.runner import explain_rule
+
+        for rule_id in registered_rules():
+            card = explain_rule(rule_id)
+            assert "Why it matters:" in card, rule_id
+            assert "Flagged:" in card, rule_id
+            assert "Sanctioned:" in card, rule_id
+
+
+class TestReadmeRuleTable:
+    def test_readme_table_matches_registry(self):
+        """README's rule table is the registry's, verbatim.
+
+        Regenerate with:
+        PYTHONPATH=src python -c "from repro.analysis.runner import \
+rule_table_markdown; print(rule_table_markdown(), end='')"
+        """
+        from repro.analysis.runner import rule_table_markdown
+
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        begin = "<!-- rule-table:begin -->\n"
+        end = "<!-- rule-table:end -->"
+        assert begin in readme and end in readme
+        table = readme.split(begin, 1)[1].split(end, 1)[0]
+        assert table == rule_table_markdown()

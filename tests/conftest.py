@@ -15,6 +15,26 @@ from repro.traces.trace import DemandTrace
 from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
 
 
+def pytest_sessionstart(session):
+    """Arm the runtime leak tracker when ``ROPUS_LEAKTRACK=1``.
+
+    The tracker wraps the protocol-table acquire points (shared-memory
+    create, pool spawn, temp dirs) and records acquisition stacks; the
+    sessionfinish hook below prints anything still open so the CI smoke
+    job surfaces leaks the static ROP017 analysis cannot see.
+    """
+    from repro.analysis.leaktrack import maybe_install
+
+    maybe_install()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    from repro.analysis import leaktrack
+
+    if leaktrack.installed():
+        leaktrack.report()
+
+
 @pytest.fixture(autouse=True)
 def _per_test_deadline():
     """Optional per-test deadline, for CI hang containment.

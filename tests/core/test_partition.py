@@ -54,7 +54,8 @@ class TestBreakpointFraction:
         with pytest.raises(PartitionError):
             breakpoint_fraction(0.5, 0.66, 0.0)
         with pytest.raises(PartitionError):
-            breakpoint_fraction(0.5, 0.66, 1.5)
+            # Out-of-domain on purpose: rejection is what's asserted.
+            breakpoint_fraction(0.5, 0.66, 1.5)  # ropus: ignore[ROP009]
         with pytest.raises(ValueError):
             breakpoint_fraction(0.0, 0.66, 0.5)
 
@@ -122,7 +123,8 @@ class TestPartitionDemand:
 
     def test_rejects_negative_cap(self):
         with pytest.raises(PartitionError):
-            partition_demand(np.ones(3), -1.0, 0.0)
+            # Out-of-domain on purpose: rejection is what's asserted.
+            partition_demand(np.ones(3), -1.0, 0.0)  # ropus: ignore[ROP009]
 
     def test_rejects_2d(self):
         with pytest.raises(PartitionError):

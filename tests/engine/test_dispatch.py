@@ -1,6 +1,4 @@
-"""Tests for the engine-level chunking helper (and its old alias)."""
-
-import pytest
+"""Tests for the engine-level chunking helper."""
 
 from repro.engine.dispatch import split_chunks
 
@@ -28,11 +26,7 @@ class TestSplitChunks:
     def test_at_least_one_chunk(self):
         assert split_chunks([1, 2, 3], 0) == [(1, 2, 3)]
 
+    def test_old_genetic_alias_is_gone(self):
+        import repro.placement.genetic as genetic
 
-class TestDeprecatedAlias:
-    def test_genetic_reexport_warns_and_delegates(self):
-        from repro.placement.genetic import _split_chunks
-
-        with pytest.warns(DeprecationWarning, match="moved to"):
-            chunks = _split_chunks([1, 2, 3, 4], 2)
-        assert chunks == split_chunks([1, 2, 3, 4], 2)
+        assert not hasattr(genetic, "_split_chunks")

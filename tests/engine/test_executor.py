@@ -98,8 +98,10 @@ class TestExecutionEngine:
         assert engine.instrumentation.timings() == {}
 
     def test_with_workers_selects_backend(self):
-        assert ExecutionEngine.with_workers(None).executor.name == "serial"
-        assert ExecutionEngine.with_workers(1).executor.name == "serial"
+        with ExecutionEngine.with_workers(None) as engine:
+            assert engine.executor.name == "serial"
+        with ExecutionEngine.with_workers(1) as engine:
+            assert engine.executor.name == "serial"
         with ExecutionEngine.with_workers(2) as engine:
             assert engine.executor.name == "parallel"
 

@@ -171,7 +171,8 @@ class TestSerialRung:
 
         executor = ResilientExecutor(config=_config())
         with pytest.raises(InfeasiblePlacementError):
-            executor.map(fn, [1, 2, 3])
+            # In-process harness: picklability is irrelevant here.
+            executor.map(fn, [1, 2, 3])  # ropus: ignore[ROP004]
         # map() discards partial results on a fatal error, so the rest
         # of the batch is never evaluated.
         assert calls == [1]
@@ -185,7 +186,8 @@ class TestSerialRung:
 
         executor = ResilientExecutor(config=_config())
         with pytest.raises(KeyboardInterrupt):
-            executor.map(fn, [1, 2, 3])
+            # In-process harness: picklability is irrelevant here.
+            executor.map(fn, [1, 2, 3])  # ropus: ignore[ROP004]
         assert calls == [1]
 
     def test_retries_draw_fresh_occurrences(self):
@@ -294,10 +296,10 @@ class TestParallelRung:
 class TestEngineIntegration:
     def test_resilient_engine_wires_instrumentation(self):
         config = _config(fault_plan=FaultPlan.of(corrupt_result=[0]))
-        engine = ExecutionEngine.resilient(config=config)
-        assert engine.executor.name == "resilient"
-        with engine.session() as session:
-            assert session.map(_double, [4]) == [8]
+        with ExecutionEngine.resilient(config=config) as engine:
+            assert engine.executor.name == "resilient"
+            with engine.session() as session:
+                assert session.map(_double, [4]) == [8]
         assert engine.instrumentation.counters()[
             "resilience.corrupt_results"
         ] == 1

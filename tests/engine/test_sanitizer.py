@@ -111,13 +111,16 @@ class TestPoolWiring:
         executor = make_executor(workers=2)
         with pytest.raises(DeterminismViolation):
             with executor.session(0) as session:
-                list(session.map(_wall_clock_worker, [1]))
+                # The impure worker is the point: the sanitizer must
+                # catch at runtime what ROP013 catches statically.
+                list(session.map(_wall_clock_worker, [1]))  # ropus: ignore[ROP013]
 
     def test_ambient_rng_worker_raises(self, sanitized_env):
         executor = make_executor(workers=2)
         with pytest.raises(DeterminismViolation):
             with executor.session(0) as session:
-                list(session.map(_ambient_rng_worker, [1]))
+                # The impure worker is the point (see above).
+                list(session.map(_ambient_rng_worker, [1]))  # ropus: ignore[ROP013]
 
     def test_driver_process_stays_unpatched(self, sanitized_env):
         executor = make_executor(workers=2)

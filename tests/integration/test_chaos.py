@@ -65,10 +65,10 @@ class TestChaosEquivalence:
             11, horizon=4096, crash_rate=0.01, corrupt_rate=0.01
         )
         config = ResilienceConfig(fault_plan=fault_plan, sleep=_no_sleep)
-        chaotic_engine = ExecutionEngine.resilient(config=config)
-        chaotic = _framework(engine=chaotic_engine).plan(
-            demands, policy, plan_failures=False
-        )
+        with ExecutionEngine.resilient(config=config) as chaotic_engine:
+            chaotic = _framework(engine=chaotic_engine).plan(
+                demands, policy, plan_failures=False
+            )
 
         assert chaotic.plan_hash() == baseline.plan_hash()
         summary = chaotic.resilience_summary()
@@ -79,22 +79,22 @@ class TestChaosEquivalence:
         config = ResilienceConfig(
             fault_plan=FaultPlan.of(corrupt_result=[0]), sleep=_no_sleep
         )
-        engine = ExecutionEngine.resilient(config=config)
-        plan = _framework(engine=engine).plan(
-            demands, policy, plan_failures=False
-        )
+        with ExecutionEngine.resilient(config=config) as engine:
+            plan = _framework(engine=engine).plan(
+                demands, policy, plan_failures=False
+            )
         resilience = plan.summary()["resilience"]
         assert resilience["resilience.corrupt_results"] == 1
 
     def test_fault_free_resilient_run_reports_no_recovery(
         self, demands, policy
     ):
-        engine = ExecutionEngine.resilient(
+        with ExecutionEngine.resilient(
             config=ResilienceConfig(sleep=_no_sleep)
-        )
-        plan = _framework(engine=engine).plan(
-            demands, policy, plan_failures=False
-        )
+        ) as engine:
+            plan = _framework(engine=engine).plan(
+                demands, policy, plan_failures=False
+            )
         assert plan.resilience_summary() == {}
 
 
