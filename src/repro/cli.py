@@ -43,6 +43,7 @@ from repro.engine import (
     FaultPlan,
     ResilienceConfig,
 )
+from repro.placement.evaluation import KERNELS
 from repro.placement.genetic import GeneticSearchConfig
 from repro.resources.pool import ResourcePool
 from repro.resources.server import homogeneous_servers
@@ -92,6 +93,18 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "--max-retries", type=int, default=None,
         help="retries per failing fan-out batch before degrading "
              "(default 2 when resilience is enabled)",
+    )
+
+
+def _add_kernel_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel", choices=KERNELS, default="batch",
+        help="capacity-search kernel: 'batch' and 'fused' are "
+             "bit-identical to the scalar reference ('fused' solves a "
+             "whole generation in stacked float32 passes with float64 "
+             "verification), 'analytic' stays within the search "
+             "tolerance, 'scalar' is the paper's per-subset loop "
+             "(default: batch)",
     )
 
 
@@ -230,6 +243,7 @@ def cmd_plan(args: argparse.Namespace) -> int:
         sharding=args.shards,
         cluster_seed=args.cluster_seed,
         refine_rounds=args.refine_rounds,
+        kernel=args.kernel,
     )
     policy = QoSPolicy(
         normal=_qos(args),
@@ -346,6 +360,7 @@ def _chaos_plan(
         ResourcePool(homogeneous_servers(args.servers, cpus=args.cpus)),
         search_config=GeneticSearchConfig(seed=args.seed),
         engine=engine,
+        kernel=args.kernel,
     )
     policy = QoSPolicy(
         normal=_qos(args),
@@ -415,6 +430,7 @@ def cmd_outlook(args: argparse.Namespace) -> int:
         ResourcePool(homogeneous_servers(args.servers, cpus=args.cpus)),
         search_config=GeneticSearchConfig(seed=args.seed),
         engine=engine,
+        kernel=args.kernel,
     )
     manager = CapacityManager(framework)
     policy = QoSPolicy(normal=_qos(args))
@@ -485,6 +501,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_qos_arguments(plan)
     _add_engine_arguments(plan)
+    _add_kernel_argument(plan)
     plan.add_argument("--servers", type=int, default=12)
     plan.add_argument("--cpus", type=int, default=16)
     plan.add_argument("--no-failures", action="store_true")
@@ -518,6 +535,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_qos_arguments(chaos)
     _add_engine_arguments(chaos)
+    _add_kernel_argument(chaos)
     chaos.add_argument("--servers", type=int, default=12)
     chaos.add_argument("--cpus", type=int, default=16)
     chaos.add_argument("--no-failures", action="store_true")
@@ -569,6 +587,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_qos_arguments(outlook)
     _add_engine_arguments(outlook)
+    _add_kernel_argument(outlook)
     outlook.add_argument("--servers", type=int, default=12)
     outlook.add_argument("--cpus", type=int, default=16)
     outlook.add_argument("--horizon", type=int, default=24)

@@ -147,8 +147,12 @@ class CapacityPlan:
     ``sharding``, ``refinement``) to the seconds this run spent in
     each, as recorded by the engine's instrumentation; ``counters``
     holds the run's counter increments (kernel calls and bracket
-    iterations, evaluation cache hits/misses, bytes broadcast to
-    workers, ...). ``sharding`` is the hierarchical tier's summary
+    iterations — including the fused kernel's ``kernel.fused_rows``
+    fast-path rows and ``kernel.f32_retries`` verification fallbacks —
+    evaluation cache hits/misses, bytes broadcast to workers, ...).
+    Every kernel mode records the full ``kernel.*`` set, zeros
+    included, so counter maps are comparable across modes and scales.
+    ``sharding`` is the hierarchical tier's summary
     (shard count and sizes, migration rounds, per-shard timings) when
     the run was sharded, ``None`` otherwise.
     """

@@ -117,14 +117,19 @@ class Instrumentation:
     def counters_since(self, snapshot: Mapping[str, float]) -> dict[str, float]:
         """Per-counter increments accumulated since ``snapshot``.
 
-        The snapshot is a :meth:`counters` copy taken earlier; counters
-        that did not advance are omitted, mirroring
-        :meth:`timings_since`.
+        The snapshot is a :meth:`counters` copy taken earlier.
+        Pre-existing counters that did not advance are omitted
+        (mirroring :meth:`timings_since`), but counters *created* since
+        the snapshot are kept even at a zero delta: a layer that
+        records a full counter set with some zero values (e.g. the
+        analytic kernel finishing without bracket iterations) reports
+        those zeros instead of silently dropping the name, so counter
+        sets stay comparable across runs and kernel modes.
         """
         deltas = {}
         for name, total in self._counters.items():
             delta = total - snapshot.get(name, 0.0)
-            if delta > 0.0:
+            if delta > 0.0 or name not in snapshot:
                 deltas[name] = delta
         return deltas
 

@@ -16,7 +16,7 @@ from typing import Literal, Mapping, Optional, Sequence
 
 from repro.engine import Checkpointer, ExecutionEngine
 from repro.exceptions import PlacementError
-from repro.placement.evaluation import PlacementEvaluator
+from repro.placement.evaluation import KERNELS, PlacementEvaluator
 from repro.placement.genetic import (
     GeneticPlacementSearch,
     GeneticSearchConfig,
@@ -128,7 +128,15 @@ class ConsolidationResult:
 
 
 class Consolidator:
-    """Runs the workload placement service for one pool configuration."""
+    """Runs the workload placement service for one pool configuration.
+
+    ``kernel`` selects the capacity-search implementation for every
+    evaluation this consolidator runs (see
+    :data:`repro.placement.evaluation.KERNELS`): ``"batch"`` and
+    ``"fused"`` are bit-identical to the scalar reference, ``"analytic"``
+    stays within the search tolerance, ``"scalar"`` is the paper's
+    per-subset loop.
+    """
 
     def __init__(
         self,
@@ -143,6 +151,11 @@ class Consolidator:
     ):
         if len(pool) == 0:
             raise PlacementError("cannot consolidate onto an empty pool")
+        if kernel not in KERNELS:
+            raise PlacementError(
+                f"unknown capacity-search kernel {kernel!r}; "
+                f"expected one of {KERNELS}"
+            )
         self.pool = pool
         self.commitment = commitment
         self.config = config or GeneticSearchConfig()

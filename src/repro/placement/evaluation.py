@@ -29,6 +29,7 @@ the memoisation design survives the fan-out.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -37,6 +38,10 @@ import numpy as np
 from repro.engine.instrumentation import Instrumentation
 from repro.core.cos import CoSCommitment
 from repro.exceptions import PlacementError
+from repro.placement.fused import (
+    TranslationCache,
+    fused_required_capacity,
+)
 from repro.placement.kernels import (
     BatchSearchStats,
     BatchSimulator,
@@ -57,8 +62,11 @@ from repro.traces.calendar import TraceCalendar
 #: * ``"batch"`` — simultaneous bisection, bit-identical to ``"scalar"``;
 #: * ``"analytic"`` — batch kernel with the closed-form theta inversion
 #:   (results within the search tolerance of the scalar path);
+#: * ``"fused"`` — generation-scale float32 fast path over compressed
+#:   traces with float64 verification (bit-identical to ``"batch"``;
+#:   see :mod:`repro.placement.fused`);
 #: * ``"scalar"`` — the paper's per-subset binary search (reference).
-KERNELS = ("batch", "analytic", "scalar")
+KERNELS = ("batch", "analytic", "fused", "scalar")
 
 
 def _solver_mode(kernel: str) -> str:
@@ -102,6 +110,39 @@ class EvaluationPayload:
     commitment: CoSCommitment
     tolerance: float
     kernel: str = "batch"
+    fingerprint: Optional[str] = None
+
+    def __getstate__(self) -> dict:
+        # The lazily attached fused-translation scratch (see
+        # ``_worker_translations``) holds live numpy buffers; it must
+        # never cross a process boundary.
+        state = dict(self.__dict__)
+        state.pop("_fused_translations", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+
+def _worker_translations(
+    payload: EvaluationPayload,
+) -> Optional[TranslationCache]:
+    """The payload's fused-translation memo, attached lazily to it.
+
+    Mirrors :func:`repro.placement.failure._scratch_for`: each worker
+    process unpickles its own payload copy (broadcast once per
+    session), so hanging the cache off that copy keeps it process-local
+    without a module-level registry, and a new session starts cold by
+    construction. ``object.__setattr__`` is the sanctioned escape hatch
+    for caching on a frozen dataclass.
+    """
+    if payload.kernel != "fused" or payload.fingerprint is None:
+        return None
+    cache = getattr(payload, "_fused_translations", None)
+    if cache is None:
+        cache = TranslationCache()
+        object.__setattr__(payload, "_fused_translations", cache)
+    return cache
 
 
 def _evaluation_from_result(
@@ -149,13 +190,15 @@ def _evaluate_items_batched(
     commitment: CoSCommitment,
     tolerance: float,
     items: Sequence[GroupItem],
-    mode: str = "bisect",
+    kernel: str = "batch",
+    translations: Optional[TranslationCache] = None,
+    fingerprint: Optional[str] = None,
 ) -> tuple[list[ServerEvaluation], BatchSearchStats]:
     """Solve every item's capacity search in one batched kernel solve."""
-    if len(items) == 1 and items[0][2] is None and mode == "bisect":
+    if len(items) == 1 and items[0][2] is None and kernel in ("batch", "fused"):
         # A lone search gains nothing from the lock-step machinery (its
         # result is bit-identical either way); the scalar loop has less
-        # per-call overhead.
+        # per-call overhead than either batched kernel.
         limit, rows, _ = items[0]
         evaluation = _evaluate_rows(
             cos1, cos2, calendar, commitment, tolerance, rows, limit
@@ -175,15 +218,29 @@ def _evaluate_items_batched(
             ],
             dtype=float,
         )
-    batch = BatchSimulator.from_subsets(cos1, cos2, subsets, calendar)
-    solved = required_capacity_batch(
-        batch,
-        limits,
-        commitment,
-        tolerance=tolerance,
-        probes=probes,
-        mode=mode,
-    )
+    if kernel == "fused":
+        solved = fused_required_capacity(
+            cos1,
+            cos2,
+            subsets,
+            calendar,
+            limits,
+            commitment,
+            tolerance=tolerance,
+            probes=probes,
+            cache=translations,
+            fingerprint=fingerprint,
+        )
+    else:
+        batch = BatchSimulator.from_subsets(cos1, cos2, subsets, calendar)
+        solved = required_capacity_batch(
+            batch,
+            limits,
+            commitment,
+            tolerance=tolerance,
+            probes=probes,
+            mode=_solver_mode(kernel),
+        )
     evaluations = [
         _evaluation_from_result(result, float(limit))
         for result, limit in zip(solved.results, limits)
@@ -215,17 +272,18 @@ def evaluate_group_worker(
 
 def evaluate_groups_worker(
     payload: EvaluationPayload, items: tuple[GroupItem, ...]
-) -> tuple[tuple[ServerEvaluation, ...], tuple[int, int, int, int]]:
+) -> tuple[tuple[ServerEvaluation, ...], tuple[int, int, int, int, int, int]]:
     """Executor work unit: a whole chunk of subsets in one kernel solve.
 
     Returns the evaluations in item order plus the solver's work stats
-    ``(rows, kernel_calls, bracket_iterations, probe_hits)`` so the
-    driver can fold them into its instrumentation. Honours the
-    payload's ``kernel`` selection — ``"scalar"`` runs the per-subset
-    reference loop instead (the benchmark's baseline arm).
+    ``(rows, kernel_calls, bracket_iterations, probe_hits, fused_rows,
+    f32_retries)`` so the driver can fold them into its
+    instrumentation. Honours the payload's ``kernel`` selection —
+    ``"scalar"`` runs the per-subset reference loop instead (the
+    benchmark's baseline arm).
     """
     if not items:
-        return (), (0, 0, 0, 0)
+        return (), (0, 0, 0, 0, 0, 0)
     if payload.kernel == "scalar":
         evaluations = tuple(
             _evaluate_rows(
@@ -239,7 +297,7 @@ def evaluate_groups_worker(
             )
             for limit, rows, _ in items
         )
-        return evaluations, (len(items), 0, 0, 0)
+        return evaluations, (len(items), 0, 0, 0, 0, 0)
     evaluations_list, stats = _evaluate_items_batched(
         payload.cos1,
         payload.cos2,
@@ -247,13 +305,17 @@ def evaluate_groups_worker(
         payload.commitment,
         payload.tolerance,
         items,
-        mode=_solver_mode(payload.kernel),
+        kernel=payload.kernel,
+        translations=_worker_translations(payload),
+        fingerprint=payload.fingerprint,
     )
     return tuple(evaluations_list), (
         stats.rows,
         stats.kernel_calls,
         stats.bracket_iterations,
         stats.probe_hits,
+        stats.fused_rows,
+        stats.f32_retries,
     )
 
 
@@ -268,6 +330,7 @@ class PlacementEvaluator:
         *,
         kernel: str = "batch",
         instrumentation: Optional[Instrumentation] = None,
+        translations: Optional[TranslationCache] = None,
     ):
         if not pairs:
             raise PlacementError("need at least one workload to place")
@@ -292,6 +355,17 @@ class PlacementEvaluator:
         self._cos1 = np.vstack([pair.cos1.values for pair in self.pairs])
         self._cos2 = np.vstack([pair.cos2.values for pair in self.pairs])
         self._cache: dict[GroupKey, ServerEvaluation] = {}
+        # Fused-kernel state: the per-group translation memo (sharable
+        # across evaluators, e.g. one failure sweep's per-QoS-mix
+        # evaluators) and the lazily computed content fingerprint that
+        # keys it.
+        if translations is not None:
+            self._translations: Optional[TranslationCache] = translations
+        elif kernel == "fused":
+            self._translations = TranslationCache()
+        else:
+            self._translations = None
+        self._fingerprint: Optional[str] = None
 
     @property
     def n_workloads(self) -> int:
@@ -369,23 +443,56 @@ class PlacementEvaluator:
         self._cache.setdefault(key, evaluation)
 
     def record_search_stats(
-        self, stats: tuple[int, int, int, int] | BatchSearchStats
+        self, stats: Sequence[int] | BatchSearchStats
     ) -> None:
-        """Fold one batch solve's work accounting into the counters."""
+        """Fold one batch solve's work accounting into the counters.
+
+        Every ``kernel.*`` counter is recorded on every call — zero
+        increments included — so all kernel modes surface the same
+        counter set in :meth:`Instrumentation.counters_since` deltas
+        (the fused counters simply stay at zero for the other modes).
+        """
         if isinstance(stats, BatchSearchStats):
-            values = (
+            values: Sequence[int] = (
                 stats.rows,
                 stats.kernel_calls,
                 stats.bracket_iterations,
                 stats.probe_hits,
+                stats.fused_rows,
+                stats.f32_retries,
             )
         else:
-            values = stats
-        rows, kernel_calls, bracket_iterations, probe_hits = values
-        self._count("kernel.rows", rows)
-        self._count("kernel.calls", kernel_calls)
-        self._count("kernel.bracket_iterations", bracket_iterations)
-        self._count("kernel.probe_hits", probe_hits)
+            values = tuple(stats) + (0,) * (6 - len(stats))
+        names = (
+            "kernel.rows",
+            "kernel.calls",
+            "kernel.bracket_iterations",
+            "kernel.probe_hits",
+            "kernel.fused_rows",
+            "kernel.f32_retries",
+        )
+        for name, value in zip(names, values):
+            self._count(name, value)
+
+    def content_fingerprint(self) -> str:
+        """Digest of everything a fused translation's content depends on.
+
+        The same scheme as :func:`repro.core.framework.planning_fingerprint`
+        scoped to the translation inputs: the stacked allocation
+        matrices, the commitment, the tolerance, and the calendar. Two
+        evaluators with equal fingerprints produce bit-identical
+        translations for equal row subsets, which is what lets one
+        :class:`TranslationCache` serve many evaluators.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(self._cos1.tobytes())
+            digest.update(self._cos2.tobytes())
+            digest.update(repr(self.commitment).encode("utf-8"))
+            digest.update(repr(self.calendar).encode("utf-8"))
+            digest.update(repr(float(self.tolerance)).encode("utf-8"))
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def worker_payload(self) -> EvaluationPayload:
         """The picklable state a stateless worker needs (broadcast once)."""
@@ -396,6 +503,11 @@ class PlacementEvaluator:
             commitment=self.commitment,
             tolerance=self.tolerance,
             kernel=self.kernel,
+            fingerprint=(
+                self.content_fingerprint()
+                if self.kernel == "fused"
+                else None
+            ),
         )
 
     def search_result(
@@ -432,7 +544,9 @@ class PlacementEvaluator:
                 self.commitment,
                 self.tolerance,
                 [(limit, rows, None)],
-                mode=_solver_mode(self.kernel),
+                kernel=self.kernel,
+                translations=self._translations,
+                fingerprint=self._kernel_fingerprint(),
             )
             self.record_search_stats(stats)
             return evaluations[0]
@@ -458,7 +572,9 @@ class PlacementEvaluator:
                 self.commitment,
                 self.tolerance,
                 nonempty,
-                mode=_solver_mode(self.kernel),
+                kernel=self.kernel,
+                translations=self._translations,
+                fingerprint=self._kernel_fingerprint(),
             )
             self.record_search_stats(stats)
             solved_by_key = {
@@ -482,6 +598,12 @@ class PlacementEvaluator:
         return [
             solved_by_key[key] if key[1] else empty for key in missing
         ]
+
+    def _kernel_fingerprint(self) -> Optional[str]:
+        """The translation-memo key, only computed for the fused kernel."""
+        if self.kernel != "fused":
+            return None
+        return self.content_fingerprint()
 
     def _count(self, name: str, increment: float = 1) -> None:
         if self.instrumentation is not None:

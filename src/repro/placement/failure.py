@@ -34,6 +34,7 @@ from repro.core.qos import QoSPolicy
 from repro.engine import Checkpointer, ExecutionEngine
 from repro.exceptions import PlacementError
 from repro.placement.consolidation import ConsolidationResult, Consolidator
+from repro.placement.fused import TranslationCache
 from repro.placement.genetic import GeneticSearchConfig
 from repro.traces.trace import DemandTrace
 
@@ -132,6 +133,11 @@ class _SweepScratch:
     def __init__(self) -> None:
         self.translations: dict = {}
         self.evaluators: dict = {}
+        # Fused-kernel group translations, shared across every case
+        # (and every per-QoS-mix evaluator) this process handles: the
+        # cache keys on each evaluator's content fingerprint, so mixes
+        # with different degraded ensembles never collide.
+        self.fused_translations = TranslationCache()
 
 
 def _scratch_for(payload: _FailureSweepPayload) -> _SweepScratch | None:
@@ -457,6 +463,7 @@ class FailurePlanner:
                         tolerance=self.tolerance,
                         kernel=self.kernel,
                         instrumentation=consolidator.engine.instrumentation,
+                        translations=scratch.fused_translations,
                     )
                     scratch.evaluators[signature] = evaluator
                 result = consolidator.consolidate_with_evaluator(

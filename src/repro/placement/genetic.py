@@ -461,13 +461,22 @@ class GeneticPlacementSearch:
             for evaluation in evaluations:
                 self.evaluator.install(keys[cursor], evaluation)
                 cursor += 1
-            rows_solved, kernel_calls, bracket_iterations, probe_hits = stats
-            instrumentation.count("kernel.rows", rows_solved)
-            instrumentation.count("kernel.calls", kernel_calls)
-            instrumentation.count(
-                "kernel.bracket_iterations", bracket_iterations
-            )
-            instrumentation.count("kernel.probe_hits", probe_hits)
+            # Record the full BatchSearchStats set uniformly — zero
+            # increments included — so every kernel mode surfaces the
+            # same counter names in a plan's counter deltas.
+            padded = tuple(stats) + (0,) * (6 - len(stats))
+            for name, value in zip(
+                (
+                    "kernel.rows",
+                    "kernel.calls",
+                    "kernel.bracket_iterations",
+                    "kernel.probe_hits",
+                    "kernel.fused_rows",
+                    "kernel.f32_retries",
+                ),
+                padded,
+            ):
+                instrumentation.count(name, value)
         instrumentation.count("placement.group_evaluations", len(pending))
 
     def _probe_for(

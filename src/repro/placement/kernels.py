@@ -509,12 +509,21 @@ class BatchSimulator:
 
 @dataclass(frozen=True)
 class BatchSearchStats:
-    """Work accounting for one simultaneous-bisection solve."""
+    """Work accounting for one simultaneous capacity solve.
+
+    ``fused_rows``/``f32_retries`` stay zero outside the fused kernel
+    (:mod:`repro.placement.fused`): they count rows settled by the
+    float32 fast path and rows that failed its float64 verification and
+    re-ran on this batch kernel. All six fields are recorded uniformly
+    by every kernel mode so counter sets stay comparable across runs.
+    """
 
     rows: int
     kernel_calls: int
     bracket_iterations: int
     probe_hits: int
+    fused_rows: int = 0
+    f32_retries: int = 0
 
 
 @dataclass(frozen=True)

@@ -65,6 +65,25 @@ class TestCounters:
         instr.counters()["x"] = 99.0
         assert instr.counters() == {"x": 1.0}
 
+    def test_counters_since_keeps_new_zero_counters(self):
+        """Counters created after the snapshot survive at a zero delta.
+
+        A kernel mode that records its full counter set with some zero
+        values (e.g. no bracket iterations) must still surface those
+        names in the run's delta — only *pre-existing* counters that did
+        not advance are omitted.
+        """
+        instr = make_instrumentation()
+        instr.count("kernel.calls", 2)
+        instr.count("kernel.stale", 1)
+        snapshot = instr.counters()
+        instr.count("kernel.calls", 3)
+        instr.count("kernel.bracket_iterations", 0)
+        assert instr.counters_since(snapshot) == {
+            "kernel.calls": 3.0,
+            "kernel.bracket_iterations": 0.0,
+        }
+
 
 class TestEvents:
     def test_event_log_preserves_order_and_fields(self):
