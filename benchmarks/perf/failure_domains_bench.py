@@ -1,0 +1,205 @@
+"""Wall-time benchmark for the failure-domain tier.
+
+Runs the paper-scale case-study ensemble on a topology pool (12
+servers over 4 racks and 2 zones) and measures each failure-tier
+sweep on top of one shared normal plan:
+
+* ``single`` — the paper's baseline per-server what-if sweep;
+* ``rack`` / ``zone`` — whole-domain loss sweeps;
+* ``rack:2`` — correlated 2-concurrent faults drawn per rack;
+* ``degraded`` — every server surviving at half capacity;
+* ``spare_curve`` — the spares-needed-vs-failure-scope search.
+
+Two quality gates run alongside the timings: the rack sweep must
+either absorb every whole-rack loss or the spare-sizing search must
+find a finite spare count for it, and the spare curve must be
+monotone non-increasing as the failure scope shrinks.
+
+Measurements land in ``BENCH_failure_domains.json`` at the repo root::
+
+    # genetic search (committed baseline):
+    PYTHONPATH=src python benchmarks/perf/failure_domains_bench.py
+    # first-fit smoke (CI):
+    PYTHONPATH=src python benchmarks/perf/failure_domains_bench.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.core.cos import PoolCommitments
+from repro.core.qos import QoSPolicy, case_study_qos
+from repro.core.translation import QoSTranslator
+from repro.engine import ExecutionEngine
+from repro.placement.consolidation import Consolidator
+from repro.placement.failure import FailurePlanner
+from repro.placement.genetic import GeneticSearchConfig
+from repro.resources.pool import ResourcePool
+from repro.resources.server import homogeneous_servers
+from repro.workloads.ensemble import case_study_ensemble
+
+SEED = 2006
+THETA = 0.95
+SERVERS = 12
+RACKS = 4
+ZONES = 2
+MAX_SPARES = 3
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_failure_domains.json"
+
+
+def _config() -> GeneticSearchConfig:
+    return GeneticSearchConfig(
+        seed=SEED,
+        population_size=10,
+        max_generations=8,
+        stall_generations=4,
+    )
+
+
+def _report_entry(label: str, report, seconds: float) -> dict:
+    return {
+        "sweep": label,
+        "seconds": round(seconds, 4),
+        "cases": len(report.cases),
+        "infeasible": len(report.infeasible_cases),
+        "all_supported": report.all_supported,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use first-fit re-planning and a coarse calendar (CI smoke)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args()
+
+    algorithm = "first_fit" if args.quick else "genetic"
+    slot_minutes = 60 if args.quick else 30
+    demands = case_study_ensemble(
+        seed=SEED, weeks=1, slot_minutes=slot_minutes
+    )
+    policy = QoSPolicy(
+        normal=case_study_qos(m_degr_percent=0),
+        failure=case_study_qos(m_degr_percent=3, t_degr_minutes=30.0),
+    )
+    pool = ResourcePool(
+        homogeneous_servers(SERVERS, cpus=16, racks=RACKS, zones=ZONES)
+    )
+    engine = ExecutionEngine.serial()
+    translator = QoSTranslator(PoolCommitments.of(theta=THETA), engine=engine)
+    pairs = [
+        translator.translate(demand, policy.normal).pair
+        for demand in demands
+    ]
+    start = time.perf_counter()
+    normal = Consolidator(
+        pool, translator.commitments.cos2, config=_config(), engine=engine
+    ).consolidate(pairs, algorithm)
+    normal_seconds = time.perf_counter() - start
+    print(
+        f"[normal] {len(demands)} workloads on {normal.servers_used}/"
+        f"{SERVERS} servers ({RACKS} racks, {ZONES} zones) in "
+        f"{normal_seconds:.2f}s",
+        flush=True,
+    )
+
+    planner = FailurePlanner(translator, config=_config(), engine=engine)
+    sweeps = []
+    reports = {}
+    for label, scope in [
+        ("single", "server"),
+        ("rack", "rack"),
+        ("zone", "zone"),
+        ("rack:2", "rack:2"),
+    ]:
+        start = time.perf_counter()
+        report = planner.plan_scope(
+            demands, policy, pool, normal, scope=scope,
+            algorithm=algorithm, sample_seed=SEED,
+        )
+        seconds = time.perf_counter() - start
+        reports[label] = report
+        sweeps.append(_report_entry(label, report, seconds))
+        print(
+            f"[{label}] {len(report.cases)} cases, "
+            f"{len(report.infeasible_cases)} infeasible, {seconds:.2f}s",
+            flush=True,
+        )
+
+    start = time.perf_counter()
+    degraded = planner.plan_degraded(
+        demands, policy, pool, normal, factor=0.5, algorithm=algorithm
+    )
+    seconds = time.perf_counter() - start
+    sweeps.append(_report_entry("degraded@0.5", degraded, seconds))
+    print(
+        f"[degraded@0.5] {len(degraded.cases)} cases, "
+        f"{len(degraded.infeasible_cases)} infeasible, {seconds:.2f}s",
+        flush=True,
+    )
+
+    start = time.perf_counter()
+    curve = planner.spare_sizing_curve(
+        demands, policy, pool, normal,
+        max_spares=MAX_SPARES, algorithm=algorithm, sample_seed=SEED,
+    )
+    curve_seconds = time.perf_counter() - start
+    spares = {point.scope: point.spares_needed for point in curve.points}
+    print(f"[spare curve] {spares} in {curve_seconds:.2f}s", flush=True)
+
+    rack_absorbed = reports["rack"].all_supported
+    rack_spares = spares.get("rack")
+    if not rack_absorbed and rack_spares is None:
+        raise RuntimeError(
+            "whole-rack loss is neither absorbed nor coverable within "
+            f"{MAX_SPARES} spares"
+        )
+    if not curve.monotone_in_scope():
+        raise RuntimeError(
+            "spare-sizing curve is not monotone in the failure scope"
+        )
+
+    counters = engine.instrumentation.counters()
+    report = {
+        "benchmark": "failure-domain sweeps",
+        "seed": SEED,
+        "theta": THETA,
+        "quick": args.quick,
+        "algorithm": algorithm,
+        "slot_minutes": slot_minutes,
+        "workloads": len(demands),
+        "servers": SERVERS,
+        "racks": RACKS,
+        "zones": ZONES,
+        "servers_used": normal.servers_used,
+        "normal_seconds": round(normal_seconds, 4),
+        "sweeps": sweeps,
+        "rack_loss_absorbed": rack_absorbed,
+        "rack_loss_spares_needed": 0 if rack_absorbed else rack_spares,
+        "spare_curve": curve.to_payload(),
+        "spare_curve_seconds": round(curve_seconds, 4),
+        "spare_curve_monotone": curve.monotone_in_scope(),
+        "sweep_counters": {
+            name: value
+            for name, value in sorted(counters.items())
+            if name.startswith("failure.")
+        },
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

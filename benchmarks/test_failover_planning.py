@@ -57,7 +57,7 @@ def test_failover_without_spare(ensemble, benchmark, theta):
         status = "ok" if case.feasible else "INFEASIBLE"
         used = case.servers_used if case.servers_used is not None else "-"
         rows.append(
-            f"fail {case.failed_server}: {status}, "
+            f"fail {case.label}: {status}, "
             f"{used} surviving servers used, "
             f"{len(case.affected_workloads)} workloads displaced"
         )

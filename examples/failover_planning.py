@@ -64,15 +64,15 @@ def main() -> None:
         if case.feasible:
             if case.result is None:
                 raise InvariantError(
-                    f"feasible case {case.failed_server} carries no result"
+                    f"feasible case {case.label} carries no result"
                 )
             print(
-                f"  lose {case.failed_server}: OK on "
+                f"  lose {case.label}: OK on "
                 f"{case.servers_used} surviving servers "
                 f"(displaced: {', '.join(case.affected_workloads)})"
             )
         else:
-            print(f"  lose {case.failed_server}: NOT ABSORBABLE")
+            print(f"  lose {case.label}: NOT ABSORBABLE")
 
     print()
     if report.spare_server_needed:

@@ -83,7 +83,7 @@ def main() -> None:
         for case in plan.failure_report.cases:
             status = "absorbable" if case.feasible else "NEEDS SPARE"
             print(
-                f"  lose {case.failed_server}: {status} "
+                f"  lose {case.label}: {status} "
                 f"({len(case.affected_workloads)} workloads displaced)"
             )
         need = "yes" if plan.failure_report.spare_server_needed else "no"

@@ -78,8 +78,14 @@ from repro.exceptions import (
 )
 from repro.metrics.access import measure_theta
 from repro.metrics.compliance import ComplianceReport, check_compliance
+from repro.placement.affinity import PlacementConstraints
 from repro.placement.consolidation import ConsolidationResult, Consolidator
-from repro.placement.failure import FailurePlanner, FailureReport
+from repro.placement.failure import (
+    FailurePlanner,
+    FailureReport,
+    FailureSweepPolicy,
+    SpareSizingCurve,
+)
 from repro.placement.genetic import GeneticSearchConfig
 from repro.placement.multi_attribute import (
     MultiAttributeConsolidator,
@@ -117,6 +123,7 @@ __all__ = [
     "ExecutionEngine",
     "FailurePlanner",
     "FailureReport",
+    "FailureSweepPolicy",
     "GeneticSearchConfig",
     "InfeasiblePlacementError",
     "Instrumentation",
@@ -124,6 +131,7 @@ __all__ = [
     "MultiAttributeEvaluator",
     "ParallelExecutor",
     "PartitionError",
+    "PlacementConstraints",
     "PlacementError",
     "PoolCommitments",
     "QoSPolicy",
@@ -138,6 +146,7 @@ __all__ = [
     "SerialExecutor",
     "ServerSpec",
     "SimulationError",
+    "SpareSizingCurve",
     "TraceCalendar",
     "TraceError",
     "TraceQualityReport",

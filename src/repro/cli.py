@@ -15,7 +15,10 @@ Subcommands
 ``validate``
     Screen an ensemble for trace-quality problems.
 ``outlook``
-    Long-term capacity outlook: when does the pool run out?
+    Long-term capacity outlook: when does the pool run out?  With
+    ``--domains``/``--degraded``/``--spare-curve`` it reports the
+    failure-tier outlook instead: domain-scoped failure sweeps and the
+    spare-sizing curve for today's pool.
 ``lint``
     Run the AST invariant linter (:mod:`repro.analysis`) over source
     trees; same engine as ``python -m repro.analysis``.
@@ -23,7 +26,9 @@ Subcommands
     Run the planning pipeline under a seeded fault schedule (worker
     crashes, hangs, corrupted results, broadcast failures) and report
     the recovery telemetry; ``--verify`` re-runs fault-free and checks
-    the two plans hash identically.
+    the two plans hash identically.  With ``--racks``/``--zones`` and
+    ``--domains`` the verification also covers the domain-scoped
+    failure sweeps (they contribute to the plan hash).
 """
 
 from __future__ import annotations
@@ -44,6 +49,7 @@ from repro.engine import (
     ResilienceConfig,
 )
 from repro.placement.evaluation import KERNELS
+from repro.placement.failure import FailureSweepPolicy
 from repro.placement.genetic import GeneticSearchConfig
 from repro.resources.pool import ResourcePool
 from repro.resources.server import homogeneous_servers
@@ -105,6 +111,69 @@ def _add_kernel_argument(parser: argparse.ArgumentParser) -> None:
              "verification), 'analytic' stays within the search "
              "tolerance, 'scalar' is the paper's per-subset loop "
              "(default: batch)",
+    )
+
+
+def _add_topology_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--racks", type=int, default=None,
+        help="spread the servers over this many racks (default: flat pool)",
+    )
+    parser.add_argument(
+        "--zones", type=int, default=None,
+        help="spread the servers over this many zones (default: flat pool)",
+    )
+
+
+def _add_failure_tier_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--domains", action="store_true",
+        help="sweep whole-domain (rack, and zone when --zones is set) "
+             "failures in addition to single servers",
+    )
+    parser.add_argument(
+        "--degraded", type=float, default=None, metavar="FACTOR",
+        help="also sweep degraded servers surviving at FACTOR of their "
+             "capacity (0 < FACTOR < 1)",
+    )
+    parser.add_argument(
+        "--spare-curve", action="store_true",
+        help="search spare servers needed per failure scope and print "
+             "the spares-vs-scope curve",
+    )
+    parser.add_argument(
+        "--max-spares", type=int, default=4,
+        help="spare-sizing search ceiling (default 4)",
+    )
+
+
+def _pool(args: argparse.Namespace) -> ResourcePool:
+    return ResourcePool(
+        homogeneous_servers(
+            args.servers,
+            cpus=args.cpus,
+            racks=getattr(args, "racks", None),
+            zones=getattr(args, "zones", None),
+        )
+    )
+
+
+def _failure_policy(args: argparse.Namespace) -> FailureSweepPolicy | None:
+    """Build the domain-sweep policy the failure-tier flags describe."""
+    domains = getattr(args, "domains", False)
+    degraded = getattr(args, "degraded", None)
+    spare_curve = getattr(args, "spare_curve", False)
+    if not domains and degraded is None and not spare_curve:
+        return None
+    scopes: list[str] = ["rack"]
+    if getattr(args, "zones", None):
+        scopes.append("zone")
+    return FailureSweepPolicy(
+        scopes=tuple(scopes) if domains else (),
+        degraded_factor=degraded,
+        spare_curve=spare_curve,
+        max_spares=getattr(args, "max_spares", 4),
+        sample_seed=getattr(args, "seed", None),
     )
 
 
@@ -233,10 +302,9 @@ def cmd_translate(args: argparse.Namespace) -> int:
 def cmd_plan(args: argparse.Namespace) -> int:
     demands = _load_demands(args)
     engine = _engine(args)
-    pool = ResourcePool(homogeneous_servers(args.servers, cpus=args.cpus))
     framework = ROpus(
         PoolCommitments.of(theta=args.theta),
-        pool,
+        _pool(args),
         search_config=GeneticSearchConfig(seed=args.seed),
         engine=engine,
         checkpointer=_checkpointer(args),
@@ -244,6 +312,7 @@ def cmd_plan(args: argparse.Namespace) -> int:
         cluster_seed=args.cluster_seed,
         refine_rounds=args.refine_rounds,
         kernel=args.kernel,
+        failure_policy=_failure_policy(args),
     )
     policy = QoSPolicy(
         normal=_qos(args),
@@ -357,10 +426,11 @@ def _chaos_plan(
     engine = _engine(args, fault_plan=fault_plan)
     framework = ROpus(
         PoolCommitments.of(theta=args.theta),
-        ResourcePool(homogeneous_servers(args.servers, cpus=args.cpus)),
+        _pool(args),
         search_config=GeneticSearchConfig(seed=args.seed),
         engine=engine,
         kernel=args.kernel,
+        failure_policy=_failure_policy(args),
     )
     policy = QoSPolicy(
         normal=_qos(args),
@@ -420,14 +490,91 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1
 
 
-def cmd_outlook(args: argparse.Namespace) -> int:
-    from repro.core.manager import CapacityManager
+def _print_failure_outlook(plan: object) -> None:
+    """Print the domain-sweep and spare-sizing tables of a plan."""
+    reports = getattr(plan, "domain_reports", None) or {}
+    rows = []
+    for scope, report in sorted(reports.items()):
+        rows.append(
+            [
+                scope,
+                len(report.cases),
+                len(report.infeasible_cases),
+                "yes" if report.all_supported else "no",
+                "yes" if report.spare_server_needed else "no",
+            ]
+        )
+    if rows:
+        print(
+            format_table(
+                ["scope", "cases", "infeasible", "absorbed", "spare needed"],
+                rows,
+                title="Failure-domain outlook",
+            )
+        )
+    curve = getattr(plan, "spare_curve", None)
+    if curve is not None:
+        print()
+        rows = [
+            [
+                point.scope,
+                point.infeasible_without_spares,
+                point.spares_needed
+                if point.spares_needed is not None
+                else f"> {curve.max_spares}",
+            ]
+            for point in curve.points
+        ]
+        print(
+            format_table(
+                ["failure scope", "infeasible w/o spares", "spares needed"],
+                rows,
+                title="Spare-sizing curve",
+            )
+        )
+        print(
+            "curve monotone in scope: "
+            f"{'yes' if curve.monotone_in_scope() else 'NO'}"
+        )
 
+
+def _failure_outlook(args: argparse.Namespace) -> int:
+    """Failure-tier outlook: domain sweeps and spare sizing for today's pool."""
     demands = _load_demands(args)
     engine = _engine(args)
     framework = ROpus(
         PoolCommitments.of(theta=args.theta),
-        ResourcePool(homogeneous_servers(args.servers, cpus=args.cpus)),
+        _pool(args),
+        search_config=GeneticSearchConfig(seed=args.seed),
+        engine=engine,
+        kernel=args.kernel,
+        failure_policy=_failure_policy(args),
+    )
+    policy = QoSPolicy(
+        normal=_qos(args),
+        failure=case_study_qos(m_degr_percent=3.0, t_degr_minutes=30.0),
+    )
+    plan = framework.plan(demands, policy, plan_failures=True)
+    print(f"plan_hash: {plan.plan_hash()}")
+    print(f"servers_used: {plan.servers_used}")
+    print()
+    _print_failure_outlook(plan)
+    if args.timings:
+        _print_timings(engine)
+    engine.close()
+    return 0
+
+
+def cmd_outlook(args: argparse.Namespace) -> int:
+    from repro.core.manager import CapacityManager
+
+    if _failure_policy(args) is not None:
+        return _failure_outlook(args)
+    demands = _load_demands(args)
+    engine = _engine(args)
+    framework = ROpus(
+        PoolCommitments.of(theta=args.theta),
+        _pool(args),
         search_config=GeneticSearchConfig(seed=args.seed),
         engine=engine,
         kernel=args.kernel,
@@ -504,6 +651,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_kernel_argument(plan)
     plan.add_argument("--servers", type=int, default=12)
     plan.add_argument("--cpus", type=int, default=16)
+    _add_topology_arguments(plan)
+    _add_failure_tier_arguments(plan)
     plan.add_argument("--no-failures", action="store_true")
     plan.add_argument(
         "--checkpoint", type=str, default=None, metavar="DIR",
@@ -538,6 +687,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_kernel_argument(chaos)
     chaos.add_argument("--servers", type=int, default=12)
     chaos.add_argument("--cpus", type=int, default=16)
+    _add_topology_arguments(chaos)
+    _add_failure_tier_arguments(chaos)
     chaos.add_argument("--no-failures", action="store_true")
     chaos.add_argument(
         "--chaos-seed", type=int, default=0,
@@ -590,6 +741,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_kernel_argument(outlook)
     outlook.add_argument("--servers", type=int, default=12)
     outlook.add_argument("--cpus", type=int, default=16)
+    _add_topology_arguments(outlook)
+    _add_failure_tier_arguments(outlook)
     outlook.add_argument("--horizon", type=int, default=24)
     outlook.add_argument("--step", type=int, default=4)
     outlook.add_argument(

@@ -34,9 +34,15 @@ from repro.core.qos import ApplicationQoS, QoSPolicy
 from repro.core.translation import QoSTranslator, TranslationResult
 from repro.engine import Checkpointer, ExecutionEngine
 from repro.exceptions import ConfigurationError
+from repro.placement.affinity import PlacementConstraints
 from repro.placement.clustering import demand_shape_features
 from repro.placement.consolidation import ConsolidationResult, Consolidator
-from repro.placement.failure import FailurePlanner, FailureReport
+from repro.placement.failure import (
+    FailurePlanner,
+    FailureReport,
+    FailureSweepPolicy,
+    SpareSizingCurve,
+)
 from repro.placement.genetic import GeneticSearchConfig
 from repro.placement.sharding import (
     HierarchicalPlanner,
@@ -89,6 +95,8 @@ def planning_fingerprint(
     relax_all_on_failure: bool,
     previous: ConsolidationResult | None,
     sharding: ShardingPolicy | None = None,
+    constraints: PlacementConstraints | None = None,
+    failure_policy: FailureSweepPolicy | None = None,
 ) -> str:
     """A digest of everything a planning run's decisions depend on.
 
@@ -113,7 +121,13 @@ def planning_fingerprint(
         ],
         "policies": _policy_digest(policies),
         "pool": [
-            [server.name, server.cpus, sorted(server.attributes.items())]
+            [
+                server.name,
+                server.cpus,
+                sorted(server.attributes.items()),
+                server.rack,
+                server.zone,
+            ]
             for server in pool.servers
         ],
         "commitments": repr(commitments),
@@ -133,6 +147,10 @@ def planning_fingerprint(
             )
         ),
         "sharding": None if sharding is None else repr(sharding),
+        "constraints": None if constraints is None else repr(constraints),
+        "failure_policy": (
+            None if failure_policy is None else repr(failure_policy)
+        ),
     }
     canonical = json.dumps(document, sort_keys=True)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -163,6 +181,12 @@ class CapacityPlan:
     timings: Mapping[str, float] = field(default_factory=dict)
     counters: Mapping[str, float] = field(default_factory=dict)
     sharding: Optional[Mapping[str, object]] = None
+    #: Domain-scoped failure sweeps (scope spec → report) when the run
+    #: had a :class:`~repro.placement.failure.FailureSweepPolicy`.
+    domain_reports: Optional[Mapping[str, FailureReport]] = None
+    #: The spares-needed-vs-failure-scope curve when the policy asked
+    #: for the spare-sizing search.
+    spare_curve: Optional[SpareSizingCurve] = None
 
     @property
     def servers_used(self) -> int:
@@ -184,6 +208,19 @@ class CapacityPlan:
             "sum_peak_allocations": self.consolidation.sum_peak_allocations,
             "sharing_savings": self.consolidation.sharing_savings(),
             "spare_server_needed": self.spare_server_needed,
+            "failure_domains": (
+                None
+                if self.domain_reports is None
+                else {
+                    scope: report.summary()
+                    for scope, report in self.domain_reports.items()
+                }
+            ),
+            "spare_curve": (
+                None
+                if self.spare_curve is None
+                else self.spare_curve.to_payload()
+            ),
             "sharding": None if self.sharding is None else dict(self.sharding),
             "stage_timings": dict(self.timings),
             "counters": dict(self.counters),
@@ -217,6 +254,10 @@ class CapacityPlan:
         A run that survived injected faults via retries, or resumed
         from a checkpoint after a kill, therefore hashes identically to
         an undisturbed run; a changed hash means the *plan* changed.
+
+        Domain-scoped sweeps and the spare-sizing curve join the
+        document only when the run produced them, so plans from runs
+        without a failure policy hash exactly as they always have.
         """
         document = {
             "consolidation": {
@@ -234,7 +275,7 @@ class CapacityPlan:
                 if self.failure_report is None
                 else [
                     {
-                        "failed_server": case.failed_server,
+                        "failed_server": case.label,
                         "feasible": case.feasible,
                         "assignment": (
                             None
@@ -251,6 +292,29 @@ class CapacityPlan:
                 ]
             ),
         }
+        if self.domain_reports is not None:
+            document["failure_domains"] = {
+                scope: [
+                    {
+                        "case": case.label,
+                        "feasible": case.feasible,
+                        "assignment": (
+                            None
+                            if case.result is None
+                            else {
+                                server: list(names)
+                                for server, names in (
+                                    case.result.assignment.items()
+                                )
+                            }
+                        ),
+                    }
+                    for case in report.cases
+                ]
+                for scope, report in self.domain_reports.items()
+            }
+        if self.spare_curve is not None:
+            document["spare_curve"] = self.spare_curve.to_payload()
         canonical = json.dumps(document, sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -271,6 +335,8 @@ class _PlanContext:
     consolidation: Optional[ConsolidationResult] = None
     sharded: Optional[ShardedPlacementResult] = None
     failure_report: Optional[FailureReport] = None
+    domain_reports: Optional[dict[str, FailureReport]] = None
+    spare_curve: Optional[SpareSizingCurve] = None
 
 
 class ROpus:
@@ -301,6 +367,8 @@ class ROpus:
         sharding: Union[int, str, ShardingPolicy] = "off",
         cluster_seed: Optional[int] = None,
         refine_rounds: int = 2,
+        constraints: PlacementConstraints | None = None,
+        failure_policy: FailureSweepPolicy | None = None,
     ):
         self.commitments = commitments
         self.pool = pool
@@ -321,6 +389,14 @@ class ROpus:
             )
         if checkpointer is not None and checkpointer.instrumentation is None:
             checkpointer.instrumentation = self.engine.instrumentation
+        #: Anti-affinity constraints, threaded into every consolidation
+        #: this framework runs (monolithic, sharded, and failure
+        #: what-ifs plan *around* them via the priced objective).
+        self.constraints = constraints
+        #: What the ``failure_check`` stage sweeps beyond the paper's
+        #: single-server baseline (domain scopes, degraded servers, the
+        #: spare-sizing curve). ``None`` keeps the historical behavior.
+        self.failure_policy = failure_policy
         self.translator = QoSTranslator(commitments, engine=self.engine)
 
     def translate(
@@ -388,6 +464,8 @@ class ROpus:
                 relax_all_on_failure=relax_all_on_failure,
                 previous=previous,
                 sharding=self.sharding_policy,
+                constraints=self.constraints,
+                failure_policy=self.failure_policy,
             )
         context = _PlanContext(
             demands=demands,
@@ -420,6 +498,8 @@ class ROpus:
                 if context.sharded is None
                 else context.sharded.summary()
             ),
+            domain_reports=context.domain_reports,
+            spare_curve=context.spare_curve,
         )
 
     # ------------------------------------------------------------------
@@ -439,6 +519,7 @@ class ROpus:
             engine=self.engine,
             kernel=self.kernel,
             policy=self.sharding_policy,
+            constraints=self.constraints,
         )
 
     def _stage_translate(self, context: _PlanContext) -> bool:
@@ -477,6 +558,7 @@ class ROpus:
                 attribute=self.attribute,
                 engine=self.engine,
                 kernel=self.kernel,
+                constraints=self.constraints,
             )
             context.consolidation = consolidator.consolidate(
                 context.pairs,
@@ -516,6 +598,58 @@ class ROpus:
             relax_all=context.relax_all_on_failure,
             algorithm=context.algorithm,
         )
+        policy = self.failure_policy
+        if policy is None:
+            return True
+        # Domain-scoped sweeps on top of the single-server baseline.
+        # Each scope checkpoints under its own key prefix, so a killed
+        # multi-scope sweep resumes every completed case regardless of
+        # which scope was in flight.
+        domain_reports: dict[str, FailureReport] = {}
+        for scope in policy.scopes:
+            domain_reports[scope] = planner.plan_scope(
+                context.demands,
+                context.policies,
+                self.pool,
+                context.consolidation,
+                scope=scope,
+                relax_all=context.relax_all_on_failure,
+                algorithm=context.algorithm,
+                max_cases=policy.max_cases,
+                sample_seed=policy.sample_seed,
+                key_prefix=f"scope:{scope}",
+            )
+        if policy.degraded_factor is not None:
+            label = (
+                f"degraded:{policy.degraded_scope}"
+                f"@{policy.degraded_factor:g}"
+            )
+            domain_reports[label] = planner.plan_degraded(
+                context.demands,
+                context.policies,
+                self.pool,
+                context.consolidation,
+                factor=policy.degraded_factor,
+                scope=policy.degraded_scope,
+                relax_all=context.relax_all_on_failure,
+                algorithm=context.algorithm,
+                key_prefix=label,
+            )
+        if domain_reports:
+            context.domain_reports = domain_reports
+        if policy.spare_curve:
+            context.spare_curve = planner.spare_sizing_curve(
+                context.demands,
+                context.policies,
+                self.pool,
+                context.consolidation,
+                scopes=policy.spare_scopes,
+                max_spares=policy.max_spares,
+                relax_all=context.relax_all_on_failure,
+                algorithm=context.algorithm,
+                max_cases=policy.max_cases,
+                sample_seed=policy.sample_seed,
+            )
         return True
 
     def _qos_for(

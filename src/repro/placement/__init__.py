@@ -13,7 +13,11 @@ Components:
   baseline placement algorithms;
 * :mod:`repro.placement.consolidation` — the end-to-end consolidation
   exercise;
-* :mod:`repro.placement.failure` — single-failure what-if planning;
+* :mod:`repro.placement.failure` — failure what-if planning: single
+  servers, correlated domains (rack/zone loss), degraded servers, and
+  the spare-sizing search;
+* :mod:`repro.placement.affinity` — anti-affinity constraints keeping a
+  workload's capacity and failover target in distinct failure domains;
 * :mod:`repro.placement.clustering` / :mod:`repro.placement.sharding` —
   the hierarchical tier: demand-shape clustering, pool sharding,
   parallel per-shard planning, and cross-shard refinement.
@@ -30,7 +34,22 @@ from repro.placement.correlation import (
     allocation_correlation_matrix,
     correlation_aware_seed,
 )
-from repro.placement.failure import FailurePlanner, FailureReport
+from repro.placement.affinity import (
+    AffinityViolation,
+    PlacementConstraints,
+    find_violations,
+    repair_assignment,
+)
+from repro.placement.failure import (
+    MAX_EXHAUSTIVE_CASES,
+    FailurePlanner,
+    FailureReport,
+    FailureSweepPolicy,
+    FaultScenario,
+    SparePoint,
+    SpareSizingCurve,
+    parse_scope,
+)
 from repro.placement.genetic import GeneticPlacementSearch, GeneticSearchConfig
 from repro.placement.greedy import best_fit_decreasing, first_fit_decreasing
 from repro.placement.multi_attribute import (
@@ -50,11 +69,18 @@ from repro.placement.simulator import AccessReport, SingleServerSimulator
 
 __all__ = [
     "AccessReport",
+    "AffinityViolation",
     "ClusteringResult",
     "ConsolidationResult",
     "Consolidator",
     "FailurePlanner",
     "FailureReport",
+    "FailureSweepPolicy",
+    "FaultScenario",
+    "MAX_EXHAUSTIVE_CASES",
+    "PlacementConstraints",
+    "SparePoint",
+    "SpareSizingCurve",
     "GeneticPlacementSearch",
     "GeneticSearchConfig",
     "HierarchicalPlanner",
@@ -72,7 +98,10 @@ __all__ = [
     "assignment_score",
     "best_fit_decreasing",
     "correlation_aware_seed",
+    "find_violations",
     "first_fit_decreasing",
+    "parse_scope",
+    "repair_assignment",
     "required_capacity",
     "server_score",
 ]

@@ -148,6 +148,7 @@ class Consolidator:
         attribute: str = "cpu",
         engine: ExecutionEngine | None = None,
         kernel: str = "batch",
+        constraints=None,
     ):
         if len(pool) == 0:
             raise PlacementError("cannot consolidate onto an empty pool")
@@ -163,6 +164,11 @@ class Consolidator:
         self.attribute = attribute
         self.engine = engine if engine is not None else ExecutionEngine.serial()
         self.kernel = kernel
+        #: Optional anti-affinity constraints
+        #: (:class:`repro.placement.affinity.PlacementConstraints`):
+        #: priced into the genetic fitness and repaired on the final
+        #: assignment of any algorithm.
+        self.constraints = constraints
 
     def consolidate(
         self,
@@ -242,6 +248,7 @@ class Consolidator:
                     self.config,
                     self.attribute,
                     engine=self.engine,
+                    constraints=self.constraints,
                 )
                 search = searcher.run(
                     seed,
@@ -255,9 +262,52 @@ class Consolidator:
                     f"unknown placement algorithm {algorithm!r}"
                 )
 
+            assignment = self._enforce_constraints(evaluator, assignment)
             result = self._build_result(evaluator, assignment, algorithm, search)
         instrumentation.count("placement.consolidations")
         return result
+
+    def _enforce_constraints(self, evaluator, assignment):
+        """Repair anti-affinity violations left in a final assignment.
+
+        The genetic search only *prices* violations (a crowded pool can
+        make a clean assignment unreachable mid-search) and the greedy
+        algorithms ignore them entirely, so the final assignment gets a
+        deterministic repair pass: surplus group members migrate to
+        feasible servers in unoccupied domains (see
+        :func:`repro.placement.affinity.repair_assignment`). The
+        ``placement.affinity_*`` counters always report — zeros
+        included — whenever constraints are enabled, so counter deltas
+        are comparable across runs.
+        """
+        if self.constraints is None or not self.constraints.enabled:
+            return assignment
+        from repro.placement.affinity import ConstraintIndex, repair_assignment
+
+        servers = list(self.pool.servers)
+        index = ConstraintIndex(self.constraints, evaluator.names, servers)
+        instrumentation = self.engine.instrumentation
+        violations = index.pair_count(assignment)
+        instrumentation.count("placement.affinity_violations", violations)
+        moves = 0
+        if violations:
+            assignment, moves = repair_assignment(
+                assignment,
+                evaluator,
+                servers,
+                self.constraints,
+                self.attribute,
+            )
+        instrumentation.count("placement.affinity_repairs", moves)
+        remaining = index.pair_count(assignment) if violations else 0
+        instrumentation.count("placement.affinity_unrepaired", remaining)
+        if remaining:
+            instrumentation.event(
+                "placement.affinity_unrepaired",
+                violations=violations,
+                remaining=remaining,
+            )
+        return assignment
 
     def _correlation_seed(self, evaluator) -> list[tuple[int, ...]]:
         """A correlation-aware greedy seed, when the evaluator supports it.

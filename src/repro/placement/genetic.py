@@ -123,6 +123,7 @@ class GeneticPlacementSearch:
         config: GeneticSearchConfig | None = None,
         attribute: str = "cpu",
         engine: ExecutionEngine | None = None,
+        constraints=None,
     ):
         if len(pool) == 0:
             raise PlacementError("the pool must contain at least one server")
@@ -133,6 +134,18 @@ class GeneticPlacementSearch:
         self.attribute = attribute
         self.engine = engine if engine is not None else ExecutionEngine.serial()
         self._evaluations = 0
+        # Anti-affinity constraints price co-located pairs into the
+        # fitness (soft: feasibility stays purely capacity-based), so
+        # the search evolves away from shared failure domains. With no
+        # constraints the scoring path is untouched — bit-identical to
+        # the unconstrained search.
+        self._constraint_index = None
+        if constraints is not None and constraints.enabled:
+            from repro.placement.affinity import ConstraintIndex
+
+            self._constraint_index = ConstraintIndex(
+                constraints, evaluator.names, self.servers
+            )
 
     # ------------------------------------------------------------------
     # Public API
@@ -336,6 +349,8 @@ class GeneticPlacementSearch:
             required = evaluation.required if evaluation.fits else None
             score += server_score(server, len(indices), required, self.attribute)
             feasible = feasible and evaluation.fits
+        if self._constraint_index is not None:
+            score -= self._constraint_index.penalty(assignment)
         return EvaluatedAssignment(
             assignment=assignment,
             score=score,

@@ -12,6 +12,12 @@ An assignment's score is a sum over the pool's servers:
 * ``-N`` for an over-booked server (``R > L``), where ``N`` is the
   number of workloads assigned to it — infeasible servers are penalised
   in proportion to how much work would suffer.
+
+Anti-affinity constraints (see :mod:`repro.placement.affinity`) price
+each co-located pair of constrained workloads with
+:func:`affinity_penalty` — a soft penalty subtracted from the score, so
+the search steers clear of shared failure domains without ever calling
+a capacity-feasible assignment infeasible.
 """
 
 from __future__ import annotations
@@ -53,6 +59,21 @@ def server_score(
     if required is None or required > limit or required != required:
         return -float(n_workloads)
     return utilization_value(min(1.0, required / limit), server.cpus)
+
+
+def affinity_penalty(pair_count: int, weight: float) -> float:
+    """The objective price of ``pair_count`` co-located constrained pairs.
+
+    Linear in the pair count so splitting a three-way co-location into
+    a two-way one is still rewarded; ``weight`` should exceed the
+    ``+1`` empty-server reward so a violation is never bought with a
+    freed server.
+    """
+    if pair_count < 0:
+        raise PlacementError(f"pair_count must be >= 0, got {pair_count}")
+    if weight <= 0.0:
+        raise PlacementError(f"weight must be > 0, got {weight}")
+    return float(weight * pair_count)
 
 
 def assignment_score(

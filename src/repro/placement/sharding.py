@@ -229,6 +229,9 @@ class ShardedPlacementResult:
     refine_rounds_run: int
     migrations: int
     resumed_shards: int
+    #: Workloads migrated by the post-merge anti-affinity repair pass
+    #: (0 when no constraints were given or the merged plan was clean).
+    affinity_repairs: int = 0
 
     @property
     def shard_count(self) -> int:
@@ -244,6 +247,7 @@ class ShardedPlacementResult:
             "refine_rounds_run": self.refine_rounds_run,
             "migrations": self.migrations,
             "resumed_shards": self.resumed_shards,
+            "affinity_repairs": self.affinity_repairs,
         }
 
 
@@ -259,6 +263,10 @@ class _ShardPlanPayload:
     attribute: str
     algorithm: str
     kernel: str
+    #: Anti-affinity constraints, threaded into each shard's search so
+    #: per-shard plans already avoid shared failure domains; the merged
+    #: plan gets a final cross-shard repair pass on top.
+    constraints: object = None
 
 
 @dataclass(frozen=True)
@@ -319,6 +327,7 @@ def _shard_plan_worker(
         tolerance=payload.tolerance,
         attribute=payload.attribute,
         kernel=payload.kernel,
+        constraints=payload.constraints,
     )
     try:
         result = consolidator.consolidate(
@@ -360,6 +369,7 @@ class HierarchicalPlanner:
         engine: ExecutionEngine | None = None,
         kernel: str = "batch",
         policy: ShardingPolicy | None = None,
+        constraints=None,
     ):
         if len(pool) == 0:
             raise PlacementError("cannot shard an empty pool")
@@ -371,6 +381,7 @@ class HierarchicalPlanner:
         self.engine = engine if engine is not None else ExecutionEngine.serial()
         self.kernel = kernel
         self.policy = policy or ShardingPolicy()
+        self.constraints = constraints
         self._pairs: list[CoSAllocationPair] = []
         self._names: list[str] = []
         self._clustering: ClusteringResult | None = None
@@ -712,6 +723,7 @@ class HierarchicalPlanner:
             attribute=self.attribute,
             algorithm=algorithm,
             kernel=self.kernel,
+            constraints=self.constraints,
         )
 
     def _shard_item(
@@ -1093,15 +1105,17 @@ class HierarchicalPlanner:
                 merged_assignment[server] = names
             merged_required.update(result.required_by_server)
             score += result.score
-        peaks = self._global_evaluator().peak_allocations()
         consolidation = ConsolidationResult(
             assignment=merged_assignment,
             required_by_server=merged_required,
             sum_required=float(sum(merged_required.values())),
-            sum_peak_allocations=float(peaks.sum()),
+            sum_peak_allocations=float(
+                self._global_evaluator().peak_allocations().sum()
+            ),
             score=score,
             algorithm=f"sharded-{self._algorithm}",
         )
+        consolidation, affinity_repairs = self._repair_affinity(consolidation)
         clustering = self._require(self._clustering, "cluster")
         return ShardedPlacementResult(
             consolidation=consolidation,
@@ -1118,7 +1132,63 @@ class HierarchicalPlanner:
             refine_rounds_run=rounds_run,
             migrations=migrations,
             resumed_shards=self._resumed,
+            affinity_repairs=affinity_repairs,
         )
+
+    def _repair_affinity(
+        self, consolidation: ConsolidationResult
+    ) -> tuple[ConsolidationResult, int]:
+        """Cross-shard anti-affinity repair on the merged plan.
+
+        Each shard plans inside its own server slice, so two members of
+        one anti-affinity group placed in *different* shards can still
+        land in the *same* rack (shard slices and racks are both
+        contiguous runs of the pool). The merged assignment therefore
+        gets one global repair pass through the pool-wide evaluator —
+        the cross-shard analogue of the monolithic consolidator's
+        post-search repair — and the repaired plan is rebuilt with
+        freshly evaluated per-server capacities.
+        """
+        if self.constraints is None or not self.constraints.enabled:
+            return consolidation, 0
+        from repro.placement.affinity import ConstraintIndex, repair_assignment
+
+        evaluator = self._global_evaluator()
+        servers = list(self.pool.servers)
+        server_row = {server.name: row for row, server in enumerate(servers)}
+        assignment = [-1] * evaluator.n_workloads
+        for server_name, names in consolidation.assignment.items():
+            for name in names:
+                assignment[evaluator.index_of(name)] = server_row[server_name]
+        index = ConstraintIndex(self.constraints, evaluator.names, servers)
+        instrumentation = self.engine.instrumentation
+        violations = index.pair_count(assignment)
+        instrumentation.count(
+            "placement.affinity_cross_shard_violations", violations
+        )
+        if not violations:
+            instrumentation.count("placement.affinity_cross_shard_repairs", 0)
+            return consolidation, 0
+        repaired, moves = repair_assignment(
+            assignment, evaluator, servers, self.constraints, self.attribute
+        )
+        instrumentation.count(
+            "placement.affinity_cross_shard_repairs", moves
+        )
+        if moves == 0:
+            return consolidation, 0
+        rebuilt = Consolidator(
+            self.pool,
+            self.commitment,
+            config=self.config,
+            tolerance=self.tolerance,
+            attribute=self.attribute,
+            engine=self.engine,
+            kernel=self.kernel,
+        )._build_result(
+            evaluator, repaired, consolidation.algorithm, None
+        )
+        return rebuilt, moves
 
 
 def pair_shape_features(

@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Mapping
 
 from repro.exceptions import CapacityError
 from repro.resources.server import ServerSpec
+
+#: Failure-domain granularities, narrowest first. ``server`` is always
+#: available; ``rack``/``zone`` use the :class:`ServerSpec` labels.
+DOMAIN_KINDS = ("server", "rack", "zone")
 
 
 class ResourcePool:
@@ -76,3 +80,56 @@ class ResourcePool:
     def with_added(self, *servers: ServerSpec) -> "ResourcePool":
         """A new pool with extra servers appended (spare-server what-ifs)."""
         return ResourcePool(list(self._servers) + list(servers))
+
+    def with_degraded(self, factors: Mapping[str, float]) -> "ResourcePool":
+        """A new pool where named servers survive with scaled capacity.
+
+        The degraded-server what-if: unlike :meth:`without`, the server
+        stays in the pool (and keeps hosting candidates), but every
+        capacity limit is multiplied by its factor in ``(0, 1]`` (see
+        :meth:`~repro.resources.server.ServerSpec.scaled`).
+        """
+        missing = [name for name in factors if name not in self]
+        if missing:
+            raise CapacityError(
+                f"cannot degrade unknown servers: {sorted(missing)}"
+            )
+        return ResourcePool(
+            server.scaled(factors[server.name])
+            if server.name in factors
+            else server
+            for server in self._servers
+        )
+
+    def has_topology(self, kind: str = "rack") -> bool:
+        """True when at least one server carries the ``kind`` label."""
+        if kind not in ("rack", "zone"):
+            raise CapacityError(
+                f"topology kind must be 'rack' or 'zone', got {kind!r}"
+            )
+        return any(
+            getattr(server, kind) is not None for server in self._servers
+        )
+
+    def domains(self, kind: str = "rack") -> dict[str, tuple[str, ...]]:
+        """Failure domains at one granularity: label → member servers.
+
+        ``kind="server"`` returns one singleton domain per server;
+        ``"rack"``/``"zone"`` group servers by their topology label.
+        Unlabeled servers form singleton domains under their own name,
+        so a flat pool degenerates to the single-server sweep at every
+        granularity. Domains keep pool order (first appearance), and
+        members keep pool order within each domain.
+        """
+        if kind not in DOMAIN_KINDS:
+            raise CapacityError(
+                f"domain kind must be one of {DOMAIN_KINDS}, got {kind!r}"
+            )
+        grouped: dict[str, list[str]] = {}
+        for server in self._servers:
+            if kind == "server":
+                label = server.name
+            else:
+                label = getattr(server, kind) or server.name
+            grouped.setdefault(label, []).append(server.name)
+        return {label: tuple(names) for label, names in grouped.items()}

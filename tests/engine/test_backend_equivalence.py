@@ -106,7 +106,7 @@ class TestBackendEquivalence:
         def case_view(report):
             return [
                 (
-                    case.failed_server,
+                    case.label,
                     case.feasible,
                     case.affected_workloads,
                     case.servers_used,

@@ -62,7 +62,7 @@ def plan_with(demands, policy, **kwargs):
 
 def failure_view(report):
     return [
-        (case.failed_server, case.feasible, case.servers_used)
+        (case.label, case.feasible, case.servers_used)
         for case in report.cases
     ]
 

@@ -1,0 +1,186 @@
+"""Property tests: the planning pipeline respects monotonicity.
+
+Sanity harness for the failure tier, over randomized ensembles and
+topologies:
+
+* relaxing the CoS2 commitment (lower theta) never increases the
+  capacity a fixed set of allocations needs;
+* relaxing the QoS contract (more allowed degradation) never increases
+  a workload's translated capacity cap;
+* adding a server never makes the failure sweep worse;
+* the spare-sizing curve is monotone non-increasing as the failure
+  scope shrinks (zone -> rack -> server).
+
+``derandomize=True`` keeps the examples a deterministic function of the
+test body, so the suite cannot flake on a rare draw; ``first_fit``
+keeps each pipeline run deterministic and fast.
+"""
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cos import PoolCommitments
+from repro.core.qos import QoSPolicy, case_study_qos
+from repro.core.translation import QoSTranslator
+from repro.exceptions import PlacementError
+from repro.placement.consolidation import Consolidator
+from repro.placement.evaluation import required_capacity
+from repro.placement.failure import FailurePlanner
+from repro.placement.genetic import GeneticSearchConfig
+from repro.resources.pool import ResourcePool
+from repro.resources.server import ServerSpec, homogeneous_servers
+from repro.traces.calendar import TraceCalendar
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+SEARCH = GeneticSearchConfig(
+    seed=0, max_generations=6, stall_generations=2, population_size=8
+)
+CALENDAR = TraceCalendar(weeks=1, slot_minutes=60)
+# The capacity search is a binary search with absolute tolerance 0.01;
+# comparisons between two independent searches see up to twice that.
+SEARCH_SLACK = 0.03
+
+HEAVY = settings(
+    max_examples=5,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+LIGHT = settings(
+    max_examples=10,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _demands(seed, n):
+    generator = WorkloadGenerator(seed=seed)
+    specs = [
+        WorkloadSpec(name=f"w{i}", peak_cpus=1.5 + 0.4 * i, noise_sigma=0.15)
+        for i in range(n)
+    ]
+    return generator.generate_many(specs, CALENDAR)
+
+
+def _normal_plan(translator, demands, qos, pool):
+    pairs = [translator.translate(d, qos).pair for d in demands]
+    consolidator = Consolidator(
+        pool, translator.commitments.cos2, config=SEARCH
+    )
+    try:
+        return consolidator.consolidate(pairs, "first_fit")
+    except PlacementError:
+        return None
+
+
+class TestCommitmentMonotonicity:
+    @LIGHT
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=2, max_value=4),
+        theta_lo=st.sampled_from([0.5, 0.6, 0.7, 0.8]),
+        theta_hi=st.sampled_from([0.9, 0.95, 0.99]),
+    )
+    def test_relaxing_theta_never_needs_more_capacity(
+        self, seed, n, theta_lo, theta_hi
+    ):
+        """For fixed allocations, a weaker CoS2 promise is never dearer."""
+        demands = _demands(seed, n)
+        translator = QoSTranslator(PoolCommitments.of(theta=0.9))
+        qos = case_study_qos(m_degr_percent=3)
+        pairs = [translator.translate(d, qos).pair for d in demands]
+        relaxed = required_capacity(
+            pairs, 1e9, PoolCommitments.of(theta=theta_lo).cos2
+        ).required_capacity
+        strict = required_capacity(
+            pairs, 1e9, PoolCommitments.of(theta=theta_hi).cos2
+        ).required_capacity
+        assert relaxed <= strict + SEARCH_SLACK
+
+    @LIGHT
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        m_lo=st.sampled_from([0.0, 0.5, 1.0]),
+        m_hi=st.sampled_from([3.0, 5.0, 10.0]),
+    )
+    def test_relaxing_m_degr_never_raises_the_cap(self, seed, m_lo, m_hi):
+        """Allowing more degradation never increases D_new_max."""
+        (demand,) = _demands(seed, 1)
+        translator = QoSTranslator(PoolCommitments.of(theta=0.9))
+        strict = translator.translate(
+            demand, case_study_qos(m_degr_percent=m_lo)
+        )
+        relaxed = translator.translate(
+            demand, case_study_qos(m_degr_percent=m_hi)
+        )
+        assert relaxed.d_new_max <= strict.d_new_max + 1e-9
+        assert relaxed.breakpoint <= strict.breakpoint
+
+
+class TestFailureTierMonotonicity:
+    @HEAVY
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=3, max_value=5),
+        racks=st.integers(min_value=2, max_value=3),
+    )
+    def test_adding_a_server_never_worsens_the_sweep(self, seed, n, racks):
+        demands = _demands(seed, n)
+        translator = QoSTranslator(PoolCommitments.of(theta=0.9))
+        policy = QoSPolicy(
+            normal=case_study_qos(m_degr_percent=0),
+            failure=case_study_qos(m_degr_percent=3),
+        )
+        servers = homogeneous_servers(6, cpus=10, racks=racks, zones=2)
+        pool = ResourcePool(servers)
+        normal = _normal_plan(translator, demands, policy.normal, pool)
+        assume(normal is not None)
+        planner = FailurePlanner(translator, config=SEARCH)
+        before = planner.plan(
+            demands, policy, pool, normal, algorithm="first_fit"
+        )
+        bigger = ResourcePool(
+            list(servers)
+            + [ServerSpec(name="extra", cpus=10, rack="rack-x", zone="zone-x")]
+        )
+        after = planner.plan(
+            demands, policy, bigger, normal, algorithm="first_fit"
+        )
+        assert len(after.infeasible_cases) <= len(before.infeasible_cases)
+        if before.all_supported:
+            assert after.all_supported
+
+    @HEAVY
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=3, max_value=5),
+        racks=st.integers(min_value=2, max_value=3),
+        cpus=st.sampled_from([8, 10, 12]),
+    )
+    def test_spare_curve_monotone_in_failure_scope(
+        self, seed, n, racks, cpus
+    ):
+        """Shrinking the failure scope never needs more spares."""
+        demands = _demands(seed, n)
+        translator = QoSTranslator(PoolCommitments.of(theta=0.9))
+        policy = QoSPolicy(
+            normal=case_study_qos(m_degr_percent=0),
+            failure=case_study_qos(m_degr_percent=3),
+        )
+        pool = ResourcePool(
+            homogeneous_servers(6, cpus=cpus, racks=racks, zones=2)
+        )
+        normal = _normal_plan(translator, demands, policy.normal, pool)
+        assume(normal is not None)
+        planner = FailurePlanner(translator, config=SEARCH)
+        curve = planner.spare_sizing_curve(
+            demands, policy, pool, normal,
+            max_spares=2, algorithm="first_fit",
+        )
+        assert curve.monotone_in_scope()
+        spares = {point.scope: point.spares_needed for point in curve.points}
+        # Single-server loss is one rack-loss subset: never needs more.
+        if spares["rack"] is not None:
+            assert spares["server"] is not None
+            assert spares["server"] <= spares["rack"]

@@ -1,0 +1,236 @@
+"""Tests for anti-affinity constraints over failure domains.
+
+The acceptance scenario: a pool where one rack holds both a workload's
+CoS1 capacity and its failover target must be flagged by
+``find_violations`` and repaired by the constraint-aware consolidation.
+"""
+
+import pytest
+
+from repro.core.cos import PoolCommitments
+from repro.core.qos import case_study_qos
+from repro.core.translation import QoSTranslator
+from repro.engine import ExecutionEngine
+from repro.exceptions import PlacementError
+from repro.placement.affinity import (
+    AffinityViolation,
+    ConstraintIndex,
+    PlacementConstraints,
+    domain_of,
+    find_violations,
+)
+from repro.placement.consolidation import Consolidator
+from repro.placement.genetic import GeneticSearchConfig
+from repro.placement.objective import affinity_penalty
+from repro.resources.pool import ResourcePool
+from repro.resources.server import ServerSpec, homogeneous_servers
+from repro.traces.calendar import TraceCalendar
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+SEARCH = GeneticSearchConfig(
+    seed=0, max_generations=10, stall_generations=3, population_size=10
+)
+
+
+def _pairs(names_and_peaks, seed=21):
+    calendar = TraceCalendar(weeks=1, slot_minutes=60)
+    generator = WorkloadGenerator(seed=seed)
+    specs = [
+        WorkloadSpec(name=name, peak_cpus=peak, noise_sigma=0.1)
+        for name, peak in names_and_peaks
+    ]
+    demands = generator.generate_many(specs, calendar)
+    translator = QoSTranslator(PoolCommitments.of(theta=0.9))
+    qos = case_study_qos(m_degr_percent=0)
+    pairs = [translator.translate(d, qos).pair for d in demands]
+    return pairs, translator
+
+
+class TestPlacementConstraints:
+    def test_rejects_small_groups(self):
+        with pytest.raises(PlacementError):
+            PlacementConstraints(anti_affinity=(("solo",),))
+
+    def test_rejects_duplicate_members(self):
+        with pytest.raises(PlacementError):
+            PlacementConstraints(anti_affinity=(("a", "a"),))
+
+    def test_rejects_bad_domain(self):
+        with pytest.raises(PlacementError):
+            PlacementConstraints(anti_affinity=(("a", "b"),), domain="pod")
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(PlacementError):
+            PlacementConstraints(
+                anti_affinity=(("a", "b"),), penalty_weight=0.0
+            )
+
+    def test_enabled(self):
+        assert not PlacementConstraints().enabled
+        assert PlacementConstraints(anti_affinity=(("a", "b"),)).enabled
+
+
+class TestDomainOf:
+    def test_labels_and_fallback(self):
+        labeled = ServerSpec(name="s0", cpus=8, rack="r0", zone="z0")
+        bare = ServerSpec(name="s1", cpus=8)
+        assert domain_of(labeled, "rack") == "r0"
+        assert domain_of(labeled, "zone") == "z0"
+        assert domain_of(labeled, "server") == "s0"
+        # Unlabeled servers are their own singleton domain.
+        assert domain_of(bare, "rack") == "s1"
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(PlacementError):
+            domain_of(ServerSpec(name="s0", cpus=8), "pod")
+
+
+class TestFindViolations:
+    def test_flags_shared_rack(self):
+        pool = ResourcePool(homogeneous_servers(4, cpus=16, racks=2))
+        constraints = PlacementConstraints(
+            anti_affinity=(("primary", "failover"),)
+        )
+        # Both on rack-00, though on different servers.
+        assignment = {
+            "server-00": ("primary",),
+            "server-01": ("failover",),
+        }
+        violations = find_violations(assignment, constraints, pool)
+        assert violations == (
+            AffinityViolation(
+                group=("primary", "failover"),
+                domain="rack-00",
+                workloads=("primary", "failover"),
+            ),
+        )
+
+    def test_clean_when_racks_differ(self):
+        pool = ResourcePool(homogeneous_servers(4, cpus=16, racks=2))
+        constraints = PlacementConstraints(
+            anti_affinity=(("primary", "failover"),)
+        )
+        assignment = {
+            "server-00": ("primary",),
+            "server-02": ("failover",),
+        }
+        assert find_violations(assignment, constraints, pool) == ()
+
+
+class TestAffinityPenalty:
+    def test_price_is_weight_times_pairs(self):
+        assert affinity_penalty(1, 2.0) == 2.0
+        assert affinity_penalty(3, 1.5) == 4.5
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(PlacementError):
+            affinity_penalty(-1, 2.0)
+        with pytest.raises(PlacementError):
+            affinity_penalty(1, 0.0)
+
+
+class TestConstraintIndex:
+    def test_pair_count_and_penalty(self):
+        servers = homogeneous_servers(4, cpus=16, racks=2)
+        constraints = PlacementConstraints(
+            anti_affinity=(("a", "b", "c"),), penalty_weight=2.0
+        )
+        index = ConstraintIndex(constraints, ["a", "b", "c"], servers)
+        # a and b on rack-00 (servers 0, 1), c on rack-01: one pair.
+        assert index.pair_count([0, 1, 2]) == 1
+        assert index.penalty([0, 1, 2]) == 2.0
+        # all three on one rack: three pairs.
+        assert index.pair_count([0, 0, 1]) == 3
+        # spread over both racks and a singleton: clean.
+        assert index.pair_count([0, 2, 3]) == 1  # c+b share rack-01
+        assert index.penalty([0, 2, 3]) == 2.0
+
+    def test_partial_groups_still_bind(self):
+        servers = homogeneous_servers(2, cpus=16)
+        constraints = PlacementConstraints(
+            anti_affinity=(("a", "b", "ghost"), ("ghost", "phantom"))
+        )
+        index = ConstraintIndex(constraints, ["a", "b"], servers)
+        # ("a", "b") survives as a partial group; the all-unknown
+        # group drops out entirely.
+        assert index.groups == ((0, 1),)
+
+
+class TestConstraintAwareConsolidation:
+    def test_rack_sharing_flagged_and_repaired(self):
+        """Acceptance: CoS1 capacity and failover target co-racked."""
+        pairs, translator = _pairs([("primary", 1.0), ("failover", 1.0)])
+        pool = ResourcePool(homogeneous_servers(4, cpus=16, racks=2))
+        constraints = PlacementConstraints(
+            anti_affinity=(("primary", "failover"),)
+        )
+        # Unconstrained first-fit packs both small workloads onto one
+        # server — one rack holds the workload and its failover target.
+        baseline = Consolidator(
+            pool, translator.commitments.cos2, config=SEARCH
+        ).consolidate(pairs, "first_fit")
+        assert find_violations(baseline.assignment, constraints, pool)
+
+        engine = ExecutionEngine.serial()
+        repaired = Consolidator(
+            pool,
+            translator.commitments.cos2,
+            config=SEARCH,
+            engine=engine,
+            constraints=constraints,
+        ).consolidate(pairs, "first_fit")
+        assert find_violations(repaired.assignment, constraints, pool) == ()
+        counters = engine.instrumentation.counters()
+        assert counters.get("placement.affinity_violations", 0) >= 1
+        assert counters.get("placement.affinity_repairs", 0) >= 1
+        assert counters.get("placement.affinity_unrepaired", 0) == 0
+
+    def test_genetic_search_ends_clean(self):
+        pairs, translator = _pairs(
+            [("primary", 1.0), ("failover", 1.0), ("other", 2.0)]
+        )
+        pool = ResourcePool(homogeneous_servers(4, cpus=16, racks=2))
+        constraints = PlacementConstraints(
+            anti_affinity=(("primary", "failover"),)
+        )
+        result = Consolidator(
+            pool,
+            translator.commitments.cos2,
+            config=SEARCH,
+            constraints=constraints,
+        ).consolidate(pairs, "genetic")
+        assert find_violations(result.assignment, constraints, pool) == ()
+
+    def test_disabled_constraints_change_nothing(self):
+        pairs, translator = _pairs([("a", 1.0), ("b", 2.0), ("c", 1.5)])
+        pool = ResourcePool(homogeneous_servers(4, cpus=16, racks=2))
+        baseline = Consolidator(
+            pool, translator.commitments.cos2, config=SEARCH
+        ).consolidate(pairs, "genetic")
+        with_empty = Consolidator(
+            pool,
+            translator.commitments.cos2,
+            config=SEARCH,
+            constraints=PlacementConstraints(),
+        ).consolidate(pairs, "genetic")
+        assert with_empty.assignment == baseline.assignment
+
+    def test_unrepairable_violation_reported_not_fatal(self):
+        """A one-rack pool cannot separate the pair; it is priced and
+        reported, never declared infeasible."""
+        pairs, translator = _pairs([("primary", 1.0), ("failover", 1.0)])
+        pool = ResourcePool(homogeneous_servers(2, cpus=16, racks=1))
+        constraints = PlacementConstraints(
+            anti_affinity=(("primary", "failover"),)
+        )
+        engine = ExecutionEngine.serial()
+        result = Consolidator(
+            pool,
+            translator.commitments.cos2,
+            config=SEARCH,
+            engine=engine,
+            constraints=constraints,
+        ).consolidate(pairs, "first_fit")
+        assert result.servers_used >= 1
+        counters = engine.instrumentation.counters()
+        assert counters.get("placement.affinity_unrepaired", 0) >= 1

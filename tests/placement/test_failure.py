@@ -75,7 +75,8 @@ class TestFailurePlanning:
         report = planner.plan(demands, policy, pool, normal)
         some_server = next(iter(normal.assignment))
         case = report.case_for(some_server)
-        assert case.failed_server == some_server
+        assert case.failed_servers == (some_server,)
+        assert case.label == some_server
         assert set(case.affected_workloads) == set(
             normal.assignment[some_server]
         )
@@ -89,7 +90,8 @@ class TestFailurePlanning:
         report = planner.plan(demands, policy, pool, normal)
         for case in report.cases:
             if case.result is not None:
-                assert case.failed_server not in case.result.assignment
+                for failed in case.failed_servers:
+                    assert failed not in case.result.assignment
 
     def test_spare_needed_when_pool_tight(self, cal, translator):
         """A pool that is exactly full cannot absorb a failure."""

@@ -1,0 +1,422 @@
+"""Tests for domain-scoped failure sweeps, degraded servers and spares.
+
+Covers the correlated-failure model: whole-rack/zone loss, k-concurrent
+faults drawn per domain, degraded servers surviving at scaled capacity,
+the seeded sampling guard on combinatorial sweeps, the spare-sizing
+curve, and checkpoint resume of domain sweeps.
+"""
+
+import pytest
+
+from repro.core.cos import PoolCommitments
+from repro.core.framework import ROpus
+from repro.core.qos import QoSPolicy, case_study_qos
+from repro.core.translation import QoSTranslator
+from repro.engine import ExecutionEngine
+from repro.engine.checkpoint import Checkpointer
+from repro.exceptions import PlacementError
+from repro.placement.consolidation import Consolidator
+from repro.placement.failure import (
+    FailurePlanner,
+    FailureSweepPolicy,
+    FaultScenario,
+    parse_scope,
+)
+from repro.placement.genetic import GeneticSearchConfig
+from repro.resources.pool import ResourcePool
+from repro.resources.server import homogeneous_servers
+from repro.traces.calendar import TraceCalendar
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+SEARCH = GeneticSearchConfig(
+    seed=0, max_generations=8, stall_generations=3, population_size=8
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    calendar = TraceCalendar(weeks=1, slot_minutes=60)
+    generator = WorkloadGenerator(seed=21)
+    specs = [
+        WorkloadSpec(name=f"w{i}", peak_cpus=1.0 + 0.3 * i, noise_sigma=0.2)
+        for i in range(6)
+    ]
+    demands = generator.generate_many(specs, calendar)
+    translator = QoSTranslator(PoolCommitments.of(theta=0.9))
+    policy = QoSPolicy(
+        normal=case_study_qos(m_degr_percent=0),
+        failure=case_study_qos(m_degr_percent=3, t_degr_minutes=None),
+    )
+    pool = ResourcePool(homogeneous_servers(6, cpus=6, racks=3, zones=2))
+    pairs = [translator.translate(d, policy.normal).pair for d in demands]
+    normal = Consolidator(
+        pool, translator.commitments.cos2, config=SEARCH
+    ).consolidate(pairs, "first_fit")
+    planner = FailurePlanner(translator, config=SEARCH)
+    return demands, policy, pool, normal, planner
+
+
+class TestParseScope:
+    def test_grammar(self):
+        assert parse_scope("server") == ("server", 1)
+        assert parse_scope("rack") == ("rack", None)
+        assert parse_scope("zone") == ("zone", None)
+        assert parse_scope("rack:2") == ("rack", 2)
+        assert parse_scope("server:3") == ("server", 3)
+
+    @pytest.mark.parametrize("bad", ["pod", "rack:0", "rack:x", "", "rack:-1"])
+    def test_rejects_bad_specs(self, bad):
+        with pytest.raises(PlacementError):
+            parse_scope(bad)
+
+
+class TestFaultScenario:
+    def test_requires_some_fault(self):
+        with pytest.raises(PlacementError):
+            FaultScenario()
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(PlacementError):
+            FaultScenario(failed_servers=("a",), kind="pod")
+
+    def test_rejects_bad_degraded_factor(self):
+        with pytest.raises(PlacementError):
+            FaultScenario(degraded=(("a", 0.0),))
+        with pytest.raises(PlacementError):
+            FaultScenario(degraded=(("a", 1.0),))
+
+    def test_labels(self):
+        assert FaultScenario(failed_servers=("a", "b")).label == "a+b"
+        assert (
+            FaultScenario(
+                failed_servers=("a", "b"), kind="rack", domain="rack-00"
+            ).label
+            == "rack:rack-00:a+b"
+        )
+        assert (
+            FaultScenario(degraded=(("a", 0.5),)).label == "degraded:a@0.5"
+        )
+
+
+class TestDeprecatedFailedServer:
+    def test_joined_string_still_available(self, setup):
+        demands, policy, pool, normal, planner = setup
+        report = planner.plan(
+            demands, policy, pool, normal, algorithm="first_fit"
+        )
+        case = report.cases[0]
+        with pytest.deprecated_call():
+            joined = case.failed_server
+        assert joined == "+".join(case.failed_servers) == case.label
+
+
+class TestDomainSweeps:
+    def test_rack_loss_cases(self, setup):
+        demands, policy, pool, normal, planner = setup
+        report = planner.plan_domains(
+            demands, policy, pool, normal, scope="rack", algorithm="first_fit"
+        )
+        used_racks = {
+            pool[server].rack for server in normal.assignment
+        }
+        assert len(report.cases) == len(used_racks)
+        for case in report.cases:
+            assert case.kind == "rack"
+            assert case.domain in used_racks
+            racks = {pool[s].rack for s in case.failed_servers}
+            assert racks == {case.domain}
+            assert case.label.startswith(f"rack:{case.domain}:")
+            if case.result is not None:
+                for failed in case.failed_servers:
+                    assert failed not in case.result.assignment
+
+    def test_zone_loss_cases(self, setup):
+        demands, policy, pool, normal, planner = setup
+        report = planner.plan_domains(
+            demands, policy, pool, normal, scope="zone", algorithm="first_fit"
+        )
+        assert all(case.kind == "zone" for case in report.cases)
+        assert 1 <= len(report.cases) <= 2
+
+    def test_rejects_unknown_scope(self, setup):
+        demands, policy, pool, normal, planner = setup
+        with pytest.raises(PlacementError):
+            planner.plan_domains(demands, policy, pool, normal, scope="pod")
+
+    def test_plan_scope_dispatch(self, setup):
+        demands, policy, pool, normal, planner = setup
+        single = planner.plan(
+            demands, policy, pool, normal, algorithm="first_fit"
+        )
+        via_scope = planner.plan_scope(
+            demands, policy, pool, normal, scope="server",
+            algorithm="first_fit",
+        )
+        assert {c.label for c in via_scope.cases} == {
+            c.label for c in single.cases
+        }
+        racks = planner.plan_domains(
+            demands, policy, pool, normal, scope="rack", algorithm="first_fit"
+        )
+        via_scope = planner.plan_scope(
+            demands, policy, pool, normal, scope="rack", algorithm="first_fit"
+        )
+        assert {c.label for c in via_scope.cases} == {
+            c.label for c in racks.cases
+        }
+
+    def test_correlated_within_domain(self, setup):
+        demands, policy, pool, normal, planner = setup
+        report = planner.plan_multi(
+            demands, policy, pool, normal,
+            concurrent_failures=2, within_domain="rack",
+            algorithm="first_fit",
+        )
+        for case in report.cases:
+            racks = {pool[s].rack for s in case.failed_servers}
+            assert len(racks) == 1
+
+    def test_within_domain_without_wide_domains_is_trivial(self, setup):
+        demands, policy, pool, normal, planner = setup
+        # No rack holds three used servers (two per rack), so the
+        # correlated 3-failure sweep has no cases — trivially absorbed.
+        report = planner.plan_multi(
+            demands, policy, pool, normal,
+            concurrent_failures=3, within_domain="rack",
+            algorithm="first_fit",
+        )
+        assert report.cases == ()
+        assert report.all_supported
+
+
+class TestDegradedServers:
+    def test_degraded_servers_stay_in_pool(self, setup):
+        demands, policy, pool, normal, planner = setup
+        report = planner.plan_degraded(
+            demands, policy, pool, normal, factor=0.5, algorithm="first_fit"
+        )
+        assert len(report.cases) == normal.servers_used
+        for case in report.cases:
+            assert case.failed_servers == ()
+            assert len(case.degraded) == 1
+            (name, factor), = case.degraded
+            assert factor == 0.5
+            assert case.label == f"degraded:{name}@0.5"
+            if case.result is not None:
+                # Unlike a dead server, a degraded one may still host.
+                assert name in pool.names()
+
+    def test_degraded_rack_scope(self, setup):
+        demands, policy, pool, normal, planner = setup
+        report = planner.plan_degraded(
+            demands, policy, pool, normal,
+            factor=0.5, scope="rack", algorithm="first_fit",
+        )
+        for case in report.cases:
+            assert case.kind == "rack"
+            racks = {
+                pool[name].rack for name, _ in case.degraded
+            }
+            assert racks == {case.domain}
+
+    def test_rejects_bad_factor(self, setup):
+        demands, policy, pool, normal, planner = setup
+        for factor in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(PlacementError):
+                planner.plan_degraded(
+                    demands, policy, pool, normal, factor=factor
+                )
+
+    def test_gentler_degradation_no_worse(self, setup):
+        """Keeping more surviving capacity never loses feasibility."""
+        demands, policy, pool, normal, planner = setup
+        harsh = planner.plan_degraded(
+            demands, policy, pool, normal, factor=0.3, algorithm="first_fit"
+        )
+        gentle = planner.plan_degraded(
+            demands, policy, pool, normal, factor=0.9, algorithm="first_fit"
+        )
+        assert len(gentle.infeasible_cases) <= len(harsh.infeasible_cases)
+
+
+class TestSamplingGuard:
+    def test_sampled_sweep_is_capped_and_counted(self, setup):
+        demands, policy, pool, normal, planner = setup
+        engine = ExecutionEngine.serial()
+        sampling_planner = FailurePlanner(
+            planner.translator, config=SEARCH, engine=engine
+        )
+        report = sampling_planner.plan_multi(
+            demands, policy, pool, normal,
+            concurrent_failures=2, max_cases=5, sample_seed=7,
+            algorithm="first_fit",
+        )
+        assert len(report.cases) == 5
+        counters = engine.instrumentation.counters()
+        assert counters.get("failure.sweep_sampled", 0) >= 1
+        assert counters.get("failure.cases_sampled", 0) == 5
+
+    def test_exhaustive_sweep_counted(self, setup):
+        demands, policy, pool, normal, planner = setup
+        engine = ExecutionEngine.serial()
+        exhaustive_planner = FailurePlanner(
+            planner.translator, config=SEARCH, engine=engine
+        )
+        exhaustive_planner.plan_multi(
+            demands, policy, pool, normal,
+            concurrent_failures=2, algorithm="first_fit",
+        )
+        counters = engine.instrumentation.counters()
+        assert counters.get("failure.sweep_exhaustive", 0) >= 1
+        assert counters.get("failure.sweep_sampled", 0) == 0
+
+    def test_sampling_is_deterministic(self, setup):
+        demands, policy, pool, normal, planner = setup
+        labels = []
+        for _ in range(2):
+            report = planner.plan_multi(
+                demands, policy, pool, normal,
+                concurrent_failures=2, max_cases=4, sample_seed=11,
+                algorithm="first_fit",
+            )
+            labels.append(tuple(case.label for case in report.cases))
+        assert labels[0] == labels[1]
+
+    def test_different_seed_can_differ(self, setup):
+        demands, policy, pool, normal, planner = setup
+        picks = set()
+        for seed in range(4):
+            report = planner.plan_multi(
+                demands, policy, pool, normal,
+                concurrent_failures=2, max_cases=3, sample_seed=seed,
+                algorithm="first_fit",
+            )
+            picks.add(tuple(case.label for case in report.cases))
+        assert len(picks) > 1
+
+
+class TestSpareSizingCurve:
+    def test_curve_over_topology_scopes(self, setup):
+        demands, policy, pool, normal, planner = setup
+        curve = planner.spare_sizing_curve(
+            demands, policy, pool, normal,
+            max_spares=2, algorithm="first_fit",
+        )
+        scopes = [point.scope for point in curve.points]
+        assert scopes == ["server", "rack", "zone"]
+        assert curve.monotone_in_scope()
+        payload = curve.to_payload()
+        assert payload["max_spares"] == 2
+        assert len(payload["points"]) == 3
+
+    def test_tight_pool_needs_spares(self):
+        calendar = TraceCalendar(weeks=1, slot_minutes=60)
+        generator = WorkloadGenerator(seed=5)
+        specs = [
+            WorkloadSpec(name=f"big{i}", peak_cpus=5.0, noise_sigma=0.05)
+            for i in range(4)
+        ]
+        demands = generator.generate_many(specs, calendar)
+        translator = QoSTranslator(PoolCommitments.of(theta=0.9))
+        policy = QoSPolicy(normal=case_study_qos(m_degr_percent=0))
+        pool = ResourcePool(homogeneous_servers(4, cpus=10, racks=2))
+        pairs = [
+            translator.translate(d, policy.normal).pair for d in demands
+        ]
+        normal = Consolidator(
+            pool, translator.commitments.cos2, config=SEARCH
+        ).consolidate(pairs, "first_fit")
+        planner = FailurePlanner(translator, config=SEARCH)
+        curve = planner.spare_sizing_curve(
+            demands, policy, pool, normal,
+            scopes=["server", "rack"], max_spares=3, algorithm="first_fit",
+        )
+        by_scope = {point.scope: point for point in curve.points}
+        assert by_scope["server"].infeasible_without_spares > 0
+        assert by_scope["server"].spares_needed is not None
+        assert by_scope["server"].spares_needed >= 1
+        assert curve.monotone_in_scope()
+
+
+class TestDomainSweepResume:
+    """Satellite: checkpoint resume with rack-loss cases in flight."""
+
+    @pytest.fixture()
+    def framework_parts(self):
+        calendar = TraceCalendar(weeks=1, slot_minutes=60)
+        generator = WorkloadGenerator(seed=13)
+        specs = [
+            WorkloadSpec(name=f"app{i}", peak_cpus=1.0 + 0.5 * i)
+            for i in range(5)
+        ]
+        demands = generator.generate_many(specs, calendar)
+        policy = QoSPolicy(normal=case_study_qos(m_degr_percent=3))
+        return demands, policy
+
+    def _framework(self, checkpointer=None):
+        return ROpus(
+            PoolCommitments.of(theta=0.95),
+            ResourcePool(homogeneous_servers(6, cpus=16, racks=3)),
+            search_config=SEARCH,
+            engine=ExecutionEngine.serial(),
+            checkpointer=checkpointer,
+            failure_policy=FailureSweepPolicy(scopes=("rack",)),
+        )
+
+    def test_kill_mid_rack_sweep_resumes_to_identical_plan(
+        self, framework_parts, tmp_path
+    ):
+        demands, policy = framework_parts
+        baseline = self._framework().plan(demands, policy)
+        assert baseline.domain_reports is not None
+        assert len(baseline.domain_reports["rack"].cases) > 1
+
+        class _Killed(Exception):
+            """Stands in for the SIGKILL that ends the first run."""
+
+        # Die before persisting the second rack-loss case: the domain
+        # sweep must already have journaled the first one by then.
+        class _KilledMidDomainSweep(Checkpointer):
+            def save(self, key, payload):
+                if key.startswith("failure/scope:rack/") and any(
+                    stored.startswith("failure/scope:rack/")
+                    for stored in self.keys()
+                ):
+                    raise _Killed
+                return super().save(key, payload)
+
+        directory = tmp_path / "ckpt"
+        with pytest.raises(_Killed):
+            self._framework(
+                checkpointer=_KilledMidDomainSweep(directory)
+            ).plan(demands, policy)
+
+        survivor_store = Checkpointer(directory)
+        persisted = [
+            key
+            for key in survivor_store.keys()
+            if key.startswith("failure/scope:rack/")
+        ]
+        assert len(persisted) == 1
+
+        resumed = self._framework(checkpointer=survivor_store).plan(
+            demands, policy
+        )
+        assert resumed.plan_hash() == baseline.plan_hash()
+        resumes = resumed.resilience_summary().get("failure.case_resumes", 0)
+        assert resumes >= 1
+
+    def test_domain_sweeps_contribute_to_plan_hash(
+        self, framework_parts
+    ):
+        demands, policy = framework_parts
+        with_domains = self._framework().plan(demands, policy)
+        without = ROpus(
+            PoolCommitments.of(theta=0.95),
+            ResourcePool(homogeneous_servers(6, cpus=16, racks=3)),
+            search_config=SEARCH,
+            engine=ExecutionEngine.serial(),
+        ).plan(demands, policy)
+        assert with_domains.plan_hash() != without.plan_hash()
+        summary = with_domains.summary()
+        assert "rack" in summary["failure_domains"]

@@ -79,8 +79,8 @@ class TestPlanMulti:
         multi = planner.plan_multi(
             demands, policy, pool, normal, concurrent_failures=1
         )
-        assert {case.failed_server for case in single.cases} == {
-            case.failed_server for case in multi.cases
+        assert {case.label for case in single.cases} == {
+            case.label for case in multi.cases
         }
 
     def test_rejects_bad_counts(self, setup):
